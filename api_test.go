@@ -1,0 +1,72 @@
+package emccsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPublicAPITimingRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EMCC = true
+	s, err := NewTiming(&cfg, TimingOptions{
+		Benchmark: "canneal", Refs: 50_000, Warmup: 100_000, Scale: TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.SimulatedTime <= 0 || res.Instructions <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestPublicAPIFunctionalRun(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := NewFunctional(&cfg, FunctionalOptions{
+		Benchmark: "pageRank", Refs: 100_000, Scale: TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.Stats() == nil {
+		t.Fatal("no stats")
+	}
+}
+
+func TestPublicAPISecureMemory(t *testing.T) {
+	m, err := NewSecureMemory(1<<20, CtrMorphable, []byte("sixteen byte key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte{0x42}, 64)
+	if _, err := m.Write(0, plain); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(0)
+	if err != nil || !bytes.Equal(got, plain) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	m.TamperData(0)
+	if _, err := m.Read(0); !errors.Is(err, ErrTampered) {
+		t.Fatalf("tamper not detected: %v", err)
+	}
+}
+
+func TestPublicAPILists(t *testing.T) {
+	if len(Benchmarks()) != 26 || len(PrimaryBenchmarks()) != 11 {
+		t.Fatal("benchmark lists wrong")
+	}
+	if len(FigureIDs()) < 20 {
+		t.Fatal("figure ids missing")
+	}
+}
+
+func TestPublicAPIFiguresAnalytic(t *testing.T) {
+	h := NewFigures(true)
+	tab, ok := h.ByID("table1")
+	if !ok || len(tab.Rows) == 0 {
+		t.Fatal("table1 not reproducible through the facade")
+	}
+}

@@ -1,0 +1,180 @@
+// Command emccsim runs one simulation configuration and prints its
+// statistics. It is the low-level tool; cmd/figures regenerates the paper's
+// figures from batches of these runs.
+//
+// Usage:
+//
+//	emccsim -mode functional -bench canneal -refs 2000000 -system emcc
+//	emccsim -mode timing -bench mcf -refs 300000 -system morphable
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/fsim"
+	"repro/internal/sim"
+	"repro/internal/tsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "functional", "functional (Pintool-style counting) or timing (gem5-style)")
+		bench   = flag.String("bench", "canneal", "benchmark name; -list to enumerate")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		system  = flag.String("system", "morphable", "non-secure | sc64 | morphable | emcc | mono | <any>+nollc")
+		refs    = flag.Int64("refs", 2_000_000, "memory references to replay")
+		warm    = flag.Int64("warmup", 0, "functional warmup references before measuring")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		small   = flag.Bool("small", false, "use the miniature test scale")
+		llcMB   = flag.Int64("llc-mb", 0, "override LLC size in MiB (0 = Table I)")
+		ctrKB   = flag.Int64("ctr-kb", 0, "override MC counter cache KiB (0 = Table I)")
+		aesNS   = flag.Float64("aes-ns", 0, "override AES latency in ns (0 = Table I)")
+		chans   = flag.Int("channels", 0, "override DRAM channel count (0 = Table I)")
+		aesFrac = flag.Float64("aes-frac", -1, "override fraction of AES units moved to L2 (EMCC)")
+		l2ctrKB = flag.Int64("l2ctr-kb", 0, "override EMCC L2 counter cap KiB (0 = default 32)")
+		xpt     = flag.Bool("xpt", false, "enable XPT LLC-miss prediction")
+		pfDeg   = flag.Int("prefetch", 0, "L2 stride-prefetch degree (0 = off)")
+		dynOff  = flag.Bool("dynamic-off", false, "enable the Sec. IV-F intensity monitor (EMCC)")
+		asJSON  = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("primary (large/irregular):", strings.Join(workload.PrimaryNames(), " "))
+		fmt.Println("regular (Fig 24):", strings.Join(workload.RegularNames(), " "))
+		return
+	}
+
+	cfg := config.Default()
+	if err := applySystem(&cfg, *system); err != nil {
+		fatal(err)
+	}
+	if *llcMB > 0 {
+		cfg.L3Bytes = *llcMB << 20
+	}
+	if *ctrKB > 0 {
+		cfg.CtrCacheBytes = *ctrKB << 10
+	}
+	if *aesNS > 0 {
+		cfg.AESLatency = sim.NS(*aesNS)
+	}
+	if *chans > 0 {
+		cfg.Channels = *chans
+	}
+	if *aesFrac >= 0 {
+		cfg.EMCCAESFraction = *aesFrac
+	}
+	if *l2ctrKB > 0 {
+		cfg.EMCCL2CounterBytes = *l2ctrKB << 10
+	}
+	cfg.XPT = *xpt
+	cfg.PrefetchL2Degree = *pfDeg
+	cfg.EMCCDynamicOff = *dynOff
+
+	scale := workload.DefaultScale()
+	if *small {
+		scale = workload.TestScale()
+	}
+
+	switch *mode {
+	case "functional":
+		s, err := fsim.New(&cfg, fsim.Options{Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm, Scale: scale})
+		if err != nil {
+			fatal(err)
+		}
+		s.Run()
+		if *asJSON {
+			emitJSON(map[string]interface{}{
+				"mode": "functional", "system": cfg.SystemName(), "benchmark": *bench,
+				"refs": *refs, "stats": s.Stats().Snapshot(),
+			})
+			return
+		}
+		fmt.Printf("# functional %s on %s, %d refs\n", cfg.SystemName(), *bench, *refs)
+		fmt.Print(s.Stats().Dump())
+	case "timing":
+		s, err := tsim.New(&cfg, tsim.Options{Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm, Scale: scale})
+		if err != nil {
+			fatal(err)
+		}
+		res := s.Run()
+		if *asJSON {
+			util := map[string]float64{}
+			for k, v := range res.BusyFraction {
+				util[k.String()] = v
+			}
+			emitJSON(map[string]interface{}{
+				"mode": "timing", "system": cfg.SystemName(), "benchmark": *bench,
+				"refs": *refs, "simulated_ms": res.SimulatedTime.Nanoseconds() / 1e6,
+				"instructions": res.Instructions, "ipc": res.IPC,
+				"l2_miss_latency_ns": res.L2MissLatencyNS,
+				"decrypt_at_l2_frac": res.DecryptAtL2Frac,
+				"dram_util":          util,
+				"stats":              s.Stats().Snapshot(),
+			})
+			return
+		}
+		fmt.Printf("# timing %s on %s, %d refs\n", cfg.SystemName(), *bench, *refs)
+		fmt.Printf("simulated-time-ms            %.3f\n", res.SimulatedTime.Nanoseconds()/1e6)
+		fmt.Printf("instructions                 %d\n", res.Instructions)
+		fmt.Printf("ipc                          %.3f\n", res.IPC)
+		fmt.Printf("l2-miss-latency-ns           %.2f\n", res.L2MissLatencyNS)
+		fmt.Printf("decrypt-at-l2-frac           %.3f\n", res.DecryptAtL2Frac)
+		for k, v := range res.BusyFraction {
+			fmt.Printf("dram-util/%-18s %.3f\n", k, v)
+		}
+		fmt.Print(s.Stats().Dump())
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+}
+
+// applySystem configures the secure-memory design from its figure-legend
+// name. The "+nollc" suffix disables caching counters in LLC (the Fig 2
+// "W/o" configuration).
+func applySystem(cfg *config.Config, name string) error {
+	base := strings.TrimSuffix(name, "+nollc")
+	switch base {
+	case "non-secure", "nonsecure", "none":
+		cfg.Counter = config.CtrNone
+		cfg.CountersInLLC = false
+		cfg.EMCC = false
+	case "mono":
+		cfg.Counter = config.CtrMono
+	case "sc64":
+		cfg.Counter = config.CtrSC64
+	case "morphable":
+		cfg.Counter = config.CtrMorphable
+	case "emcc":
+		cfg.Counter = config.CtrMorphable
+		cfg.EMCC = true
+	default:
+		return fmt.Errorf("unknown -system %q", name)
+	}
+	if strings.HasSuffix(name, "+nollc") {
+		cfg.CountersInLLC = false
+		if cfg.EMCC {
+			return fmt.Errorf("emcc requires counters in LLC")
+		}
+	}
+	return nil
+}
+
+func emitJSON(v interface{}) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emccsim:", err)
+	os.Exit(1)
+}

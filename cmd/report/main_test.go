@@ -1,0 +1,120 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/paper"
+)
+
+func expectation(fig, metric string) paper.Expectation {
+	for _, e := range paper.Expectations() {
+		if e.Figure == fig && (metric == "" || e.Metric == metric) {
+			return e
+		}
+	}
+	panic("no expectation for " + fig)
+}
+
+func TestMeasureMeanCell(t *testing.T) {
+	tab := &figures.Table{
+		ID:     "fig11",
+		Header: []string{"benchmark", "useless"},
+		Rows:   [][]string{{"a", "1.0%"}, {"mean", "3.5%"}},
+	}
+	v, ok := Measure(tab, expectation("fig11", ""))
+	if !ok || v != 3.5 {
+		t.Fatalf("Measure = %v, %v", v, ok)
+	}
+}
+
+func TestMeasureNoteNumber(t *testing.T) {
+	tab := &figures.Table{
+		ID:    "fig5",
+		Notes: []string{"overhead of caching counters in LLC: 19.0 ns (paper: 19 ns)"},
+	}
+	v, ok := Measure(tab, expectation("fig5", ""))
+	if !ok || v != 19.0 {
+		t.Fatalf("Measure = %v, %v", v, ok)
+	}
+}
+
+func TestMeasureFig17MeanSaving(t *testing.T) {
+	tab := &figures.Table{
+		ID:     "fig17",
+		Header: []string{"benchmark", "non-secure", "sc64", "morphable", "emcc"},
+		Rows: [][]string{
+			{"a", "60", "80", "75", "70"},
+			{"b", "60", "80", "85", "81"},
+		},
+	}
+	v, ok := Measure(tab, expectation("fig17", ""))
+	if !ok || v != 4.5 { // mean of (75-70) and (85-81)
+		t.Fatalf("Measure = %v, %v", v, ok)
+	}
+}
+
+func TestMeasureFig21Delta(t *testing.T) {
+	tab := &figures.Table{
+		ID:     "fig21",
+		Header: []string{"benchmark", "1-channel", "8-channel"},
+		Rows:   [][]string{{"mean", "0.5%", "2.8%"}},
+	}
+	v, ok := Measure(tab, expectation("fig21", ""))
+	if !ok || v < 2.29 || v > 2.31 {
+		t.Fatalf("Measure = %v, %v", v, ok)
+	}
+}
+
+func TestMeasureFig22WriteMinusRead(t *testing.T) {
+	tab := &figures.Table{
+		ID:     "fig22",
+		Header: []string{"channels", "ctr-read", "data-read", "ctr-write", "data-write"},
+		Rows:   [][]string{{"1", "24", "25", "300", "390"}},
+	}
+	v, ok := Measure(tab, expectation("fig22", ""))
+	if !ok || v != 365 {
+		t.Fatalf("Measure = %v, %v", v, ok)
+	}
+}
+
+func TestMeasureMissingTable(t *testing.T) {
+	if _, ok := Measure(nil, expectation("fig11", "")); ok {
+		t.Fatal("nil table measured")
+	}
+}
+
+func TestEveryExpectationHasAMeasurePath(t *testing.T) {
+	// Build minimal synthetic tables for every figure an expectation
+	// references, and check Measure can extract something.
+	synth := map[string]*figures.Table{
+		"fig2":  {ID: "fig2", Rows: [][]string{{"mean", "", "", "60%", "", "", "16%"}}},
+		"fig3":  {ID: "fig3", Rows: [][]string{{"mean", "23.0 ns"}}},
+		"fig5":  {ID: "fig5", Notes: []string{"overhead of caching counters in LLC: 19.0 ns"}},
+		"fig6":  {ID: "fig6", Rows: [][]string{{"mean", "65%", "15%", "19%"}}},
+		"fig7":  {ID: "fig7", Rows: [][]string{{"mean", "67%", "18%", "14%"}}},
+		"fig8":  {ID: "fig8", Notes: []string{"overhead of counter hit in LLC: 10.0 ns"}},
+		"fig10": {ID: "fig10", Notes: []string{"EMCC responds 16.0 ns earlier"}},
+		"fig11": {ID: "fig11", Rows: [][]string{{"mean", "3%"}}},
+		"fig12": {ID: "fig12", Rows: [][]string{{"mean", "31%", "36%"}}},
+		"fig14": {ID: "fig14", Notes: []string{"EMCC responds 22.0 ns earlier"}},
+		"fig16": {ID: "fig16", Rows: [][]string{{"canneal", "70%", "78%", "80%", "2.0%"}, {"mean", "83%", "88%", "89%", "1.0%"}}},
+		"fig17": {ID: "fig17", Rows: [][]string{{"a", "60", "80", "75", "70"}}},
+		"fig18": {ID: "fig18", Rows: [][]string{{"mean", "1%", "2%", "5%"}}},
+		"fig19": {ID: "fig19", Rows: [][]string{{"mean", "45%", "70%", "79%", "90%"}}},
+		"fig20": {ID: "fig20", Rows: [][]string{{"mean", "1.0%", "0.5%", "0.3%"}}},
+		"fig21": {ID: "fig21", Rows: [][]string{{"mean", "0.5%", "2.8%"}}},
+		"fig22": {ID: "fig22", Rows: [][]string{{"1", "24", "25", "300", "390"}}},
+		"fig23": {ID: "fig23", Rows: [][]string{{"mean", "2%"}}},
+		"fig24": {ID: "fig24", Rows: [][]string{{"mean", "2%"}}},
+	}
+	for _, e := range paper.Expectations() {
+		tab := synth[e.Figure]
+		if tab == nil {
+			t.Fatalf("no synthetic table for %s", e.Figure)
+		}
+		if _, ok := Measure(tab, e); !ok {
+			t.Errorf("Measure failed for %s / %s", e.Figure, e.Metric)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command timeline prints the secure-memory-access latency anatomies of
+// Figs 5, 8, 10, 13 and 14: where each nanosecond goes under the baseline
+// and under EMCC, for counter hits and misses, with and without XPT.
+//
+// Usage:
+//
+//	timeline            # all five timelines
+//	timeline -fig fig10 # one scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "", "one of fig5, fig8, fig10, fig13, fig14 (default: all)")
+	flag.Parse()
+
+	h := figures.NewHarness(true)
+	ids := []string{"fig5", "fig8", "fig10", "fig13", "fig14"}
+	if *fig != "" {
+		ids = []string{*fig}
+	}
+	for _, id := range ids {
+		t, ok := h.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "timeline: unknown figure %q\n", id)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,194 @@
+// Command tracer records synthetic benchmark traces to disk and replays
+// them through the simulators — the workflow for pinning an experiment's
+// exact input or sharing a workload without sharing generator code.
+//
+// Usage:
+//
+//	tracer record -bench canneal -refs 2000000 -out canneal.trc
+//	tracer info   -in canneal.trc
+//	tracer replay -in canneal.trc -mode functional -system emcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/fsim"
+	"repro/internal/trace"
+	"repro/internal/tsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: tracer record|info|replay|compose [flags]")
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "compose":
+		compose(os.Args[2:])
+	default:
+		fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "canneal", "benchmark to record")
+	refs := fs.Int64("refs", 1_000_000, "references to record")
+	cores := fs.Int("cores", 4, "interleaved core streams")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	out := fs.String("out", "", "output file (required)")
+	small := fs.Bool("small", false, "use the miniature test scale")
+	fs.Parse(args)
+	if *out == "" {
+		fatalf("record: -out is required")
+	}
+	sc := workload.DefaultScale()
+	if *small {
+		sc = workload.TestScale()
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("record: %v", err)
+	}
+	defer f.Close()
+	n, err := trace.Record(f, *bench, *cores, *seed, *refs, sc)
+	if err != nil {
+		fatalf("record: %v", err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("recorded %d refs of %s into %s (%.1f MB, %.2f B/ref)\n",
+		n, *bench, *out, float64(st.Size())/1e6, float64(st.Size())/float64(n))
+}
+
+// compose summarises a synthetic benchmark's stream without a simulator.
+func compose(args []string) {
+	fs := flag.NewFlagSet("compose", flag.ExitOnError)
+	bench := fs.String("bench", "canneal", "benchmark to summarise")
+	refs := fs.Int64("refs", 200_000, "references to sample")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	small := fs.Bool("small", false, "use the miniature test scale")
+	fs.Parse(args)
+	sc := workload.DefaultScale()
+	if *small {
+		sc = workload.TestScale()
+	}
+	c, err := workload.Compose(*bench, *seed, *refs, sc)
+	if err != nil {
+		fatalf("compose: %v", err)
+	}
+	fmt.Printf("%s: %s\n", *bench, c)
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return tr
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fatalf("info: -in is required")
+	}
+	tr := load(*in)
+	total := 0
+	writes := 0
+	for _, pc := range tr.PerCore {
+		total += len(pc)
+		for _, a := range pc {
+			if a.Write {
+				writes++
+			}
+		}
+	}
+	fmt.Printf("benchmark:  %s\ncores:      %d\nfootprint:  %d MB\nreferences: %d (%.1f%% writes)\n",
+		tr.Name, tr.Cores, tr.Footprint>>20, total, 100*float64(writes)/float64(total))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	mode := fs.String("mode", "functional", "functional or timing")
+	system := fs.String("system", "morphable", "non-secure | sc64 | morphable | emcc")
+	refs := fs.Int64("refs", 0, "references to replay (0 = one full pass)")
+	fs.Parse(args)
+	if *in == "" {
+		fatalf("replay: -in is required")
+	}
+	tr := load(*in)
+	gens, err := tr.Generators()
+	if err != nil {
+		fatalf("replay: %v", err)
+	}
+	n := *refs
+	if n == 0 {
+		for _, pc := range tr.PerCore {
+			n += int64(len(pc))
+		}
+	}
+
+	cfg := config.Default()
+	switch *system {
+	case "non-secure":
+		cfg.Counter = config.CtrNone
+		cfg.CountersInLLC = false
+	case "sc64":
+		cfg.Counter = config.CtrSC64
+	case "morphable":
+		cfg.Counter = config.CtrMorphable
+	case "emcc":
+		cfg.Counter = config.CtrMorphable
+		cfg.EMCC = true
+	default:
+		fatalf("replay: unknown system %q", *system)
+	}
+
+	switch *mode {
+	case "functional":
+		s, err := fsim.New(&cfg, fsim.Options{
+			Cores: tr.Cores, Refs: n, Generators: gens, DataBytes: tr.Footprint,
+		})
+		if err != nil {
+			fatalf("replay: %v", err)
+		}
+		s.Run()
+		fmt.Printf("# functional replay of %s (%d refs, %s)\n", tr.Name, n, cfg.SystemName())
+		fmt.Print(s.Stats().Dump())
+	case "timing":
+		s, err := tsim.New(&cfg, tsim.Options{
+			Cores: tr.Cores, Refs: n, Generators: gens, DataBytes: tr.Footprint,
+		})
+		if err != nil {
+			fatalf("replay: %v", err)
+		}
+		res := s.Run()
+		fmt.Printf("# timing replay of %s (%d refs, %s)\n", tr.Name, n, cfg.SystemName())
+		fmt.Printf("simulated-time-ms  %.3f\nipc                %.3f\nl2-miss-latency-ns %.2f\n",
+			res.SimulatedTime.Nanoseconds()/1e6, res.IPC, res.L2MissLatencyNS)
+	default:
+		fatalf("replay: unknown mode %q", *mode)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracer: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Quickstart: run one benchmark under the non-secure, Morphable and EMCC
+// systems and compare performance — the smallest end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const bench = "canneal"
+	fmt.Printf("quickstart: %s, 3 systems, miniature scale\n", bench)
+	fmt.Printf("(at this toy scale counters stay MC-resident, so EMCC has little\n")
+	fmt.Printf(" to hide — run examples/graphanalytics or cmd/figures for the\n")
+	fmt.Printf(" paper-scale comparison)\n\n")
+
+	var baseline float64
+	for _, system := range []string{"non-secure", "morphable", "emcc"} {
+		cfg := emccsim.DefaultConfig()
+		switch system {
+		case "non-secure":
+			cfg.Counter = emccsim.CtrNone
+			cfg.CountersInLLC = false
+		case "morphable":
+			cfg.Counter = emccsim.CtrMorphable
+		case "emcc":
+			cfg.Counter = emccsim.CtrMorphable
+			cfg.EMCC = true
+		}
+		s, err := emccsim.NewTiming(&cfg, emccsim.TimingOptions{
+			Benchmark: bench,
+			Refs:      200_000,
+			Warmup:    600_000,
+			Scale:     emccsim.TestScale(),
+		})
+		if err != nil {
+			log.Fatalf("quickstart: %v", err)
+		}
+		res := s.Run()
+		ms := res.SimulatedTime.Nanoseconds() / 1e6
+		if system == "non-secure" {
+			baseline = ms
+		}
+		fmt.Printf("%-12s %8.3f ms simulated   IPC %.2f   L2 miss %.1f ns   perf %.1f%%\n",
+			system, ms, res.IPC, res.L2MissLatencyNS, 100*baseline/ms)
+	}
+}

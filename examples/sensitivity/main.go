@@ -1,0 +1,43 @@
+// Sensitivity: sweep the AES latency (the Fig 18 experiment) on one
+// benchmark. The EMCC benefit should grow with AES latency, because the
+// baseline keeps counter-mode AES on the critical path of secure memory
+// accesses while EMCC overlaps it with the data's journey to L2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	const bench = "canneal"
+	// Mid-scale: canneal's working set must dwarf the counter cache for
+	// the sensitivity to show (the paper's Fig 18 regime).
+	scale := emccsim.DefaultScale()
+	scale.IrregularBytes = 160 << 20
+
+	fmt.Printf("AES-latency sensitivity on %s (Fig 18 style)\n\n", bench)
+	fmt.Printf("%-8s %-14s %-14s %s\n", "AES", "morphable", "emcc", "emcc benefit")
+	for _, aesNS := range []float64{14, 20, 25} {
+		times := map[string]float64{}
+		for _, system := range []string{"morphable", "emcc"} {
+			cfg := emccsim.DefaultConfig()
+			cfg.EMCC = system == "emcc"
+			cfg.AESLatency = sim.NS(aesNS)
+			s, err := emccsim.NewTiming(&cfg, emccsim.TimingOptions{
+				Benchmark: bench, Refs: 400_000, Warmup: 2_000_000, Scale: scale,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[system] = s.Run().SimulatedTime.Nanoseconds()
+		}
+		fmt.Printf("%-8s %10.3f ms %10.3f ms   %+.1f%%\n",
+			fmt.Sprintf("%.0f ns", aesNS),
+			times["morphable"]/1e6, times["emcc"]/1e6,
+			100*(times["morphable"]/times["emcc"]-1))
+	}
+}

@@ -1,0 +1,180 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceGeometryMorphableCoverage(t *testing.T) {
+	// 1 MiB of data, Morphable coverage 128: 16384 data blocks,
+	// 128 counter blocks, 1 level-1 node (root).
+	s := NewSpace(1<<20, 128)
+	if got := s.DataBlocks(); got != 16384 {
+		t.Fatalf("data blocks = %d, want 16384", got)
+	}
+	if got := s.Levels(); got != 2 {
+		t.Fatalf("levels = %d, want 2 (counters + root)", got)
+	}
+	if got := s.TotalBlocks(); got != 16384+128+1 {
+		t.Fatalf("total blocks = %d, want %d", got, 16384+128+1)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	s := NewSpace(1<<20, 128)
+	if k := s.Kind(0); k != KindData {
+		t.Fatalf("block 0 kind = %v", k)
+	}
+	if k := s.Kind(16384); k != KindCounter {
+		t.Fatalf("first counter block kind = %v", k)
+	}
+	if k := s.Kind(16384 + 128); k != KindTree {
+		t.Fatalf("root kind = %v", k)
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	s := NewSpace(1<<20, 128)
+	if l := s.Level(5); l != -1 {
+		t.Fatalf("data level = %d", l)
+	}
+	if l := s.Level(16384); l != 0 {
+		t.Fatalf("counter level = %d", l)
+	}
+	if l := s.Level(16384 + 128); l != 1 {
+		t.Fatalf("root level = %d", l)
+	}
+}
+
+func TestCounterBlockOf(t *testing.T) {
+	s := NewSpace(1<<20, 128)
+	if cb := s.CounterBlockOf(0); cb != 16384 {
+		t.Fatalf("counter of block 0 = %d", cb)
+	}
+	if cb := s.CounterBlockOf(127); cb != 16384 {
+		t.Fatal("blocks 0..127 must share one counter block")
+	}
+	if cb := s.CounterBlockOf(128); cb != 16385 {
+		t.Fatalf("counter of block 128 = %d", cb)
+	}
+}
+
+// TestParentChainTerminatesAtRoot: every block's ancestor chain must be
+// strictly ascending and end at the root.
+func TestParentChainTerminatesAtRoot(t *testing.T) {
+	s := NewSpace(8<<20, 64) // multiple tree levels
+	f := func(seed uint32) bool {
+		blk := uint64(seed) % s.DataBlocks()
+		anc := s.Ancestors(blk)
+		if len(anc) != s.Levels() {
+			return false
+		}
+		prev := blk
+		for _, a := range anc {
+			if a <= prev || s.Level(a) != s.Level(prev)+1 {
+				return false
+			}
+			prev = a
+		}
+		_, more := s.ParentOf(anc[len(anc)-1])
+		return !more // last ancestor is the root
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoveredRangeRoundTrip: a metadata block covers exactly the children
+// that name it as parent.
+func TestCoveredRangeRoundTrip(t *testing.T) {
+	s := NewSpace(4<<20, 128)
+	for lvl0 := s.DataBlocks(); lvl0 < s.TotalBlocks(); lvl0++ {
+		first, n := s.CoveredRange(lvl0)
+		for i := uint64(0); i < n; i++ {
+			p, ok := s.ParentOf(first + i)
+			if !ok || p != lvl0 {
+				t.Fatalf("child %d of %d has parent %d (ok=%v)", first+i, lvl0, p, ok)
+			}
+		}
+	}
+}
+
+func TestBlockAddrConversions(t *testing.T) {
+	if BlockOf(0x1040) != 0x41 {
+		t.Fatal("BlockOf broken")
+	}
+	if AddrOf(0x41) != 0x1040 {
+		t.Fatal("AddrOf broken")
+	}
+}
+
+func TestNonSecureSpaceHasNoMetadata(t *testing.T) {
+	s := NewSpace(1<<20, 0)
+	if s.Levels() != 0 || s.TotalBlocks() != s.DataBlocks() {
+		t.Fatal("coverage 0 should produce a data-only space")
+	}
+}
+
+func TestDRAMMapperDeterministicAndInRange(t *testing.T) {
+	m := NewDRAMMapper(2, 8, 16, 8<<10)
+	f := func(block uint64) bool {
+		l1 := m.Map(block)
+		l2 := m.Map(block)
+		if l1 != l2 {
+			return false
+		}
+		return l1.Channel >= 0 && l1.Channel < 2 &&
+			l1.Rank >= 0 && l1.Rank < 8 &&
+			l1.Bank >= 0 && l1.Bank < 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMMapperChannelBits(t *testing.T) {
+	// Paper Sec. VI-D: under 8 channels, address bits 8..10 select the
+	// channel. Block index bits 2..4.
+	m := NewDRAMMapper(8, 8, 16, 8<<10)
+	for blk := uint64(0); blk < 64; blk++ {
+		want := int((blk >> 2) & 7)
+		if got := m.Map(blk).Channel; got != want {
+			t.Fatalf("block %d channel = %d, want %d", blk, got, want)
+		}
+	}
+}
+
+func TestDRAMMapperSequentialBlocksShareRow(t *testing.T) {
+	m := NewDRAMMapper(1, 8, 16, 8<<10)
+	base := m.Map(0)
+	for blk := uint64(1); blk < 8<<10/64; blk++ {
+		l := m.Map(blk)
+		if l.Row != base.Row || m.BankID(l) != m.BankID(base) {
+			t.Fatalf("block %d left the row: %+v vs %+v", blk, l, base)
+		}
+	}
+	if next := m.Map(8 << 10 / 64); m.BankID(next) == m.BankID(base) && next.Row == base.Row {
+		t.Fatal("row boundary not respected")
+	}
+}
+
+func TestDRAMMapperSpreadsBanks(t *testing.T) {
+	m := NewDRAMMapper(1, 8, 16, 8<<10)
+	seen := map[int]bool{}
+	rowBlocks := uint64(8 << 10 / 64)
+	for i := uint64(0); i < 128; i++ {
+		seen[m.BankID(m.Map(i*rowBlocks))] = true
+	}
+	if len(seen) < 64 {
+		t.Fatalf("rows map to only %d banks of 128", len(seen))
+	}
+}
+
+func TestDRAMMapperRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two geometry did not panic")
+		}
+	}()
+	NewDRAMMapper(3, 8, 16, 8<<10)
+}

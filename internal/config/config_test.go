@@ -1,0 +1,101 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	checks := []struct {
+		name string
+		ok   bool
+	}{
+		{"4 cores", c.Cores == 4},
+		{"3.2 GHz", c.CoreClockGHz == 3.2},
+		{"192-entry ROB", c.ROBEntries == 192},
+		{"4-wide", c.IssueWidth == 4},
+		{"1 MB L2", c.L2Bytes == 1<<20},
+		{"8 MB L3", c.L3Bytes == 8<<20},
+		{"128 KB counter cache", c.CtrCacheBytes == 128<<10},
+		{"32-way counter cache", c.CtrCacheWays == 32},
+		{"3 ns counter cache", c.CtrCacheLatency == sim.NS(3)},
+		{"3 ns morphable decode", c.CtrDecodeLatency == sim.NS(3)},
+		{"14 ns AES", c.AESLatency == sim.NS(14)},
+		{"morphable default", c.Counter == CtrMorphable},
+		{"counters in LLC", c.CountersInLLC},
+		{"1 channel", c.Channels == 1},
+		{"8 ranks", c.Ranks == 8},
+		{"13.75 ns tCL", c.TCL == sim.NS(13.75)},
+		{"350 ns tRFC", c.TRFC == sim.NS(350)},
+		{"256-entry queues", c.ReadQueueCap == 256 && c.WriteQueueCap == 256},
+		{"128 GB memory", c.MemoryBytes == 128<<30},
+		{"<=2 overflows", c.OverflowMaxLive == 2},
+		{"<=8 overflow slots", c.OverflowSlots == 8},
+		{"32 KB EMCC counter cap", c.EMCCL2CounterBytes == 32<<10},
+		{"half the AES units move", c.EMCCAESFraction == 0.5},
+	}
+	for _, chk := range checks {
+		if !chk.ok {
+			t.Errorf("Table I mismatch: %s", chk.name)
+		}
+	}
+}
+
+func TestCoreCycle(t *testing.T) {
+	c := Default()
+	// 3.2 GHz -> 312.5 ps, rounded to 313 ps.
+	if got := c.CoreCycle(); got < 312 || got > 313 {
+		t.Fatalf("core cycle = %d ps", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.BlockSize = 48 },
+		func(c *Config) { c.L2Bytes = 0 },
+		func(c *Config) { c.Channels = 3 },
+		func(c *Config) { c.EMCC = true; c.CountersInLLC = false },
+		func(c *Config) { c.EMCC = true; c.Counter = CtrNone },
+		func(c *Config) { c.EMCCAESFraction = 1.5 },
+		func(c *Config) { c.MemoryBytes = 0 },
+	}
+	for i, mut := range cases {
+		c := Default()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if CtrMono.Coverage() != 8 || CtrSC64.Coverage() != 64 || CtrMorphable.Coverage() != 128 {
+		t.Fatal("coverage values drifted from the paper")
+	}
+	if CtrNone.Coverage() != 0 {
+		t.Fatal("non-secure coverage should be 0")
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	c := Default()
+	if c.SystemName() != "morphable" {
+		t.Fatalf("name = %q", c.SystemName())
+	}
+	c.EMCC = true
+	if !strings.HasPrefix(c.SystemName(), "emcc") {
+		t.Fatalf("name = %q", c.SystemName())
+	}
+	c = Default()
+	c.Counter = CtrNone
+	if c.SystemName() != "non-secure" {
+		t.Fatalf("name = %q", c.SystemName())
+	}
+}

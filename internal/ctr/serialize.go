@@ -1,0 +1,79 @@
+package ctr
+
+import "encoding/binary"
+
+// SerializedBytes is the canonical on-"DRAM" image size of a counter block.
+const SerializedBytes = 64
+
+// Serializer is implemented by organisations that can produce a canonical
+// 64-byte image of a counter block, used by the integrity tree to MAC
+// counter blocks themselves. All three organisations implement it.
+type Serializer interface {
+	Serialize(blk uint64, dst *[SerializedBytes]byte)
+}
+
+func (m *mono) Serialize(blk uint64, dst *[SerializedBytes]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	b := m.blocks[blk]
+	if b == nil {
+		return
+	}
+	for i, v := range b {
+		binary.LittleEndian.PutUint64(dst[8*i:8*i+8], v)
+	}
+}
+
+func (s *sc64) Serialize(blk uint64, dst *[SerializedBytes]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	b := s.blocks[blk]
+	if b == nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(dst[:8], b.major)
+	// 64 7-bit minors pack exactly into the remaining 56 bytes.
+	bitPos := 64
+	for _, v := range b.minors {
+		putBits(dst, bitPos, uint64(v), 7)
+		bitPos += 7
+	}
+}
+
+func (m *morphable) Serialize(blk uint64, dst *[SerializedBytes]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	b := m.blocks[blk]
+	if b == nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(dst[:8], b.major)
+	// The hardware block stores minors in a morphing format; the
+	// functional image just needs to be a deterministic, injective-in-
+	// practice digest of the minor vector. Mix each minor into the 56
+	// remaining bytes with a multiplicative hash so any change to any
+	// minor changes the image.
+	const mult = 0x9e3779b97f4a7c15
+	var acc [7]uint64
+	for i, v := range b.minors {
+		h := (uint64(v) + uint64(i)*mult + 1) * mult
+		acc[i%7] ^= h
+	}
+	for i, v := range acc {
+		binary.LittleEndian.PutUint64(dst[8+8*i:16+8*i], v)
+	}
+}
+
+// putBits writes the low `n` bits of v into dst starting at bit position
+// pos (little-endian bit order within bytes).
+func putBits(dst *[SerializedBytes]byte, pos int, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		if v&(1<<uint(i)) != 0 {
+			p := pos + i
+			dst[p/8] |= 1 << uint(p%8)
+		}
+	}
+}

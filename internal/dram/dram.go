@@ -1,0 +1,369 @@
+// Package dram is the DDR4 timing model (Table I): per-channel read/write
+// queues, banks with open rows, FR-FCFS-capped scheduling, a 500 ns
+// open-page timeout policy, write draining (writebacks are deprioritised
+// relative to reads, Fig 22), and periodic refresh. Requests complete via
+// callback; per-traffic-kind queuing delays and bus-busy time feed Figs 15
+// and 22.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TrafficKind classifies a DRAM request for the bandwidth/queuing-delay
+// breakdowns of Figs 15 and 22.
+type TrafficKind int
+
+const (
+	// TrafficData is a normal data block access.
+	TrafficData TrafficKind = iota
+	// TrafficCounter is a counter or tree block access.
+	TrafficCounter
+	// TrafficOverflowL0 is level-0 split-counter overflow re-encryption.
+	TrafficOverflowL0
+	// TrafficOverflowHi is level-1-and-above overflow re-encryption.
+	TrafficOverflowHi
+	numTrafficKinds
+)
+
+// String implements fmt.Stringer.
+func (k TrafficKind) String() string {
+	switch k {
+	case TrafficData:
+		return "data"
+	case TrafficCounter:
+		return "counter"
+	case TrafficOverflowL0:
+		return "overflow-l0"
+	case TrafficOverflowHi:
+		return "overflow-hi"
+	}
+	return fmt.Sprintf("TrafficKind(%d)", int(k))
+}
+
+// Request is one 64 B DRAM access.
+type Request struct {
+	Block uint64
+	Write bool
+	Kind  TrafficKind
+	// Done is called when the access completes on the DRAM pins (data
+	// available for reads, burst written for writes). May be nil.
+	Done func(at sim.Time)
+
+	enqueued sim.Time
+}
+
+// DRAM is the multi-channel memory device.
+type DRAM struct {
+	eng    *sim.Engine
+	st     *stats.Set
+	mapper *addr.DRAMMapper
+	cfg    dramTiming
+	chans  []*channel
+}
+
+type dramTiming struct {
+	tCL, tRCD, tRP sim.Time
+	tRFC, tREFI    sim.Time
+	burst          sim.Time
+	rowTimeout     sim.Time
+	readCap        int
+	writeCap       int
+	drainHigh      int
+	drainLow       int
+	frfcfsCap      int
+}
+
+// New builds the DRAM device from the system config.
+func New(eng *sim.Engine, st *stats.Set, cfg *config.Config) *DRAM {
+	m := addr.NewDRAMMapper(cfg.Channels, cfg.Ranks, cfg.BanksPerRank, cfg.RowBytes)
+	d := &DRAM{
+		eng:    eng,
+		st:     st,
+		mapper: m,
+		cfg: dramTiming{
+			tCL: cfg.TCL, tRCD: cfg.TRCD, tRP: cfg.TRP,
+			tRFC: cfg.TRFC, tREFI: cfg.TREFI,
+			burst:      cfg.BurstLatency,
+			rowTimeout: cfg.RowTimeout,
+			readCap:    cfg.ReadQueueCap,
+			writeCap:   cfg.WriteQueueCap,
+			drainHigh:  int(float64(cfg.WriteQueueCap) * cfg.WriteDrainHigh),
+			drainLow:   int(float64(cfg.WriteQueueCap) * cfg.WriteDrainLow),
+			frfcfsCap:  cfg.FRFCFSCap,
+		},
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		d.chans = append(d.chans, newChannel(d, i, m.BanksPerChannel()))
+	}
+	return d
+}
+
+// Mapper exposes the address-to-geometry mapping.
+func (d *DRAM) Mapper() *addr.DRAMMapper { return d.mapper }
+
+// QueuePressure reports the read-queue fill fraction of the block's home
+// channel — the MC's overflow engine uses it to throttle re-encryption
+// work (Sec. V) and the hierarchy uses it for backpressure.
+func (d *DRAM) QueuePressure(block uint64) float64 {
+	ch := d.chans[d.mapper.Map(block).Channel]
+	return float64(len(ch.readQ)) / float64(d.cfg.readCap)
+}
+
+// Enqueue submits a request. It reports false when the target queue is
+// full; the caller must retry later (the MC models Sec. V's rejection of
+// LLC requests during overflow pressure with this signal).
+func (d *DRAM) Enqueue(r *Request) bool {
+	loc := d.mapper.Map(r.Block)
+	ch := d.chans[loc.Channel]
+	if r.Write {
+		if len(ch.writeQ) >= d.cfg.writeCap {
+			return false
+		}
+	} else if len(ch.readQ) >= d.cfg.readCap {
+		return false
+	}
+	r.enqueued = d.eng.Now()
+	if r.Write {
+		ch.writeQ = append(ch.writeQ, r)
+	} else {
+		ch.readQ = append(ch.readQ, r)
+	}
+	ch.kick()
+	return true
+}
+
+// BusyFraction reports the fraction of simulated time [since, now] the
+// channel data bus spent on each traffic kind (Fig 15), summed over
+// channels and normalised by per-channel peak.
+func (d *DRAM) BusyFraction(since, now sim.Time) map[TrafficKind]float64 {
+	out := make(map[TrafficKind]float64, numTrafficKinds)
+	window := float64(now-since) * float64(len(d.chans))
+	if window <= 0 {
+		return out
+	}
+	for _, ch := range d.chans {
+		for k, t := range ch.busyTime {
+			out[TrafficKind(k)] += float64(t) / window
+		}
+	}
+	return out
+}
+
+// channel owns one data bus and a bank array.
+type channel struct {
+	d       *DRAM
+	id      int
+	banks   []bank
+	readQ   []*Request
+	writeQ  []*Request
+	busFree sim.Time
+	// draining is the write-drain mode latch.
+	draining bool
+	// rowStreak counts consecutive row-hit issues for FR-FCFS capping.
+	rowStreak   int
+	streakBank  int
+	nextRefresh sim.Time
+	// pending marks whether a scheduler wakeup is already queued.
+	pending  bool
+	busyTime [numTrafficKinds]sim.Time
+}
+
+type bank struct {
+	openRow    uint64
+	rowValid   bool
+	lastAccess sim.Time
+	freeAt     sim.Time
+}
+
+func newChannel(d *DRAM, id, banks int) *channel {
+	return &channel{
+		d:           d,
+		id:          id,
+		banks:       make([]bank, banks),
+		nextRefresh: d.cfg.tREFI,
+		streakBank:  -1,
+	}
+}
+
+// kick ensures a scheduling pass is queued at time `at` (or now).
+func (ch *channel) kick() { ch.kickAt(ch.d.eng.Now()) }
+
+func (ch *channel) kickAt(at sim.Time) {
+	if ch.pending {
+		return
+	}
+	ch.pending = true
+	if now := ch.d.eng.Now(); at < now {
+		at = now
+	}
+	ch.d.eng.At(at, ch.schedule)
+}
+
+// schedule issues at most one request whose bank is ready, then re-arms.
+// Banks overlap their ACT/CAS latencies; only the data-bus bursts
+// serialise, so issuing one request per burst slot sustains the channel's
+// peak bandwidth.
+func (ch *channel) schedule() {
+	ch.pending = false
+	now := ch.d.eng.Now()
+	// Lazy refresh: when the refresh deadline has passed, stall the
+	// whole channel for tRFC.
+	if now >= ch.nextRefresh {
+		stallEnd := now + ch.d.cfg.tRFC
+		if ch.busFree < stallEnd {
+			ch.busFree = stallEnd
+		}
+		for i := range ch.banks {
+			if ch.banks[i].freeAt < stallEnd {
+				ch.banks[i].freeAt = stallEnd
+			}
+			ch.banks[i].rowValid = false // refresh closes rows
+		}
+		// Refreshes that fell due while the channel idled happened
+		// without contention; charge one tRFC and catch the
+		// schedule up so a long-idle channel does not stack stalls.
+		for ch.nextRefresh <= now {
+			ch.nextRefresh += ch.d.cfg.tREFI
+		}
+		ch.kickAt(stallEnd)
+		return
+	}
+
+	q := ch.pickQueue()
+	if q == nil {
+		return // idle: Enqueue will kick us
+	}
+	idx, ready := ch.pickRequest(*q)
+	if !ready {
+		// Every queued request's bank is busy: wake when the earliest
+		// frees (or the next refresh, whichever first).
+		wake := ch.nextRefresh
+		for _, r := range *q {
+			loc := ch.d.mapper.Map(r.Block)
+			if f := ch.banks[ch.d.mapper.BankID(loc)].freeAt; f < wake {
+				wake = f
+			}
+		}
+		ch.kickAt(wake)
+		return
+	}
+	r := (*q)[idx]
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	ch.issue(r)
+	if len(ch.readQ) > 0 || len(ch.writeQ) > 0 {
+		// One burst per slot caps the issue rate at peak bandwidth.
+		ch.kickAt(now + ch.d.cfg.burst)
+	}
+}
+
+// pickQueue applies the write-drain policy: serve reads unless the write
+// queue is above the high watermark (enter drain) or reads are empty;
+// leave drain below the low watermark.
+func (ch *channel) pickQueue() *[]*Request {
+	if ch.draining && len(ch.writeQ) <= ch.d.cfg.drainLow {
+		ch.draining = false
+	}
+	if !ch.draining && len(ch.writeQ) >= ch.d.cfg.drainHigh {
+		ch.draining = true
+	}
+	switch {
+	case ch.draining && len(ch.writeQ) > 0:
+		return &ch.writeQ
+	case len(ch.readQ) > 0:
+		return &ch.readQ
+	case len(ch.writeQ) > 0:
+		return &ch.writeQ
+	}
+	return nil
+}
+
+// pickRequest implements FR-FCFS-capped over bank-ready requests: first
+// ready row hit, unless that bank's hit streak exceeded the cap; otherwise
+// the oldest ready request. ready=false when every request's bank is busy.
+func (ch *channel) pickRequest(q []*Request) (int, bool) {
+	now := ch.d.eng.Now()
+	oldest := -1
+	for i, r := range q {
+		loc := ch.d.mapper.Map(r.Block)
+		bankID := ch.d.mapper.BankID(loc)
+		b := &ch.banks[bankID]
+		if b.freeAt > now {
+			continue
+		}
+		if ch.rowHit(b, loc.Row, now) {
+			if !(ch.streakBank == bankID && ch.rowStreak >= ch.d.cfg.frfcfsCap) {
+				return i, true
+			}
+		}
+		if oldest < 0 || r.enqueued < q[oldest].enqueued {
+			oldest = i
+		}
+	}
+	return oldest, oldest >= 0
+}
+
+func (ch *channel) rowHit(b *bank, row uint64, now sim.Time) bool {
+	return b.rowValid && b.openRow == row && now-b.lastAccess <= ch.d.cfg.rowTimeout
+}
+
+// issue performs the access timing for one request.
+func (ch *channel) issue(r *Request) {
+	now := ch.d.eng.Now()
+	loc := ch.d.mapper.Map(r.Block)
+	bankID := ch.d.mapper.BankID(loc)
+	b := &ch.banks[bankID]
+
+	start := now
+	var access sim.Time
+	switch {
+	case ch.rowHit(b, loc.Row, now):
+		access = ch.d.cfg.tCL
+		ch.d.st.Inc("dram/row-hit")
+		if ch.streakBank == bankID {
+			ch.rowStreak++
+		} else {
+			ch.streakBank, ch.rowStreak = bankID, 1
+		}
+	case !b.rowValid || now-b.lastAccess > ch.d.cfg.rowTimeout:
+		// Row closed by the timeout policy (or never opened):
+		// activate + CAS.
+		access = ch.d.cfg.tRCD + ch.d.cfg.tCL
+		ch.d.st.Inc("dram/row-closed")
+		ch.streakBank, ch.rowStreak = bankID, 0
+	default:
+		// Row conflict: precharge + activate + CAS.
+		access = ch.d.cfg.tRP + ch.d.cfg.tRCD + ch.d.cfg.tCL
+		ch.d.st.Inc("dram/row-conflict")
+		ch.streakBank, ch.rowStreak = bankID, 0
+	}
+	dataAt := start + access
+	// The data bus serialises bursts across banks.
+	if dataAt < ch.busFree {
+		dataAt = ch.busFree
+	}
+	finish := dataAt + ch.d.cfg.burst
+
+	b.openRow, b.rowValid = loc.Row, true
+	b.lastAccess = finish
+	b.freeAt = finish
+	ch.busFree = finish
+	ch.busyTime[r.Kind] += ch.d.cfg.burst
+
+	rw := "read"
+	if r.Write {
+		rw = "write"
+	}
+	ch.d.st.Observe(fmt.Sprintf("dram/qdelay/%s/%s", r.Kind, rw), (start - r.enqueued).Nanoseconds())
+	ch.d.st.Inc(fmt.Sprintf("dram/access/%s/%s", r.Kind, rw))
+
+	if r.Done != nil {
+		done := r.Done
+		ch.d.eng.At(finish, func() { done(finish) })
+	}
+}

@@ -1,0 +1,127 @@
+package emcc
+
+// Sec. IV-F extends EMCC to inclusive cache hierarchies. The LLC must cache
+// every DRAM fill to preserve inclusivity, but under EMCC those fills are
+// still ciphertext (decryption happens at L2). Two bits of bookkeeping make
+// that safe:
+//
+//   - each LLC line carries an "encrypted & unverified" bit: set when a
+//     DRAM fill is cached, cleared whenever the LLC receives a copy from an
+//     L2 (L2 copies are always decrypted and verified);
+//   - each L2 line carries a "clean-writeback" bit: set when the L2
+//     decrypted a block whose LLC copy is still ciphertext, so evicting the
+//     block in clean state must still push the plaintext down (like the
+//     clean writebacks of non-inclusive hierarchies).
+//
+// InclusiveTracker implements exactly that bookkeeping; the timing
+// simulator targets the paper's primary (non-inclusive) hierarchy, so this
+// state machine is exercised by unit tests rather than timing runs (see
+// DESIGN.md §6).
+type InclusiveTracker struct {
+	llcUnverified map[uint64]bool
+	l2CleanWB     map[uint64]bool
+}
+
+// NewInclusiveTracker builds an empty tracker.
+func NewInclusiveTracker() *InclusiveTracker {
+	return &InclusiveTracker{
+		llcUnverified: make(map[uint64]bool),
+		l2CleanWB:     make(map[uint64]bool),
+	}
+}
+
+// FillFromDRAM records a DRAM fill cached in the LLC for inclusivity: the
+// copy is ciphertext, encrypted & unverified.
+func (t *InclusiveTracker) FillFromDRAM(block uint64) {
+	t.llcUnverified[block] = true
+}
+
+// LLCUnverified reports whether the LLC's copy is still ciphertext.
+func (t *InclusiveTracker) LLCUnverified(block uint64) bool {
+	return t.llcUnverified[block]
+}
+
+// ServeL2Miss decides how an L2 miss that hits in LLC is satisfied: from
+// the LLC directly when its copy is plaintext, else from an owning/sharing
+// L2 (fromL2 = true). In the latter case the LLC keeps its ciphertext copy
+// and bit until some L2 supplies a verified copy.
+func (t *InclusiveTracker) ServeL2Miss(block uint64) (fromL2 bool) {
+	return t.llcUnverified[block]
+}
+
+// L2Decrypted records that an L2 decrypted and verified `block` whose LLC
+// copy is still ciphertext: the L2 must remember to perform a clean
+// writeback if it evicts the block clean.
+func (t *InclusiveTracker) L2Decrypted(block uint64) {
+	if t.llcUnverified[block] {
+		t.l2CleanWB[block] = true
+	}
+}
+
+// LLCReceivesCopyFromL2 records the LLC obtaining a (necessarily verified)
+// copy from an L2 for any reason: both bits reset.
+func (t *InclusiveTracker) LLCReceivesCopyFromL2(block uint64) {
+	delete(t.llcUnverified, block)
+	delete(t.l2CleanWB, block)
+}
+
+// L2Evict reports whether evicting `block` from L2 in clean state must
+// still write the plaintext down to the LLC, and updates the bits as the
+// writeback lands.
+func (t *InclusiveTracker) L2Evict(block uint64, dirty bool) (writeback bool) {
+	need := dirty || t.l2CleanWB[block]
+	if need {
+		t.LLCReceivesCopyFromL2(block)
+	}
+	return need
+}
+
+// LLCEvict clears all state for a block leaving the LLC (inclusive
+// hierarchies also back-invalidate L2s; the caller handles that).
+func (t *InclusiveTracker) LLCEvict(block uint64) {
+	delete(t.llcUnverified, block)
+	delete(t.l2CleanWB, block)
+}
+
+// IntensityMonitor implements Sec. IV-F's dynamic EMCC control for
+// non-memory-intensive applications: an L2 periodically compares how many
+// of its misses were satisfied by DRAM against how many requests it
+// received, and turns EMCC off (offloading all cryptography back to the MC)
+// when the application is not memory-intensive — saving L2 space and
+// energy where EMCC cannot help.
+type IntensityMonitor struct {
+	// Window is the sampling period in L2 requests.
+	Window int64
+	// MinDRAMPerK is the DRAM-fills-per-thousand-requests threshold
+	// below which EMCC turns off for the next window.
+	MinDRAMPerK int64
+
+	requests int64
+	dramHits int64
+	enabled  bool
+}
+
+// NewIntensityMonitor builds a monitor with the paper's framing: an
+// application with fewer than one memory access per thousand instructions
+// is not memory-intensive. Expressed per L2 request, the default threshold
+// is 10 DRAM fills per thousand L2 requests over 8k-request windows (small
+// enough to react within a phase, large enough to be stable).
+func NewIntensityMonitor() *IntensityMonitor {
+	return &IntensityMonitor{Window: 8 << 10, MinDRAMPerK: 10, enabled: true}
+}
+
+// Enabled reports whether EMCC is currently on.
+func (m *IntensityMonitor) Enabled() bool { return m.enabled }
+
+// OnRequest records one L2 request (hit or miss), rolling the window.
+func (m *IntensityMonitor) OnRequest() {
+	m.requests++
+	if m.requests >= m.Window {
+		perK := m.dramHits * 1000 / m.requests
+		m.enabled = perK >= m.MinDRAMPerK
+		m.requests, m.dramHits = 0, 0
+	}
+}
+
+// OnDRAMFill records one L2 miss that DRAM (not the LLC) satisfied.
+func (m *IntensityMonitor) OnDRAMFill() { m.dramHits++ }

@@ -1,0 +1,116 @@
+package emcc
+
+import "testing"
+
+func TestInclusiveDRAMFillIsUnverified(t *testing.T) {
+	tr := NewInclusiveTracker()
+	tr.FillFromDRAM(42)
+	if !tr.LLCUnverified(42) {
+		t.Fatal("DRAM fill not marked encrypted & unverified")
+	}
+	if !tr.ServeL2Miss(42) {
+		t.Fatal("L2 miss on a ciphertext LLC copy must be served from an L2")
+	}
+}
+
+func TestInclusiveL2CopyClearsBit(t *testing.T) {
+	tr := NewInclusiveTracker()
+	tr.FillFromDRAM(42)
+	tr.LLCReceivesCopyFromL2(42)
+	if tr.LLCUnverified(42) {
+		t.Fatal("bit not reset after receiving a verified copy")
+	}
+	if tr.ServeL2Miss(42) {
+		t.Fatal("plaintext LLC copy should serve misses directly")
+	}
+}
+
+func TestInclusiveCleanWritebackBit(t *testing.T) {
+	tr := NewInclusiveTracker()
+	tr.FillFromDRAM(7)
+	tr.L2Decrypted(7)
+	// Clean eviction must still push plaintext down.
+	if !tr.L2Evict(7, false) {
+		t.Fatal("clean eviction skipped the required clean writeback")
+	}
+	// The writeback delivered a verified copy to the LLC.
+	if tr.LLCUnverified(7) {
+		t.Fatal("LLC copy still marked ciphertext after clean writeback")
+	}
+	// A second eviction (block re-fetched, still-verified LLC copy) does
+	// not need the clean writeback.
+	if tr.L2Evict(7, false) {
+		t.Fatal("clean writeback repeated unnecessarily")
+	}
+}
+
+func TestInclusiveDirtyEvictAlwaysWritesBack(t *testing.T) {
+	tr := NewInclusiveTracker()
+	if !tr.L2Evict(9, true) {
+		t.Fatal("dirty eviction must write back")
+	}
+}
+
+func TestInclusiveNoCleanWBWithoutCiphertextCopy(t *testing.T) {
+	tr := NewInclusiveTracker()
+	// The LLC copy was never ciphertext: decryption at L2 (e.g. of a
+	// block another L2 supplied) sets no bookkeeping.
+	tr.L2Decrypted(11)
+	if tr.L2Evict(11, false) {
+		t.Fatal("clean writeback without a ciphertext LLC copy")
+	}
+}
+
+func TestInclusiveLLCEvictClearsState(t *testing.T) {
+	tr := NewInclusiveTracker()
+	tr.FillFromDRAM(5)
+	tr.L2Decrypted(5)
+	tr.LLCEvict(5)
+	if tr.LLCUnverified(5) || tr.L2Evict(5, false) {
+		t.Fatal("state survived LLC eviction")
+	}
+}
+
+func TestIntensityMonitorStaysOnForIntenseApps(t *testing.T) {
+	m := NewIntensityMonitor()
+	m.Window = 1000
+	for i := 0; i < 5000; i++ {
+		m.OnRequest()
+		if i%20 == 0 { // 50 DRAM fills per thousand requests
+			m.OnDRAMFill()
+		}
+	}
+	if !m.Enabled() {
+		t.Fatal("EMCC turned off for a memory-intensive app")
+	}
+}
+
+func TestIntensityMonitorTurnsOffForCacheResidentApps(t *testing.T) {
+	m := NewIntensityMonitor()
+	m.Window = 1000
+	for i := 0; i < 1000; i++ {
+		m.OnRequest() // zero DRAM fills
+	}
+	if m.Enabled() {
+		t.Fatal("EMCC stayed on for a cache-resident app")
+	}
+}
+
+func TestIntensityMonitorRecovers(t *testing.T) {
+	m := NewIntensityMonitor()
+	m.Window = 1000
+	for i := 0; i < 1000; i++ {
+		m.OnRequest()
+	}
+	if m.Enabled() {
+		t.Fatal("should be off after an idle window")
+	}
+	// A memory-intensive phase turns it back on at the window boundary.
+	for i := 0; i < 1000; i++ {
+		m.OnRequest()
+		m.OnDRAMFill()
+	}
+	if !m.Enabled() {
+		t.Fatal("EMCC did not re-enable after an intense window")
+	}
+}

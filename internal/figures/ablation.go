@@ -1,0 +1,49 @@
+package figures
+
+import "repro/internal/config"
+
+// Ablation quantifies the design choices DESIGN.md calls out, on the two
+// benchmarks with the most counter traffic: EMCC with each mechanism
+// removed, as performance relative to the Morphable baseline.
+//
+//   - no-aes-gate:   start AES at L2 immediately (LLC hits waste bandwidth)
+//   - no-offload:    never offload to the MC (L2 AES queues grow unbounded)
+//   - dynamic-off:   the Sec. IV-F intensity monitor (should be neutral on
+//     memory-intensive workloads — it must not misfire)
+//   - +prefetch:     Table I's degree-2 L2 stride prefetcher on top of EMCC
+func (h *Harness) Ablation() *Table {
+	t := &Table{
+		ID:     "ablation",
+		Title:  "EMCC design-choice ablations (performance vs Morphable)",
+		Header: []string{"benchmark", "emcc", "no-aes-gate", "no-offload", "dynamic-off", "+prefetch"},
+		Notes: []string{
+			"each column is time(morphable)/time(variant) - 1; higher is better",
+		},
+	}
+	variants := []struct {
+		name string
+		mut  func(*config.Config)
+	}{
+		{"base", nil},
+		{"nogate", func(c *config.Config) { c.EMCCDisableAESGate = true }},
+		{"nooffload", func(c *config.Config) { c.EMCCDisableOffload = true }},
+		{"dynoff", func(c *config.Config) { c.EMCCDynamicOff = true }},
+		{"prefetch", func(c *config.Config) { c.PrefetchL2Degree = 2 }},
+	}
+	for _, b := range []string{"canneal", "pageRank", "mcf"} {
+		mo := h.timing(b, "morphable", "base", nil)
+		row := []string{b}
+		for _, v := range variants {
+			var em tsimRun
+			if v.mut == nil {
+				em = h.timing(b, "emcc", "base", nil)
+			} else {
+				em = h.timing(b, "emcc", "abl-"+v.name, v.mut)
+			}
+			g := float64(mo.res.SimulatedTime)/float64(em.res.SimulatedTime) - 1
+			row = append(row, pct(g))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package figures
+
+// All enumerates every reproducible figure/table in paper order.
+func (h *Harness) All() []*Table {
+	return []*Table{
+		h.Table1(),
+		h.Fig2(), h.Fig3(), h.Fig4(), h.Fig5(), h.Fig6(), h.Fig7(),
+		h.Fig8(), h.Fig10(), h.Fig11(), h.Fig12(), h.Fig13(), h.Fig14(),
+		h.Fig15(), h.Fig16(), h.Fig17(), h.Fig18(), h.Fig19(), h.Fig20(),
+		h.Fig21(), h.Fig22(), h.Fig23(), h.Fig24(), h.Ablation(),
+	}
+}
+
+// ByID resolves a figure by its identifier ("fig16", "table1", ...);
+// ok=false for unknown ids.
+func (h *Harness) ByID(id string) (*Table, bool) {
+	switch id {
+	case "table1":
+		return h.Table1(), true
+	case "fig2":
+		return h.Fig2(), true
+	case "fig3":
+		return h.Fig3(), true
+	case "fig4":
+		return h.Fig4(), true
+	case "fig5":
+		return h.Fig5(), true
+	case "fig6":
+		return h.Fig6(), true
+	case "fig7":
+		return h.Fig7(), true
+	case "fig8":
+		return h.Fig8(), true
+	case "fig10":
+		return h.Fig10(), true
+	case "fig11":
+		return h.Fig11(), true
+	case "fig12":
+		return h.Fig12(), true
+	case "fig13":
+		return h.Fig13(), true
+	case "fig14":
+		return h.Fig14(), true
+	case "fig15":
+		return h.Fig15(), true
+	case "fig16":
+		return h.Fig16(), true
+	case "fig17":
+		return h.Fig17(), true
+	case "fig18":
+		return h.Fig18(), true
+	case "fig19":
+		return h.Fig19(), true
+	case "fig20":
+		return h.Fig20(), true
+	case "fig21":
+		return h.Fig21(), true
+	case "fig22":
+		return h.Fig22(), true
+	case "fig23":
+		return h.Fig23(), true
+	case "fig24":
+		return h.Fig24(), true
+	case "ablation":
+		return h.Ablation(), true
+	}
+	return nil, false
+}
+
+// IDs lists every known figure identifier in paper order.
+func IDs() []string {
+	return []string{
+		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+		"fig24", "ablation",
+	}
+}

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FprintChart renders the table with ASCII bars for percentage columns —
+// a terminal-friendly approximation of the paper's bar charts. Cells that
+// do not parse as percentages render as plain text.
+func (t *Table) FprintChart(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+
+	// Find the maximum percentage to scale bars.
+	maxPct := 0.0
+	for _, r := range t.Rows {
+		for _, cell := range r[1:] {
+			if v, ok := parsePct(cell); ok && v > maxPct {
+				maxPct = v
+			}
+		}
+	}
+	if maxPct <= 0 {
+		t.Fprint(w)
+		return
+	}
+	const width = 40
+	labelW := 0
+	for _, r := range t.Rows {
+		if len(r[0]) > labelW {
+			labelW = len(r[0])
+		}
+	}
+	for ci := 1; ci < len(t.Header); ci++ {
+		fmt.Fprintf(w, "-- %s\n", t.Header[ci])
+		for _, r := range t.Rows {
+			if ci >= len(r) {
+				continue
+			}
+			v, ok := parsePct(r[ci])
+			if !ok {
+				if r[ci] != "" {
+					fmt.Fprintf(w, "%-*s  %s\n", labelW, r[0], r[ci])
+				}
+				continue
+			}
+			bar := int(v / maxPct * width)
+			if bar < 0 {
+				bar = 0
+			}
+			fmt.Fprintf(w, "%-*s  %-*s %6.1f%%\n", labelW, r[0], width, strings.Repeat("█", bar), v)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// parsePct parses "12.3%" into 12.3.
+func parsePct(s string) (float64, bool) {
+	if !strings.HasSuffix(s, "%") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

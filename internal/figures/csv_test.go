@@ -1,0 +1,60 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4,5"}},
+		Notes:  []string{"note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `3,"4,5"` {
+		t.Fatalf("comma cell not quoted: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "# note") {
+		t.Fatalf("note row = %q", lines[3])
+	}
+}
+
+func TestFprintChart(t *testing.T) {
+	tab := &Table{
+		ID:     "c",
+		Title:  "chart demo",
+		Header: []string{"benchmark", "metric"},
+		Rows:   [][]string{{"a", "50.0%"}, {"b", "100.0%"}, {"c", "plain"}},
+	}
+	var buf bytes.Buffer
+	tab.FprintChart(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "█") {
+		t.Fatalf("no bars rendered: %q", out)
+	}
+	if !strings.Contains(out, "plain") {
+		t.Fatal("non-percentage cell dropped")
+	}
+	// A table without percentages falls back to plain rendering.
+	plain := &Table{ID: "p", Title: "t", Header: []string{"k", "v"}, Rows: [][]string{{"x", "1"}}}
+	buf.Reset()
+	plain.FprintChart(&buf)
+	if !strings.Contains(buf.String(), "x") {
+		t.Fatal("fallback rendering lost rows")
+	}
+}

@@ -1,0 +1,636 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each FigN function
+// runs the simulations it needs — functional (Pintool-style) runs for the
+// counting figures, timing (gem5-style) runs for the performance figures —
+// and returns a printable Table with the same rows/series the paper plots.
+//
+// Runs are memoised per Harness so figures that share configurations
+// (16/17/15, 21/22, …) reuse each other's simulations.
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/emcc"
+	"repro/internal/fsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tsim"
+	"repro/internal/workload"
+)
+
+// Table is one regenerated figure/table.
+type Table struct {
+	ID     string // e.g. "fig16"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the table as CSV (header row first); notes become
+// trailing comment-style rows prefixed with '#'.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Harness owns run sizing and the memoised results.
+type Harness struct {
+	// Quick shrinks run lengths for smoke testing; shapes get noisier.
+	Quick bool
+	Seed  uint64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// ScaleOverride and RefsOverride, when set, replace the built-in
+	// sizing entirely (unit tests run figures at miniature scale).
+	ScaleOverride *workload.Scale
+	RefsOverride  int64
+
+	fruns map[string]*fsim.Sim
+	truns map[string]tsimRun
+}
+
+type tsimRun struct {
+	res tsim.Result
+	st  *stats.Set
+}
+
+// NewHarness builds a harness.
+func NewHarness(quick bool) *Harness {
+	return &Harness{
+		Quick: quick,
+		Seed:  1,
+		fruns: make(map[string]*fsim.Sim),
+		truns: make(map[string]tsimRun),
+	}
+}
+
+func (h *Harness) logf(format string, args ...interface{}) {
+	if h.Log != nil {
+		fmt.Fprintf(h.Log, format+"\n", args...)
+	}
+}
+
+func (h *Harness) frefs() (warm, refs int64) {
+	if h.RefsOverride > 0 {
+		return h.RefsOverride / 2, h.RefsOverride
+	}
+	if h.Quick {
+		return 1_000_000, 2_000_000
+	}
+	return 3_000_000, 6_000_000
+}
+
+func (h *Harness) trefs() (warm, refs int64) {
+	if h.RefsOverride > 0 {
+		return h.RefsOverride / 2, h.RefsOverride / 4
+	}
+	if h.Quick {
+		return 1_000_000, 250_000
+	}
+	return 2_500_000, 800_000
+}
+
+// system mutators, named like Fig 16's legend.
+func applySystem(cfg *config.Config, system string) {
+	switch system {
+	case "non-secure":
+		cfg.Counter = config.CtrNone
+		cfg.CountersInLLC = false
+		cfg.EMCC = false
+	case "mono":
+		cfg.Counter = config.CtrMono
+	case "sc64":
+		cfg.Counter = config.CtrSC64
+	case "morphable":
+		cfg.Counter = config.CtrMorphable
+	case "morphable+nollc":
+		cfg.Counter = config.CtrMorphable
+		cfg.CountersInLLC = false
+	case "emcc":
+		cfg.Counter = config.CtrMorphable
+		cfg.EMCC = true
+	default:
+		panic("figures: unknown system " + system)
+	}
+}
+
+// functional runs a memoised functional simulation.
+func (h *Harness) functional(bench, system string, mutate func(*config.Config)) *fsim.Sim {
+	key := fmt.Sprintf("f/%s/%s/%v", bench, system, mutate == nil)
+	if mutate != nil {
+		// Mutating callers must uniquify their key themselves via
+		// keyed wrappers below; this generic path handles nil only.
+		panic("figures: use a keyed functional variant for mutations")
+	}
+	if s := h.fruns[key]; s != nil {
+		return s
+	}
+	return h.functionalKeyed(key, bench, system, nil)
+}
+
+// functionalKeyed runs a memoised functional simulation under an explicit
+// cache key (for callers that mutate the config).
+func (h *Harness) functionalKeyed(key, bench, system string, mutate func(*config.Config)) *fsim.Sim {
+	if s := h.fruns[key]; s != nil {
+		return s
+	}
+	cfg := config.Default()
+	applySystem(&cfg, system)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	warm, refs := h.frefs()
+	h.logf("functional %-14s %-16s (%dM refs)", bench, system, refs/1e6)
+	s, err := fsim.New(&cfg, fsim.Options{
+		Benchmark: bench, Seed: h.Seed, Refs: refs, Warmup: warm,
+		Scale: h.scale(),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("figures: %v", err))
+	}
+	s.Run()
+	h.fruns[key] = s
+	return s
+}
+
+// timing runs a memoised timing simulation.
+func (h *Harness) timing(bench, system, variant string, mutate func(*config.Config)) tsimRun {
+	key := fmt.Sprintf("t/%s/%s/%s", bench, system, variant)
+	if r, ok := h.truns[key]; ok {
+		return r
+	}
+	cfg := config.Default()
+	applySystem(&cfg, system)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	warm, refs := h.trefs()
+	h.logf("timing     %-14s %-16s %-12s (%dk refs)", bench, system, variant, refs/1e3)
+	s, err := tsim.New(&cfg, tsim.Options{
+		Benchmark: bench, Seed: h.Seed, Refs: refs, Warmup: warm,
+		Scale: h.scale(),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("figures: %v", err))
+	}
+	res := s.Run()
+	r := tsimRun{res: res, st: s.Stats()}
+	h.truns[key] = r
+	return r
+}
+
+func (h *Harness) scale() workload.Scale {
+	if h.ScaleOverride != nil {
+		return *h.ScaleOverride
+	}
+	if h.Quick {
+		sc := workload.DefaultScale()
+		sc.GraphVertices = 1 << 19
+		sc.IrregularBytes = 64 << 20
+		return sc
+	}
+	return workload.DefaultScale()
+}
+
+// primary returns the 11-benchmark list.
+func primary() []string { return workload.PrimaryNames() }
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+func ns(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func ratio(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// ---- Counting figures (functional simulator) ----
+
+// Fig2 reports DRAM traffic overhead with and without caching counters in
+// LLC, split into read and write overhead, normalised to DRAM data traffic.
+func (h *Harness) Fig2() *Table {
+	t := &Table{
+		ID:     "fig2",
+		Title:  "DRAM traffic overhead normalized to normal data traffic",
+		Header: []string{"benchmark", "w/o-read", "w/o-write", "w/o-total", "w-read", "w-write", "w-total"},
+		Notes: []string{
+			"paper: caching counters in LLC reduces mean total overhead from 105% to 59%",
+		},
+	}
+	var meanW, meanWo []float64
+	for _, b := range primary() {
+		row := []string{b}
+		var totals [2]float64
+		for i, system := range []string{"morphable+nollc", "morphable"} {
+			s := h.functional(b, system, nil)
+			st := s.Stats()
+			data := st.Counter(fsim.MetricDRAMDataRead) + st.Counter(fsim.MetricDRAMDataWrite)
+			ovf := st.Counter(fsim.MetricDRAMOvfL0) + st.Counter(fsim.MetricDRAMOvfHi)
+			rd := ratio(st.Counter(fsim.MetricDRAMCtrRead)+ovf/2, data)
+			wr := ratio(st.Counter(fsim.MetricDRAMCtrWrite)+ovf/2, data)
+			row = append(row, pct(rd), pct(wr), pct(rd+wr))
+			totals[i] = rd + wr
+		}
+		meanWo = append(meanWo, totals[0])
+		meanW = append(meanW, totals[1])
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, []string{"mean", "", "", pct(stats.Mean(meanWo)), "", "", pct(stats.Mean(meanW))})
+	return t
+}
+
+// counterMix produces the Fig 6/7 classification under a given LLC size.
+func (h *Harness) counterMix(id, title string, llcBytes int64) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"benchmark", "mc-hit", "llc-hit", "llc-miss"},
+	}
+	var mcs, hits, misses []float64
+	for _, b := range primary() {
+		key := fmt.Sprintf("f/%s/morphable/llc=%d", b, llcBytes)
+		s := h.functionalKeyed(key, b, "morphable", func(c *config.Config) { c.L3Bytes = llcBytes })
+		st := s.Stats()
+		reads := st.Counter(fsim.MetricDRAMDataRead)
+		mc := ratio(st.Counter(fsim.MetricCtrMCHit), reads)
+		hit := ratio(st.Counter(fsim.MetricCtrLLCHit), reads)
+		miss := ratio(st.Counter(fsim.MetricCtrLLCMiss), reads)
+		mcs, hits, misses = append(mcs, mc), append(hits, hit), append(misses, miss)
+		t.Rows = append(t.Rows, []string{b, pct(mc), pct(hit), pct(miss)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(mcs)), pct(stats.Mean(hits)), pct(stats.Mean(misses))})
+	return t
+}
+
+// Fig6 is the counter hit/miss split with 2 MB/core of LLC.
+func (h *Harness) Fig6() *Table {
+	t := h.counterMix("fig6", "Counter hits/misses per DRAM data read (2MB/core LLC)", 8<<20)
+	t.Notes = append(t.Notes, "paper mean: 65% MC hit / 15% LLC hit / 19% LLC miss")
+	return t
+}
+
+// Fig7 is the same with 12 MB/core.
+func (h *Harness) Fig7() *Table {
+	t := h.counterMix("fig7", "Counter hits/misses per DRAM data read (12MB/core LLC)", 48<<20)
+	t.Notes = append(t.Notes, "paper mean: 67% MC hit / 18% LLC hit / 14% LLC miss")
+	return t
+}
+
+// Fig11 reports useless counter accesses to LLC under EMCC.
+func (h *Harness) Fig11() *Table {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Useless counter accesses to LLC under EMCC / L2 data misses",
+		Header: []string{"benchmark", "useless"},
+		Notes:  []string{"paper mean: 3.2%"},
+	}
+	var vals []float64
+	for _, b := range primary() {
+		st := h.functional(b, "emcc", nil).Stats()
+		v := ratio(st.Counter(emcc.MetricUseless), st.Counter(fsim.MetricL2DataMiss))
+		vals = append(vals, v)
+		t.Rows = append(t.Rows, []string{b, pct(v)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(vals))})
+	return t
+}
+
+// Fig12 compares total counter accesses to LLC under EMCC and the serial
+// baseline, normalised to L2 data misses.
+func (h *Harness) Fig12() *Table {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Total counter accesses to LLC / L2 data misses",
+		Header: []string{"benchmark", "baseline", "emcc"},
+		Notes:  []string{"paper mean: baseline 31.4%, EMCC 35.6% (+4.2%)"},
+	}
+	var base, em []float64
+	for _, b := range primary() {
+		bst := h.functional(b, "morphable", nil).Stats()
+		est := h.functional(b, "emcc", nil).Stats()
+		bv := ratio(bst.Counter(fsim.MetricCtrLLCLookup), bst.Counter(fsim.MetricL2DataMiss))
+		ev := ratio(est.Counter(fsim.MetricCtrLLCLookup), est.Counter(fsim.MetricL2DataMiss))
+		base, em = append(base, bv), append(em, ev)
+		t.Rows = append(t.Rows, []string{b, pct(bv), pct(ev)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(base)), pct(stats.Mean(em))})
+	return t
+}
+
+// Fig23 reports counter-block invalidations in L2 under EMCC.
+func (h *Harness) Fig23() *Table {
+	t := &Table{
+		ID:     "fig23",
+		Title:  "Counter-block invalidations in L2 / counter insertions into L2",
+		Header: []string{"benchmark", "invalidated"},
+		Notes:  []string{"paper mean: 1.7%"},
+	}
+	var vals []float64
+	for _, b := range primary() {
+		st := h.functional(b, "emcc", nil).Stats()
+		v := ratio(st.Counter(emcc.MetricInvalidations), st.Counter(emcc.MetricCtrInserted))
+		vals = append(vals, v)
+		t.Rows = append(t.Rows, []string{b, pct(v)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(vals))})
+	return t
+}
+
+// Fig24 reports useless counter accesses for the SPEC/PARSEC regular set.
+func (h *Harness) Fig24() *Table {
+	t := &Table{
+		ID:     "fig24",
+		Title:  "Useless counter accesses (SPEC/PARSEC set) / L2 data misses",
+		Header: []string{"benchmark", "useless"},
+		Notes:  []string{"paper mean: 1%"},
+	}
+	var vals []float64
+	for _, b := range workload.RegularNames() {
+		st := h.functional(b, "emcc", nil).Stats()
+		v := ratio(st.Counter(emcc.MetricUseless), st.Counter(fsim.MetricL2DataMiss))
+		vals = append(vals, v)
+		t.Rows = append(t.Rows, []string{b, pct(v)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(vals))})
+	return t
+}
+
+// ---- Performance figures (timing simulator) ----
+
+// Fig15 reports the DRAM bandwidth-utilisation breakdown under Morphable.
+func (h *Harness) Fig15() *Table {
+	t := &Table{
+		ID:     "fig15",
+		Title:  "DRAM bandwidth utilisation breakdown under Morphable Counters",
+		Header: []string{"benchmark", "data", "counters", "ovf-l0", "ovf-hi", "total"},
+	}
+	for _, b := range primary() {
+		r := h.timing(b, "morphable", "base", nil)
+		bf := r.res.BusyFraction
+		total := bf[dram.TrafficData] + bf[dram.TrafficCounter] + bf[dram.TrafficOverflowL0] + bf[dram.TrafficOverflowHi]
+		t.Rows = append(t.Rows, []string{
+			b, pct(bf[dram.TrafficData]), pct(bf[dram.TrafficCounter]),
+			pct(bf[dram.TrafficOverflowL0]), pct(bf[dram.TrafficOverflowHi]), pct(total),
+		})
+	}
+	return t
+}
+
+// perfOf reports normalised performance (non-secure time / system time).
+func (h *Harness) perfOf(bench, system, variant string, mutate func(*config.Config)) float64 {
+	base := h.timing(bench, "non-secure", "base", nil)
+	r := h.timing(bench, system, variant, mutate)
+	if r.res.SimulatedTime == 0 {
+		return 0
+	}
+	return float64(base.res.SimulatedTime) / float64(r.res.SimulatedTime)
+}
+
+// Fig16 reports performance of SC-64, Morphable and EMCC normalised to the
+// non-secure system.
+func (h *Harness) Fig16() *Table {
+	t := &Table{
+		ID:     "fig16",
+		Title:  "Performance normalised to non-secure memory",
+		Header: []string{"benchmark", "sc64", "morphable", "emcc", "emcc-vs-morphable"},
+		Notes:  []string{"paper: EMCC +7% mean over Morphable; canneal max +12.5%"},
+	}
+	var sc, mo, em, gain []float64
+	for _, b := range primary() {
+		s := h.perfOf(b, "sc64", "base", nil)
+		m := h.perfOf(b, "morphable", "base", nil)
+		e := h.perfOf(b, "emcc", "base", nil)
+		g := 0.0
+		if m > 0 {
+			g = e/m - 1
+		}
+		sc, mo, em, gain = append(sc, s), append(mo, m), append(em, e), append(gain, g)
+		t.Rows = append(t.Rows, []string{b, pct(s), pct(m), pct(e), pct(g)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(sc)), pct(stats.Mean(mo)), pct(stats.Mean(em)), pct(stats.Mean(gain))})
+	return t
+}
+
+// Fig17 reports mean L2 data-read miss latency per system.
+func (h *Harness) Fig17() *Table {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "Average L2 miss latency (ns)",
+		Header: []string{"benchmark", "non-secure", "sc64", "morphable", "emcc"},
+		Notes:  []string{"paper: EMCC saves ~5 ns mean over Morphable"},
+	}
+	for _, b := range primary() {
+		t.Rows = append(t.Rows, []string{
+			b,
+			ns(h.timing(b, "non-secure", "base", nil).res.L2MissLatencyNS),
+			ns(h.timing(b, "sc64", "base", nil).res.L2MissLatencyNS),
+			ns(h.timing(b, "morphable", "base", nil).res.L2MissLatencyNS),
+			ns(h.timing(b, "emcc", "base", nil).res.L2MissLatencyNS),
+		})
+	}
+	return t
+}
+
+// Fig18 sweeps AES latency: EMCC benefit over Morphable at 14/20/25 ns.
+func (h *Harness) Fig18() *Table {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "EMCC improvement over Morphable vs AES latency",
+		Header: []string{"benchmark", "14ns", "20ns", "25ns"},
+		Notes:  []string{"paper mean: 7% at 14ns rising to 9% at 25ns"},
+	}
+	lats := []float64{14, 20, 25}
+	means := make([]float64, len(lats))
+	for _, b := range primary() {
+		row := []string{b}
+		for i, l := range lats {
+			lat := l
+			variant := fmt.Sprintf("aes%d", int(l))
+			mut := func(c *config.Config) { c.AESLatency = sim.NS(lat) }
+			var mo, em tsimRun
+			if int(l) == 14 {
+				mo = h.timing(b, "morphable", "base", nil)
+				em = h.timing(b, "emcc", "base", nil)
+			} else {
+				mo = h.timing(b, "morphable", variant, mut)
+				em = h.timing(b, "emcc", variant, mut)
+			}
+			g := float64(mo.res.SimulatedTime)/float64(em.res.SimulatedTime) - 1
+			means[i] += g / float64(len(primary()))
+			row = append(row, pct(g))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mrow := []string{"mean"}
+	for _, m := range means {
+		mrow = append(mrow, pct(m))
+	}
+	t.Rows = append(t.Rows, mrow)
+	return t
+}
+
+// Fig19 sweeps the fraction of AES units moved to the L2s, reporting the
+// share of DRAM data reads decrypted and verified at L2.
+func (h *Harness) Fig19() *Table {
+	t := &Table{
+		ID:     "fig19",
+		Title:  "DRAM data reads decrypted/verified at L2 vs AES fraction moved",
+		Header: []string{"benchmark", "20%", "40%", "50%", "80%"},
+		Notes:  []string{"paper: 76.3% mean at 50%; mcf only ~50% (AES bandwidth spikes)"},
+	}
+	fracs := []float64{0.2, 0.4, 0.5, 0.8}
+	means := make([]float64, len(fracs))
+	for _, b := range primary() {
+		row := []string{b}
+		for i, f := range fracs {
+			frac := f
+			var r tsimRun
+			if f == 0.5 {
+				r = h.timing(b, "emcc", "base", nil)
+			} else {
+				r = h.timing(b, "emcc", fmt.Sprintf("frac%d", int(f*100)),
+					func(c *config.Config) { c.EMCCAESFraction = frac })
+			}
+			means[i] += r.res.DecryptAtL2Frac / float64(len(primary()))
+			row = append(row, pct(r.res.DecryptAtL2Frac))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mrow := []string{"mean"}
+	for _, m := range means {
+		mrow = append(mrow, pct(m))
+	}
+	t.Rows = append(t.Rows, mrow)
+	return t
+}
+
+// Fig20 sweeps the MC counter cache size.
+func (h *Harness) Fig20() *Table {
+	t := &Table{
+		ID:     "fig20",
+		Title:  "EMCC benefit over Morphable vs MC counter cache size",
+		Header: []string{"benchmark", "128KB", "256KB", "512KB"},
+		Notes:  []string{"paper: benefit decreases by <1% with bigger counter caches"},
+	}
+	sizes := []int64{128 << 10, 256 << 10, 512 << 10}
+	means := make([]float64, len(sizes))
+	for _, b := range primary() {
+		row := []string{b}
+		for i, szv := range sizes {
+			sz := szv
+			var mo, em tsimRun
+			if sz == 128<<10 {
+				mo = h.timing(b, "morphable", "base", nil)
+				em = h.timing(b, "emcc", "base", nil)
+			} else {
+				variant := fmt.Sprintf("ctr%dk", sz>>10)
+				mut := func(c *config.Config) { c.CtrCacheBytes = sz }
+				mo = h.timing(b, "morphable", variant, mut)
+				em = h.timing(b, "emcc", variant, mut)
+			}
+			g := float64(mo.res.SimulatedTime)/float64(em.res.SimulatedTime) - 1
+			means[i] += g / float64(len(primary()))
+			row = append(row, pct(g))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mrow := []string{"mean"}
+	for _, m := range means {
+		mrow = append(mrow, pct(m))
+	}
+	t.Rows = append(t.Rows, mrow)
+	return t
+}
+
+// Fig21 compares the EMCC benefit under 1 and 8 DRAM channels.
+func (h *Harness) Fig21() *Table {
+	t := &Table{
+		ID:     "fig21",
+		Title:  "EMCC benefit over Morphable: 1 vs 8 DRAM channels",
+		Header: []string{"benchmark", "1-channel", "8-channel"},
+		Notes:  []string{"paper: benefit increases under 8 channels (faster data exposes counter latency)"},
+	}
+	var m1, m8 []float64
+	for _, b := range primary() {
+		mo1 := h.timing(b, "morphable", "base", nil)
+		em1 := h.timing(b, "emcc", "base", nil)
+		mo8 := h.timing(b, "morphable", "ch8", func(c *config.Config) { c.Channels = 8 })
+		em8 := h.timing(b, "emcc", "ch8", func(c *config.Config) { c.Channels = 8 })
+		g1 := float64(mo1.res.SimulatedTime)/float64(em1.res.SimulatedTime) - 1
+		g8 := float64(mo8.res.SimulatedTime)/float64(em8.res.SimulatedTime) - 1
+		m1, m8 = append(m1, g1), append(m8, g8)
+		t.Rows = append(t.Rows, []string{b, pct(g1), pct(g8)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(m1)), pct(stats.Mean(m8))})
+	return t
+}
+
+// Fig22 reports DRAM queuing delays by access type under EMCC (geometric
+// mean across benchmarks), for 1 and 8 channels.
+func (h *Harness) Fig22() *Table {
+	t := &Table{
+		ID:     "fig22",
+		Title:  "DRAM queuing delay under EMCC (ns, geo-mean across benchmarks)",
+		Header: []string{"channels", "ctr-read", "data-read", "ctr-write", "data-write"},
+		Notes:  []string{"paper: delays shrink with channels; writes queue longer than reads"},
+	}
+	for _, chv := range []int{1, 8} {
+		chn := chv
+		var cr, dr, cw, dw []float64
+		for _, b := range primary() {
+			var r tsimRun
+			if chn == 1 {
+				r = h.timing(b, "emcc", "base", nil)
+			} else {
+				r = h.timing(b, "emcc", "ch8", func(c *config.Config) { c.Channels = 8 })
+			}
+			cr = append(cr, r.st.Accum("dram/qdelay/counter/read").Mean())
+			dr = append(dr, r.st.Accum("dram/qdelay/data/read").Mean())
+			cw = append(cw, r.st.Accum("dram/qdelay/counter/write").Mean())
+			dw = append(dw, r.st.Accum("dram/qdelay/data/write").Mean())
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", chn),
+			ns(stats.GeoMean(cr)), ns(stats.GeoMean(dr)),
+			ns(stats.GeoMean(cw)), ns(stats.GeoMean(dw)),
+		})
+	}
+	return t
+}

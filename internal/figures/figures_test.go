@@ -1,0 +1,165 @@
+package figures
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Only the analytic figures run in unit tests; the simulation-backed ones
+// are exercised by the benchmark harness (bench_test.go at the repo root).
+
+func TestAnalyticFigureIDsResolve(t *testing.T) {
+	h := NewHarness(true)
+	for _, id := range []string{"table1", "fig3", "fig4", "fig5", "fig8", "fig10", "fig13", "fig14"} {
+		tab, ok := h.ByID(id)
+		if !ok {
+			t.Fatalf("%s did not resolve", id)
+		}
+		if tab.ID != id || len(tab.Rows) == 0 {
+			t.Fatalf("%s produced empty table", id)
+		}
+		var buf bytes.Buffer
+		tab.Fprint(&buf)
+		if !strings.Contains(buf.String(), id) {
+			t.Fatalf("%s rendering lacks its id", id)
+		}
+	}
+}
+
+func TestUnknownIDRejected(t *testing.T) {
+	h := NewHarness(true)
+	if _, ok := h.ByID("fig99"); ok {
+		t.Fatal("unknown figure resolved")
+	}
+}
+
+func TestIDsCoverEveryEvaluationFigure(t *testing.T) {
+	ids := IDs()
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	// Figures 2..24 except 9 (architecture diagram, nothing to measure).
+	for i := 2; i <= 24; i++ {
+		if i == 9 {
+			continue
+		}
+		if !want["fig"+strconv.Itoa(i)] {
+			t.Errorf("fig%d missing from IDs()", i)
+		}
+	}
+	if !want["table1"] {
+		t.Error("table1 missing")
+	}
+}
+
+// TestFig5OverheadMatchesPaper: the analytic timeline must reproduce the
+// 19 ns Direct-LLC-Latency overhead the paper derives.
+func TestFig5OverheadMatchesPaper(t *testing.T) {
+	h := NewHarness(true)
+	tab := h.Fig5()
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "overhead of caching counters in LLC") {
+			found = true
+			if !strings.Contains(n, "19.0 ns") {
+				t.Fatalf("overhead drifted: %s", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fig5 lacks its overhead note")
+	}
+}
+
+// TestFig3MeanNear23 checks the NoC calibration end to end.
+func TestFig3MeanNear23(t *testing.T) {
+	h := NewHarness(true)
+	tab := h.Fig3()
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "mean" {
+		t.Fatal("fig3 missing mean row")
+	}
+	mean, err := strconv.ParseFloat(strings.Fields(last[1])[0], 64)
+	if err != nil {
+		t.Fatalf("cannot parse mean %q: %v", last[1], err)
+	}
+	if mean < 21 || mean > 25 {
+		t.Fatalf("LLC hit mean = %v ns, want ~23", mean)
+	}
+}
+
+// TestTimelineFiguresFavourEMCC: Figs 10, 13 and 14 must all show EMCC
+// responding earlier than the baseline.
+func TestTimelineFiguresFavourEMCC(t *testing.T) {
+	h := NewHarness(true)
+	for _, id := range []string{"fig10", "fig13", "fig14"} {
+		tab, _ := h.ByID(id)
+		ok := false
+		for _, n := range tab.Notes {
+			if strings.Contains(n, "EMCC responds") && !strings.Contains(n, "-") {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("%s does not show an EMCC win: %v", id, tab.Notes)
+		}
+	}
+}
+
+// microHarness runs simulation-backed figures at miniature scale so the
+// figure plumbing (metric extraction, table assembly) is unit-testable.
+func microHarness() *Harness {
+	h := NewHarness(true)
+	sc := workload.TestScale()
+	h.ScaleOverride = &sc
+	h.RefsOverride = 120_000
+	return h
+}
+
+func TestFig16StructureAtMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	tab := microHarness().Fig16()
+	if len(tab.Rows) != 12 { // 11 benchmarks + mean
+		t.Fatalf("fig16 rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r) != 5 {
+			t.Fatalf("fig16 row %v has %d cells", r, len(r))
+		}
+		for _, cell := range r[1:] {
+			if !strings.HasSuffix(cell, "%") {
+				t.Fatalf("fig16 cell %q not a percentage", cell)
+			}
+		}
+	}
+}
+
+func TestFig11And23ShareRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	h := microHarness()
+	h.Fig11()
+	n := len(h.fruns)
+	h.Fig23() // must reuse the same emcc functional runs
+	if len(h.fruns) != n {
+		t.Fatalf("fig23 re-ran functional sims: %d -> %d", n, len(h.fruns))
+	}
+}
+
+func TestFig22Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	tab := microHarness().Fig22()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig22 rows = %d, want 2 (1 and 8 channels)", len(tab.Rows))
+	}
+}

@@ -1,0 +1,239 @@
+// Package fsim is the functional cache-model simulator — the equivalent of
+// the paper's Pintool methodology (Sec. III): it replays reference streams
+// through the L1/L2/LLC hierarchy, the MC's counter cache and the counter
+// organisation, counting hits, misses, DRAM traffic, overflow traffic and
+// the EMCC-specific events. No timing is modelled; this is what produces
+// Figs 2, 6, 7, 11, 12, 23 and 24.
+package fsim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/emcc"
+	"repro/internal/mc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Metric names produced by the functional simulator.
+const (
+	MetricDataRead      = "fsim/data-read"       // program loads
+	MetricDataWrite     = "fsim/data-write"      // program stores
+	MetricL2DataMiss    = "fsim/l2-data-miss"    // read+write misses at L2
+	MetricLLCDataMiss   = "fsim/llc-data-miss"   // data misses at LLC
+	MetricLLCDataAccess = "fsim/llc-data-access" // data lookups at LLC
+	MetricDRAMDataRead  = "fsim/dram-data-read"
+	MetricDRAMDataWrite = "fsim/dram-data-write"
+	MetricDRAMCtrRead   = "fsim/dram-counter-read"
+	MetricDRAMCtrWrite  = "fsim/dram-counter-write"
+	MetricDRAMOvfL0     = "fsim/dram-overflow-l0"
+	MetricDRAMOvfHi     = "fsim/dram-overflow-hi"
+	MetricCtrMCHit      = "fsim/counter-mc-hit"   // per DRAM data read
+	MetricCtrLLCHit     = "fsim/counter-llc-hit"  // per DRAM data read
+	MetricCtrLLCMiss    = "fsim/counter-llc-miss" // per DRAM data read
+	MetricCtrLLCLookup  = "fsim/counter-llc-lookup"
+)
+
+// Options selects the fsim configuration beyond config.Config.
+type Options struct {
+	Benchmark string
+	Cores     int
+	Seed      uint64
+	Refs      int64 // memory references to replay (total across cores)
+	// Warmup references are replayed before Refs with statistics
+	// discarded afterwards — the equivalent of the paper's cache- and
+	// counter-warming phases (Sec. V).
+	Warmup int64
+	Scale  workload.Scale
+	// Generators, when non-nil, replaces the synthetic benchmark with
+	// caller-provided streams (e.g. a recorded trace, internal/trace);
+	// DataBytes must then bound every address they emit.
+	Generators []workload.Generator
+	DataBytes  int64
+}
+
+// Sim is one functional simulation instance.
+type Sim struct {
+	cfg  *config.Config
+	opt  Options
+	st   *stats.Set
+	l1   []*cache.Cache
+	l2   []*cache.Cache
+	llc  *cache.Cache
+	home *mc.Home
+	pol  emcc.Policy
+	gens []workload.Generator
+}
+
+// New builds a functional simulation. cfg.Counter selects the secure-memory
+// design; cfg.CountersInLLC / cfg.EMCC select the architecture.
+func New(cfg *config.Config, opt Options) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Cores == 0 {
+		opt.Cores = cfg.Cores
+	}
+	if opt.Scale == (workload.Scale{}) {
+		opt.Scale = workload.DefaultScale()
+	}
+	gens := opt.Generators
+	dataBytes := opt.DataBytes
+	if gens == nil {
+		var err error
+		gens, err = workload.NewSet(opt.Benchmark, opt.Cores, opt.Seed, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		dataBytes, err = workload.SpaceBytes(opt.Benchmark, opt.Cores, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(gens) != opt.Cores {
+			return nil, fmt.Errorf("%s: %d generators for %d cores", "sim", len(gens), opt.Cores)
+		}
+		if dataBytes <= 0 {
+			return nil, fmt.Errorf("sim: DataBytes required with custom generators")
+		}
+	}
+	s := &Sim{
+		cfg:  cfg,
+		opt:  opt,
+		st:   stats.NewSet(),
+		llc:  cache.New("llc", cfg.L3Bytes, cfg.L3Ways),
+		gens: gens,
+	}
+	for c := 0; c < opt.Cores; c++ {
+		s.l1 = append(s.l1, cache.New(fmt.Sprintf("l1.%d", c), cfg.L1Bytes, cfg.L1Ways))
+		l2 := cache.New(fmt.Sprintf("l2.%d", c), cfg.L2Bytes, cfg.L2Ways)
+		if cfg.EMCC {
+			l2.SetCounterCap(cfg.EMCCL2CounterBytes)
+		}
+		s.l2 = append(s.l2, l2)
+	}
+	if cfg.Counter != config.CtrNone {
+		s.home = mc.NewHome(cfg, dataBytes)
+	}
+	s.pol = emcc.Policy{L2CounterCap: cfg.EMCCL2CounterBytes}
+	return s, nil
+}
+
+// Stats exposes the collected metrics.
+func (s *Sim) Stats() *stats.Set { return s.st }
+
+// Space exposes the address map (nil for non-secure runs).
+func (s *Sim) Space() *addr.Space {
+	if s.home == nil {
+		return nil
+	}
+	return s.home.Space
+}
+
+// Run replays the warmup (discarding statistics) and then opt.Refs
+// references, round-robin across cores.
+func (s *Sim) Run() {
+	s.replay(s.opt.Warmup)
+	s.st.Reset()
+	s.replay(s.opt.Refs)
+}
+
+func (s *Sim) replay(refs int64) {
+	perCore := refs / int64(len(s.gens))
+	for i := int64(0); i < perCore; i++ {
+		for c := range s.gens {
+			s.access(c, s.gens[c].Next())
+		}
+	}
+}
+
+// access replays one reference through the hierarchy.
+func (s *Sim) access(core int, a workload.Access) {
+	block := addr.BlockOf(a.Addr)
+	if a.Write {
+		s.st.Inc(MetricDataWrite)
+	} else {
+		s.st.Inc(MetricDataRead)
+	}
+
+	// L1.
+	if s.l1[core].Lookup(block) {
+		if a.Write {
+			s.l1[core].MarkDirty(block)
+		}
+		return
+	}
+	// L2.
+	if s.l2[core].Lookup(block) {
+		s.fillL1(core, block, a.Write)
+		return
+	}
+	// L2 data miss: this is where EMCC engages (Sec. IV-C).
+	s.st.Inc(MetricL2DataMiss)
+	if s.cfg.EMCC {
+		s.emccCounterProbe(core, block)
+	}
+
+	// LLC.
+	s.st.Inc(MetricLLCDataAccess)
+	if s.llc.Lookup(block) {
+		// Non-inclusive victim-cache style: promote to L2.
+		s.fillL2(core, block, false)
+		s.fillL1(core, block, a.Write)
+		return
+	}
+	s.st.Inc(MetricLLCDataMiss)
+
+	// DRAM data read, with its counter access (secure designs).
+	s.st.Inc(MetricDRAMDataRead)
+	if s.home != nil {
+		s.counterForDataRead(core, block)
+	}
+	s.fillL2(core, block, false)
+	s.fillL1(core, block, a.Write)
+}
+
+// fillL1 inserts into L1, spilling dirty victims into L2.
+func (s *Sim) fillL1(core int, block uint64, dirty bool) {
+	v, ok := s.l1[core].Insert(block, dirty, addr.KindData)
+	if ok && v.Dirty {
+		if !s.l2[core].MarkDirty(v.Block) {
+			s.fillL2(core, v.Block, true)
+		}
+	}
+}
+
+// fillL2 inserts into L2 (non-inclusive first-level fill from DRAM),
+// spilling victims into the LLC.
+func (s *Sim) fillL2(core int, block uint64, dirty bool) {
+	v, ok := s.l2[core].Insert(block, dirty, addr.KindData)
+	if !ok {
+		return
+	}
+	if v.Kind == addr.KindCounter {
+		// An EMCC-cached counter block leaves L2; if it never served
+		// an LLC data miss its speculative fetch was useless (Fig 11).
+		if !v.WasUsed {
+			s.st.Inc(emcc.MetricUseless)
+		}
+		return // counters are clean in L2; LLC already has its copy path
+	}
+	s.insertLLC(v.Block, v.Dirty, v.Kind)
+}
+
+// insertLLC inserts into the LLC, handling writebacks of dirty victims.
+func (s *Sim) insertLLC(block uint64, dirty bool, kind addr.Kind) {
+	v, ok := s.llc.Insert(block, dirty, kind)
+	if !ok || !v.Dirty {
+		return
+	}
+	switch v.Kind {
+	case addr.KindData:
+		s.writebackData(v.Block)
+	default:
+		s.writebackMeta(v.Block)
+	}
+}

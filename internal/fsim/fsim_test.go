@@ -1,0 +1,70 @@
+package fsim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/emcc"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, mutate func(*config.Config), bench string, refs int64) *Sim {
+	t.Helper()
+	cfg := config.Default()
+	mutate(&cfg)
+	s, err := New(&cfg, Options{
+		Benchmark: bench,
+		Seed:      42,
+		Refs:      refs,
+		Scale:     workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Run()
+	return s
+}
+
+func TestNonSecureBaselineCounts(t *testing.T) {
+	s := run(t, func(c *config.Config) {
+		c.Counter = config.CtrNone
+		c.CountersInLLC = false
+	}, "canneal", 200_000)
+	st := s.Stats()
+	reads := st.Counter(MetricDataRead)
+	writes := st.Counter(MetricDataWrite)
+	if reads+writes != 200_000 {
+		t.Fatalf("replayed %d refs, want 200000", reads+writes)
+	}
+	if st.Counter(MetricDRAMDataRead) == 0 {
+		t.Fatal("canneal at test scale should miss to DRAM")
+	}
+	if st.Counter(MetricDRAMCtrRead) != 0 {
+		t.Fatal("non-secure run must not generate counter traffic")
+	}
+}
+
+func TestBaselineCounterClassificationAddsUp(t *testing.T) {
+	s := run(t, func(c *config.Config) {}, "canneal", 200_000)
+	st := s.Stats()
+	dramReads := st.Counter(MetricDRAMDataRead)
+	classified := st.Counter(MetricCtrMCHit) + st.Counter(MetricCtrLLCHit) + st.Counter(MetricCtrLLCMiss)
+	if dramReads == 0 {
+		t.Fatal("expected DRAM data reads")
+	}
+	if classified != dramReads {
+		t.Fatalf("counter classification %d != DRAM data reads %d", classified, dramReads)
+	}
+}
+
+func TestEMCCGeneratesCounterActivity(t *testing.T) {
+	s := run(t, func(c *config.Config) { c.EMCC = true }, "pageRank", 200_000)
+	st := s.Stats()
+	if st.Counter(emcc.MetricL2CtrHit)+st.Counter(emcc.MetricL2CtrMiss) != st.Counter(MetricL2DataMiss) {
+		t.Fatalf("every L2 data miss must probe the counter: hits %d + misses %d != L2 misses %d",
+			st.Counter(emcc.MetricL2CtrHit), st.Counter(emcc.MetricL2CtrMiss), st.Counter(MetricL2DataMiss))
+	}
+	if st.Counter(emcc.MetricCtrInserted) == 0 {
+		t.Fatal("EMCC should insert counters into L2")
+	}
+}

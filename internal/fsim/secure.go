@@ -1,0 +1,191 @@
+package fsim
+
+import (
+	"repro/internal/addr"
+	"repro/internal/emcc"
+)
+
+// This file is the secure-memory side of the functional simulator: counter
+// placement/classification, the EMCC L2 counter path, metadata movement
+// between the MC's cache, the LLC and DRAM, and writeback counter updates
+// with overflow and invalidation.
+
+// emccCounterProbe is the Sec. IV-C flow after an L2 data miss: serially
+// look up the data's counter in L2; on miss, speculatively fetch it from
+// the LLC in parallel with the data access; when it misses in LLC too, the
+// MC takes over (fetching, verifying, and tagging the data response) and
+// returns the counter block to both LLC and L2 for future misses.
+func (s *Sim) emccCounterProbe(core int, dataBlock uint64) {
+	cb := s.home.CounterBlockOf(dataBlock)
+	if s.l2[core].Lookup(cb) {
+		s.st.Inc(emcc.MetricL2CtrHit)
+		return
+	}
+	s.st.Inc(emcc.MetricL2CtrMiss)
+	s.st.Inc(emcc.MetricSpecFetch)
+	s.st.Inc(MetricCtrLLCLookup)
+	if s.llc.Lookup(cb) {
+		s.insertCtrIntoL2(core, cb)
+		return
+	}
+	// Counter missed on-chip: MC resolves it (possibly from its own
+	// cache, else DRAM + tree verification) and supplies LLC and L2.
+	s.fetchMeta(cb)
+	s.insertLLC(cb, false, addr.KindCounter)
+	s.insertCtrIntoL2(core, cb)
+}
+
+// insertCtrIntoL2 caches a counter block in L2 under the 32 KB cap,
+// accounting Fig 11's useless-fetch tracking on eviction.
+func (s *Sim) insertCtrIntoL2(core int, cb uint64) {
+	s.st.Inc(emcc.MetricCtrInserted)
+	v, ok := s.l2[core].Insert(cb, false, addr.KindCounter)
+	if !ok {
+		return
+	}
+	if v.Kind == addr.KindCounter {
+		if !v.WasUsed {
+			s.st.Inc(emcc.MetricUseless)
+		}
+		return
+	}
+	if v.Dirty {
+		s.insertLLC(v.Block, true, v.Kind)
+	}
+}
+
+// counterForDataRead resolves the counter for a data block being read from
+// DRAM and classifies where it was found (Figs 6/7).
+func (s *Sim) counterForDataRead(core int, dataBlock uint64) {
+	cb := s.home.CounterBlockOf(dataBlock)
+	if s.cfg.EMCC {
+		// The counter was already obtained by the L2-side probe; this
+		// data miss in LLC proves that fetch useful (Fig 11).
+		s.l2[core].MarkUsed(cb)
+		return
+	}
+	if s.home.LookupMeta(cb) {
+		s.st.Inc(MetricCtrMCHit)
+		return
+	}
+	if s.cfg.CountersInLLC {
+		s.st.Inc(MetricCtrLLCLookup)
+		if s.llc.Lookup(cb) {
+			s.st.Inc(MetricCtrLLCHit)
+			s.moveMetaToMC(cb)
+			return
+		}
+		s.st.Inc(MetricCtrLLCMiss)
+	}
+	s.st.Inc(MetricDRAMCtrRead)
+	if p, ok := s.home.Space.ParentOf(cb); ok {
+		s.fetchMeta(p) // verify the DRAM-fetched counter block
+	}
+	s.moveMetaToMC(cb)
+}
+
+// fetchMeta obtains a metadata block at the MC, wherever it currently is,
+// counting the traffic it generates. DRAM-sourced blocks are verified,
+// which requires their parent chain on-chip (recursive fetch).
+func (s *Sim) fetchMeta(mb uint64) {
+	if s.home.LookupMeta(mb) {
+		return
+	}
+	if s.cfg.CountersInLLC {
+		s.st.Inc(MetricCtrLLCLookup)
+		if s.llc.Lookup(mb) {
+			s.moveMetaToMC(mb)
+			return
+		}
+	}
+	s.st.Inc(MetricDRAMCtrRead)
+	if p, ok := s.home.Space.ParentOf(mb); ok {
+		s.fetchMeta(p)
+	}
+	s.moveMetaToMC(mb)
+}
+
+// moveMetaToMC fills a metadata block into the MC's private cache. Every
+// displaced metadata block — clean or dirty — spills into the LLC: that is
+// what makes the LLC a second-level counter cache in prior designs
+// (Sec. II "Improving Counter Hit Rate").
+func (s *Sim) moveMetaToMC(mb uint64) {
+	v, ok := s.home.InsertMeta(mb, false)
+	if ok {
+		s.spillMetaVictim(v.Block, v.Dirty)
+	}
+}
+
+// spillMetaVictim places an evicted MC metadata block in the LLC (or, when
+// counters are not cached in LLC, writes it back if dirty).
+func (s *Sim) spillMetaVictim(mb uint64, dirty bool) {
+	if s.cfg.CountersInLLC {
+		s.insertLLC(mb, dirty, s.home.Space.Kind(mb))
+		return
+	}
+	if dirty {
+		s.writebackMeta(mb)
+	}
+}
+
+// writebackMeta is a metadata block reaching DRAM: one counter write plus
+// the write-counter update of the block itself (its parent counter).
+func (s *Sim) writebackMeta(mb uint64) {
+	s.st.Inc(MetricDRAMCtrWrite)
+	s.bumpCounter(mb)
+}
+
+// writebackData is a dirty data block reaching DRAM: one data write, the
+// block's counter update, and — under EMCC — invalidation of the counter
+// block's L2 copies (Sec. IV-C, Fig 23).
+func (s *Sim) writebackData(db uint64) {
+	s.st.Inc(MetricDRAMDataWrite)
+	if s.home == nil {
+		return
+	}
+	s.bumpCounter(db)
+	if s.cfg.EMCC {
+		s.invalidateL2Counters(s.home.CounterBlockOf(db))
+	}
+}
+
+// bumpCounter advances the write counter protecting `block`, fetching the
+// owning counter block to the MC first and accounting overflow traffic.
+func (s *Sim) bumpCounter(block uint64) {
+	parent, ok := s.home.Space.ParentOf(block)
+	if !ok {
+		return // root: on-chip counter only
+	}
+	s.fetchMeta(parent)
+	ov := s.home.IncrementCounterOf(block)
+	s.home.MarkMetaDirty(parent)
+	if !ov.Happened {
+		return
+	}
+	// Rebase re-encryption: each covered block is read and rewritten.
+	traffic := int64(2 * ov.ReencryptBlocks)
+	if ov.Level == 0 {
+		s.st.Add(MetricDRAMOvfL0, traffic)
+	} else {
+		s.st.Add(MetricDRAMOvfHi, traffic)
+	}
+	// The rebase changed every counter in the block: EMCC must
+	// invalidate stale L2 copies.
+	if s.cfg.EMCC {
+		s.invalidateL2Counters(parent)
+	}
+}
+
+// invalidateL2Counters removes a counter block from every L2 after the MC
+// updated it, counting Fig 23 invalidations (and Fig 11 uselessness when
+// the copy never served an LLC miss).
+func (s *Sim) invalidateL2Counters(cb uint64) {
+	for _, l2 := range s.l2 {
+		if v, ok := l2.Invalidate(cb); ok {
+			s.st.Inc(emcc.MetricInvalidations)
+			if !v.WasUsed {
+				s.st.Inc(emcc.MetricUseless)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package mc
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ctr"
+	"repro/internal/itree"
+)
+
+// Home is the memory controller's metadata authority, shared by the
+// functional (Pintool-style) and timing (gem5-style) simulators. It owns
+// the counter organisation, the integrity-tree geometry/state, and the MC's
+// private counter/metadata cache (128 KB, 32-way, Table I).
+type Home struct {
+	Space *addr.Space
+	Org   ctr.Organisation
+	Tree  *itree.Tree
+	Meta  *cache.Cache // MC's private counter cache (counter + tree blocks)
+}
+
+// NewHome builds the metadata home for a protected space of dataBytes under
+// the configured counter design.
+func NewHome(cfg *config.Config, dataBytes int64) *Home {
+	org := ctr.New(cfg.Counter)
+	space := addr.NewSpace(dataBytes, org.Coverage())
+	// The timing layer never calls MAC functions; a fixed key keeps Home
+	// deterministic and cheap to build.
+	eng := crypto.NewEngine([]byte("emcc-timing-key!"))
+	meta := cache.New("mc-ctr", cfg.CtrCacheBytes, cfg.CtrCacheWays)
+	// Level-0 counter blocks vastly outnumber tree nodes; capping their
+	// share keeps upper tree levels resident so verification walks hit
+	// on-chip (real designs dedicate tree-cache capacity for the same
+	// reason).
+	meta.SetCounterCap(cfg.CtrCacheBytes * 3 / 4)
+	return &Home{
+		Space: space,
+		Org:   org,
+		Tree:  itree.New(space, org, eng),
+		Meta:  meta,
+	}
+}
+
+// CounterBlockOf reports the counter block protecting a data block.
+func (h *Home) CounterBlockOf(dataBlock uint64) uint64 {
+	return h.Space.CounterBlockOf(dataBlock)
+}
+
+// LookupMeta probes the MC's metadata cache (updating LRU).
+func (h *Home) LookupMeta(block uint64) bool { return h.Meta.Lookup(block) }
+
+// InsertMeta fills a metadata block into the MC's cache, returning the
+// displaced victim if any. Dirty victims must be spilled by the caller
+// (to LLC when counters are cached there, else to DRAM).
+func (h *Home) InsertMeta(block uint64, dirty bool) (cache.Victim, bool) {
+	return h.Meta.Insert(block, dirty, h.Space.Kind(block))
+}
+
+// MarkMetaDirty marks a resident metadata block dirty; reports residency.
+func (h *Home) MarkMetaDirty(block uint64) bool { return h.Meta.MarkDirty(block) }
+
+// IncrementCounterOf advances the write counter protecting `block` (data or
+// metadata), returning the overflow consequence. The caller is responsible
+// for having the owning counter block on-chip first.
+func (h *Home) IncrementCounterOf(block uint64) ctr.Overflow {
+	return h.Tree.IncrementCounterOf(block)
+}
+
+// CounterOf reports the current counter protecting `block`.
+func (h *Home) CounterOf(block uint64) uint64 { return h.Tree.CounterOf(block) }
+
+// MetaFetchChain lists the metadata blocks that must be obtained to verify
+// a DRAM-fetched block: starting at `block`'s parent, ascending until a
+// block already resident in the MC's metadata cache (exclusive) or the
+// root. An empty chain means the parent is already cached (common case).
+// The chain is ordered nearest-ancestor first.
+func (h *Home) MetaFetchChain(block uint64) []uint64 {
+	var chain []uint64
+	cur := block
+	for {
+		p, ok := h.Space.ParentOf(cur)
+		if !ok {
+			return chain // reached the root: it is always on-chip
+		}
+		if h.Meta.Peek(p) {
+			return chain
+		}
+		chain = append(chain, p)
+		cur = p
+	}
+}

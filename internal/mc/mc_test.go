@@ -1,0 +1,258 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestAESPoolLatencyOnly(t *testing.T) {
+	eng := sim.New()
+	p := NewAESPool(eng, 1e9, sim.NS(14)) // 1 op/ns
+	done := p.Reserve(1, 0)
+	if done != sim.NS(14) {
+		t.Fatalf("single op done at %v ns, want 14", done.Nanoseconds())
+	}
+}
+
+func TestAESPoolBandwidthSpacing(t *testing.T) {
+	eng := sim.New()
+	p := NewAESPool(eng, 1e9, sim.NS(14))
+	// 5 ops issue 1 ns apart: last issues at t=4, done at 18.
+	done := p.Reserve(5, 0)
+	if done != sim.NS(18) {
+		t.Fatalf("5 ops done at %v ns, want 18", done.Nanoseconds())
+	}
+	// The next reservation queues behind all 5.
+	if d := p.QueueDelay(); d != sim.NS(5) {
+		t.Fatalf("queue delay = %v ns, want 5", d.Nanoseconds())
+	}
+	done2 := p.Reserve(1, 0)
+	if done2 != sim.NS(19) {
+		t.Fatalf("queued op done at %v ns, want 19", done2.Nanoseconds())
+	}
+}
+
+func TestAESPoolLowPriorityNeverDelaysHigh(t *testing.T) {
+	eng := sim.New()
+	p := NewAESPool(eng, 1e9, sim.NS(14))
+	// A large background burst (write drain) ...
+	p.ReserveLow(100, 0)
+	// ... must not delay a critical read reservation.
+	if d := p.QueueDelay(); d != 0 {
+		t.Fatalf("high-priority queue delay = %v after low burst, want 0", d)
+	}
+	done := p.Reserve(1, 0)
+	if done != sim.NS(14) {
+		t.Fatalf("read op done at %v ns behind write burst, want 14", done.Nanoseconds())
+	}
+	// But background work queues behind critical work.
+	p.Reserve(10, 0)
+	lowDone := p.ReserveLow(1, 0)
+	if lowDone <= sim.NS(14) {
+		t.Fatalf("low op finished at %v ns, should queue behind high ops", lowDone.Nanoseconds())
+	}
+}
+
+func TestAESPoolRespectsStartTime(t *testing.T) {
+	eng := sim.New()
+	p := NewAESPool(eng, 1e9, sim.NS(14))
+	done := p.Reserve(1, sim.NS(100))
+	if done != sim.NS(114) {
+		t.Fatalf("op with future start done at %v, want 114", done.Nanoseconds())
+	}
+}
+
+func TestAESPoolZeroOps(t *testing.T) {
+	eng := sim.New()
+	p := NewAESPool(eng, 1e9, sim.NS(14))
+	if got := p.Reserve(0, sim.NS(5)); got != sim.NS(5) {
+		t.Fatalf("zero ops should be free, got %v", got)
+	}
+}
+
+func TestAESPoolInvalidBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth did not panic")
+		}
+	}()
+	NewAESPool(sim.New(), 0, sim.NS(14))
+}
+
+func TestHomeGeometry(t *testing.T) {
+	cfg := config.Default()
+	h := NewHome(&cfg, 64<<20)
+	if h.Space.DataBlocks() != 64<<20/64 {
+		t.Fatal("space sized wrong")
+	}
+	cb := h.CounterBlockOf(0)
+	if h.Space.Kind(cb) == 0 { // KindData == 0
+		t.Fatal("counter block classified as data")
+	}
+	// Fresh home: nothing cached, full chain to fetch.
+	chain := h.MetaFetchChain(0)
+	if len(chain) != h.Space.Levels() {
+		t.Fatalf("fresh fetch chain %d levels, want %d", len(chain), h.Space.Levels())
+	}
+	// Cache the parent: chain shrinks to empty for the counter block.
+	h.InsertMeta(cb, false)
+	if got := h.MetaFetchChain(0); len(got) != 0 {
+		t.Fatalf("chain after caching parent = %v, want empty", got)
+	}
+}
+
+func TestHomeIncrementAndDirty(t *testing.T) {
+	cfg := config.Default()
+	h := NewHome(&cfg, 16<<20)
+	cb := h.CounterBlockOf(42)
+	h.InsertMeta(cb, false)
+	before := h.CounterOf(42)
+	ov := h.IncrementCounterOf(42)
+	if ov.Happened {
+		t.Fatal("first increment overflowed")
+	}
+	if h.CounterOf(42) <= before {
+		t.Fatal("counter did not advance")
+	}
+	if !h.MarkMetaDirty(cb) {
+		t.Fatal("counter block not resident")
+	}
+}
+
+func TestOverflowEnginePacing(t *testing.T) {
+	eng := sim.New()
+	st := stats.NewSet()
+	inFlight, maxInFlight := 0, 0
+	completed := 0
+	var ovf *OverflowEngine
+	issue := func(block uint64, write bool, level int, done func()) bool {
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+		eng.After(sim.NS(30), func() {
+			inFlight--
+			if write {
+				completed++
+			}
+			if done != nil {
+				done()
+			}
+		})
+		return true
+	}
+	ovf = NewOverflowEngine(eng, st, 2, 8, issue)
+	eng.At(0, func() { ovf.Start(0, 64, 0) })
+	eng.Run()
+	if completed != 64 {
+		t.Fatalf("re-encrypted %d blocks, want 64", completed)
+	}
+	if maxInFlight > 8 {
+		t.Fatalf("held %d queue slots, cap is 8", maxInFlight)
+	}
+	if !ovf.Idle() {
+		t.Fatal("engine not idle after completion")
+	}
+	if st.Counter("overflow/blocks") != 64 {
+		t.Fatal("overflow stats missing")
+	}
+}
+
+func TestOverflowEngineBlocksThird(t *testing.T) {
+	eng := sim.New()
+	st := stats.NewSet()
+	issue := func(block uint64, write bool, level int, done func()) bool {
+		eng.After(sim.NS(30), func() {
+			if done != nil {
+				done()
+			}
+		})
+		return true
+	}
+	ovf := NewOverflowEngine(eng, st, 2, 8, issue)
+	eng.At(0, func() {
+		ovf.Start(0, 64, 0)
+		ovf.Start(100, 64, 0)
+		if ovf.Blocked() {
+			t.Error("blocked with only two overflows")
+		}
+		ovf.Start(200, 64, 0)
+		if !ovf.Blocked() {
+			t.Error("third overflow did not block the MC")
+		}
+	})
+	eng.Run()
+	if ovf.Blocked() || !ovf.Idle() {
+		t.Fatal("engine did not drain")
+	}
+	if st.Counter("overflow/blocked-events") != 1 {
+		t.Fatal("blocked event not counted")
+	}
+}
+
+func TestOverflowEngineRetriesOnFullQueue(t *testing.T) {
+	eng := sim.New()
+	st := stats.NewSet()
+	rejections := 3
+	completed := 0
+	issue := func(block uint64, write bool, level int, done func()) bool {
+		if rejections > 0 {
+			rejections--
+			return false
+		}
+		eng.After(sim.NS(10), func() {
+			if write {
+				completed++
+			}
+			if done != nil {
+				done()
+			}
+		})
+		return true
+	}
+	ovf := NewOverflowEngine(eng, st, 2, 8, issue)
+	eng.At(0, func() { ovf.Start(0, 8, 0) })
+	eng.Run()
+	if completed != 8 {
+		t.Fatalf("completed %d blocks despite retries, want 8", completed)
+	}
+	_ = ovf
+}
+
+func TestMetaFetchChainMultiLevel(t *testing.T) {
+	cfg := config.Default()
+	// Large space: several tree levels (morphable coverage 128:
+	// 1 GiB data -> 131072 counters -> 1024 L1 -> 8 L2 -> 1 root).
+	h := NewHome(&cfg, 1<<30)
+	if h.Space.Levels() < 4 {
+		t.Fatalf("levels = %d, want >= 4", h.Space.Levels())
+	}
+	cb := h.CounterBlockOf(0)
+	chain := h.MetaFetchChain(cb)
+	// Chain from a counter block excludes the block itself; fresh cache
+	// means everything up to the root (root itself is always "on-chip",
+	// the chain stops before needing its parent).
+	if len(chain) != h.Space.Levels()-1 {
+		t.Fatalf("chain = %d entries, want %d", len(chain), h.Space.Levels()-1)
+	}
+	// Caching a middle ancestor truncates the chain there.
+	h.InsertMeta(chain[1], false)
+	if got := h.MetaFetchChain(cb); len(got) != 1 {
+		t.Fatalf("chain after caching ancestor = %d, want 1", len(got))
+	}
+}
+
+func TestAESPoolReservedCount(t *testing.T) {
+	p := NewAESPool(sim.New(), 1e9, sim.NS(14))
+	p.Reserve(5, 0)
+	p.ReserveLow(8, 0)
+	if p.Reserved != 13 {
+		t.Fatalf("reserved = %d, want 13", p.Reserved)
+	}
+	if p.Latency() != sim.NS(14) {
+		t.Fatal("latency accessor wrong")
+	}
+}

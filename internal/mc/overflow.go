@@ -1,0 +1,132 @@
+package mc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// IssueFunc injects one 64 B overflow request toward DRAM. It reports false
+// when the target queue is full (the engine retries later). `done` fires
+// when the access completes.
+type IssueFunc func(block uint64, write bool, level int, done func()) bool
+
+// OverflowEngine paces split-counter overflow re-encryption per Sec. V: at
+// most `maxLive` overflows proceed concurrently (a writeback that would
+// start a third blocks the MC's intake), and the background work never
+// holds more than `maxSlots` read/write-queue slots at a time. Each block
+// of an overflow is read, re-encrypted, and written back; the slot taken by
+// the read is held until the matching write completes.
+type OverflowEngine struct {
+	eng      *sim.Engine
+	st       *stats.Set
+	issue    IssueFunc
+	maxLive  int
+	maxSlots int
+
+	live     []*overflowJob
+	waiting  []*overflowJob
+	inFlight int
+}
+
+type overflowJob struct {
+	next  uint64 // next block to read
+	end   uint64
+	level int
+	done  uint64 // blocks fully rewritten
+	total uint64
+}
+
+// NewOverflowEngine builds the engine.
+func NewOverflowEngine(eng *sim.Engine, st *stats.Set, maxLive, maxSlots int, issue IssueFunc) *OverflowEngine {
+	if maxLive <= 0 || maxSlots <= 0 {
+		panic("mc: overflow engine limits must be positive")
+	}
+	return &OverflowEngine{eng: eng, st: st, issue: issue, maxLive: maxLive, maxSlots: maxSlots}
+}
+
+// Start begins re-encryption of n blocks at `first` for an overflow at the
+// given metadata level. Beyond maxLive concurrent jobs the work queues and
+// Blocked() turns true until a live job retires.
+func (e *OverflowEngine) Start(first, n uint64, level int) {
+	job := &overflowJob{next: first, end: first + n, level: level, total: n}
+	e.st.Inc("overflow/events")
+	e.st.Add("overflow/blocks", int64(n))
+	if len(e.live) >= e.maxLive {
+		e.waiting = append(e.waiting, job)
+		e.st.Inc("overflow/blocked-events")
+		return
+	}
+	e.live = append(e.live, job)
+	e.Pump()
+}
+
+// Blocked reports whether an overflow beyond maxLive is pending; the MC
+// rejects incoming LLC requests while true (Sec. V).
+func (e *OverflowEngine) Blocked() bool { return len(e.waiting) > 0 }
+
+// Idle reports whether no overflow work remains (used by drain logic).
+func (e *OverflowEngine) Idle() bool {
+	return len(e.live) == 0 && len(e.waiting) == 0 && e.inFlight == 0
+}
+
+// Pump issues overflow reads while slot budget remains.
+func (e *OverflowEngine) Pump() {
+	for e.inFlight < e.maxSlots {
+		job := e.nextJob()
+		if job == nil {
+			return
+		}
+		blk := job.next
+		if !e.issue(blk, false, job.level, func() { e.readDone(job, blk) }) {
+			e.retry(e.Pump)
+			return
+		}
+		job.next++
+		e.inFlight++
+	}
+}
+
+// readDone chains the write half for a re-encrypted block, keeping the
+// read's slot held until the write completes.
+func (e *OverflowEngine) readDone(job *overflowJob, blk uint64) {
+	if !e.issue(blk, true, job.level, func() { e.writeDone(job) }) {
+		e.retry(func() { e.readDone(job, blk) })
+		return
+	}
+}
+
+func (e *OverflowEngine) writeDone(job *overflowJob) {
+	e.inFlight--
+	job.done++
+	if job.done == job.total {
+		e.finish(job)
+	}
+	e.Pump()
+}
+
+// finish retires a job and promotes a waiting one, unblocking the MC.
+func (e *OverflowEngine) finish(job *overflowJob) {
+	for i, j := range e.live {
+		if j == job {
+			e.live = append(e.live[:i], e.live[i+1:]...)
+			break
+		}
+	}
+	if len(e.waiting) > 0 && len(e.live) < e.maxLive {
+		e.live = append(e.live, e.waiting[0])
+		e.waiting = e.waiting[1:]
+	}
+}
+
+func (e *OverflowEngine) nextJob() *overflowJob {
+	for _, j := range e.live {
+		if j.next < j.end {
+			return j
+		}
+	}
+	return nil
+}
+
+func (e *OverflowEngine) retry(fn func()) {
+	e.eng.After(sim.NS(100), fn)
+}

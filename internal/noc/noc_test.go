@@ -1,0 +1,140 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func paperMesh() *Mesh { return New(6, 5, sim.NS(1.0), sim.NS(3.0)) }
+
+func TestGeometry(t *testing.T) {
+	m := paperMesh()
+	if m.Tiles() != 30 {
+		t.Fatalf("tiles = %d, want 30", m.Tiles())
+	}
+	if m.CoreTiles() != 28 {
+		t.Fatalf("core tiles = %d, want 28 (Fig 4)", m.CoreTiles())
+	}
+	if m.MCs() != 2 {
+		t.Fatalf("MCs = %d, want 2", m.MCs())
+	}
+}
+
+func TestMCTilesAreNotCoreTiles(t *testing.T) {
+	m := paperMesh()
+	mcs := map[NodeID]bool{m.MCTile(0): true, m.MCTile(1): true}
+	if len(mcs) != 2 {
+		t.Fatal("both MCs map to one tile")
+	}
+	for c := 0; c < m.CoreTiles(); c++ {
+		if mcs[m.CoreTile(c)] {
+			t.Fatalf("core %d shares a tile with an MC", c)
+		}
+	}
+}
+
+func TestLatencySymmetricAndTriangular(t *testing.T) {
+	m := paperMesh()
+	a, b, c := m.CoreTile(0), m.CoreTile(13), m.CoreTile(27)
+	if m.OneWay(a, b) != m.OneWay(b, a) {
+		t.Fatal("one-way latency not symmetric")
+	}
+	if m.OneWay(a, a) != sim.NS(3.0) {
+		t.Fatalf("self latency = %v, want base cost", m.OneWay(a, a))
+	}
+	if m.Hops(a, c) > m.Hops(a, b)+m.Hops(b, c) {
+		t.Fatal("hop counts violate the triangle inequality")
+	}
+	if m.RoundTrip(a, b) != 2*m.OneWay(a, b) {
+		t.Fatal("round trip != 2x one way")
+	}
+}
+
+// TestMeanOneWayNearPaper: the paper measures ~7.5 ns mean one-way tile
+// latency; the calibrated mesh should be within a nanosecond.
+func TestMeanOneWayNearPaper(t *testing.T) {
+	m := paperMesh()
+	mean := m.MeanOneWay(m.CoreTile(0)).Nanoseconds()
+	if mean < 5.5 || mean > 8.5 {
+		t.Fatalf("mean one-way = %.2f ns, want ~6.5-7.5", mean)
+	}
+}
+
+// TestLLCHitLatencyNearPaper: L1+L2 (6 ns) + RTT + tag+data (4 ns) should
+// average ~23 ns (Fig 3).
+func TestLLCHitLatencyNearPaper(t *testing.T) {
+	m := paperMesh()
+	var sum float64
+	n := 0
+	for c := 0; c < m.CoreTiles(); c++ {
+		for s := 0; s < m.CoreTiles(); s++ {
+			sum += (sim.NS(10) + m.RoundTrip(m.CoreTile(c), m.CoreTile(s))).Nanoseconds()
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 21 || mean > 25 {
+		t.Fatalf("mean LLC hit latency = %.2f ns, want ~23", mean)
+	}
+}
+
+func TestSliceMappingDeterministicAndSpread(t *testing.T) {
+	m := paperMesh()
+	seen := map[NodeID]int{}
+	for b := uint64(0); b < 10000; b++ {
+		s1, s2 := m.SliceOf(b), m.SliceOf(b)
+		if s1 != s2 {
+			t.Fatal("slice mapping not deterministic")
+		}
+		seen[s1]++
+	}
+	if len(seen) != m.CoreTiles() {
+		t.Fatalf("blocks map to %d slices, want %d", len(seen), m.CoreTiles())
+	}
+	for s, n := range seen {
+		if n < 10000/m.CoreTiles()/3 {
+			t.Fatalf("slice %d badly underloaded: %d", int(s), n)
+		}
+	}
+}
+
+func TestMCOfInterleaves(t *testing.T) {
+	m := paperMesh()
+	counts := [2]int{}
+	for b := uint64(0); b < 1000; b++ {
+		mc := m.MCOf(b)
+		if mc != 0 && mc != 1 {
+			t.Fatalf("MCOf = %d", mc)
+		}
+		counts[mc]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("MC interleave broken: %v", counts)
+	}
+}
+
+func TestRouteTraceContiguous(t *testing.T) {
+	m := paperMesh()
+	route := m.RouteTrace(0, 0xbeef)
+	if len(route) < 2 {
+		t.Fatal("route too short")
+	}
+	for i := 1; i < len(route); i++ {
+		if m.Hops(route[i-1], route[i]) > 1 {
+			t.Fatalf("route hop %d -> %d is not adjacent", int(route[i-1]), int(route[i]))
+		}
+	}
+	if route[len(route)-1] != m.MCTile(m.MCOf(0xbeef)) {
+		t.Fatal("route does not end at the home MC")
+	}
+}
+
+func TestTooSmallMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1x1 mesh did not panic")
+		}
+	}()
+	New(1, 1, 1, 1)
+}

@@ -1,0 +1,67 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpectationsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Expectations() {
+		if !strings.HasPrefix(e.Figure, "fig") {
+			t.Errorf("bad figure id %q", e.Figure)
+		}
+		if e.Metric == "" || e.Source == "" {
+			t.Errorf("%s: metric/source missing", e.Figure)
+		}
+		if e.Unit != "%" && e.Unit != "ns" {
+			t.Errorf("%s: unknown unit %q", e.Figure, e.Unit)
+		}
+		if e.Tolerance < 0 {
+			t.Errorf("%s: negative tolerance", e.Figure)
+		}
+		if e.Tolerance == 0 && e.Direction == "" {
+			t.Errorf("%s (%s): neither tolerance nor direction — unverifiable", e.Figure, e.Metric)
+		}
+		key := e.Figure + "/" + e.Metric
+		if seen[key] {
+			t.Errorf("duplicate expectation %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestHeadlineClaimsPresent(t *testing.T) {
+	// The claims every reader of the paper remembers must be encoded.
+	want := map[string]float64{
+		"fig16": 7,    // +7% mean
+		"fig11": 3.2,  // useless 3.2%
+		"fig23": 1.7,  // invalidations 1.7%
+		"fig19": 76.3, // decrypt-at-L2 76.3%
+	}
+	got := map[string]bool{}
+	for _, e := range Expectations() {
+		if v, ok := want[e.Figure]; ok && e.Value == v {
+			got[e.Figure] = true
+		}
+	}
+	for f := range want {
+		if !got[f] {
+			t.Errorf("headline claim for %s missing", f)
+		}
+	}
+}
+
+func TestByFigureGroups(t *testing.T) {
+	m := ByFigure()
+	if len(m["fig16"]) != 2 {
+		t.Fatalf("fig16 expectations = %d, want 2 (mean + canneal)", len(m["fig16"]))
+	}
+	total := 0
+	for _, es := range m {
+		total += len(es)
+	}
+	if total != len(Expectations()) {
+		t.Fatal("grouping lost expectations")
+	}
+}

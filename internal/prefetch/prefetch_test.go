@@ -1,0 +1,106 @@
+package prefetch
+
+import "testing"
+
+func TestNoPrefetchBeforeConfirmation(t *testing.T) {
+	p := New(64, 2)
+	if got := p.Observe(100); got != nil {
+		t.Fatalf("first touch prefetched %v", got)
+	}
+	if got := p.Observe(101); got != nil {
+		t.Fatalf("one delta prefetched %v (needs two-delta confirmation)", got)
+	}
+}
+
+func TestUnitStrideConfirmedDegree2(t *testing.T) {
+	p := New(64, 2)
+	p.Observe(100)
+	p.Observe(101)
+	got := p.Observe(102)
+	if len(got) != 2 || got[0] != 103 || got[1] != 104 {
+		t.Fatalf("prefetch = %v, want [103 104]", got)
+	}
+	if p.Issued != 2 {
+		t.Fatalf("issued = %d", p.Issued)
+	}
+}
+
+func TestLargerStride(t *testing.T) {
+	p := New(64, 1)
+	p.Observe(10)
+	p.Observe(13)
+	got := p.Observe(16)
+	if len(got) != 1 || got[0] != 19 {
+		t.Fatalf("prefetch = %v, want [19]", got)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(64, 1)
+	p.Observe(50)
+	p.Observe(48)
+	got := p.Observe(46)
+	if len(got) != 1 || got[0] != 44 {
+		t.Fatalf("prefetch = %v, want [44]", got)
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	p := New(64, 1)
+	p.Observe(100)
+	p.Observe(101)
+	p.Observe(102) // confirmed
+	if got := p.Observe(110); got != nil {
+		t.Fatalf("stride break still prefetched %v", got)
+	}
+	p.Observe(118)
+	if got := p.Observe(126); len(got) != 1 || got[0] != 134 {
+		t.Fatalf("new stride not re-confirmed: %v", got)
+	}
+}
+
+func TestRandomAccessesStayQuiet(t *testing.T) {
+	p := New(256, 2)
+	r := uint64(12345)
+	issued := 0
+	for i := 0; i < 10000; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		if p.Observe(r%(1<<30)) != nil {
+			issued++
+		}
+	}
+	if issued > 100 {
+		t.Fatalf("random stream triggered %d prefetches", issued)
+	}
+}
+
+func TestRegionChangeResets(t *testing.T) {
+	p := New(64, 1)
+	p.Observe(0)
+	p.Observe(1)
+	p.Observe(2) // confirmed in region 0
+	// A far region mapping to the same table entry must not inherit the
+	// stride. 64 entries * 64-block regions: region 64 aliases region 0.
+	alias := uint64(64 * 64)
+	if got := p.Observe(alias); got != nil {
+		t.Fatalf("aliased region prefetched %v", got)
+	}
+}
+
+func TestRepeatedBlockNoPrefetch(t *testing.T) {
+	p := New(64, 1)
+	p.Observe(7)
+	p.Observe(7)
+	if got := p.Observe(7); got != nil {
+		t.Fatalf("zero stride prefetched %v", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size table did not panic")
+		}
+	}()
+	New(0, 1)
+}

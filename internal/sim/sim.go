@@ -1,0 +1,124 @@
+// Package sim provides the discrete-event simulation engine that drives
+// every timing model in this repository.
+//
+// The engine keeps a monotonically increasing clock in integer picoseconds
+// and a binary heap of pending events. Components schedule closures with
+// At/After; Run drains the heap in timestamp order (FIFO among equal
+// timestamps, which keeps simulations deterministic).
+package sim
+
+import "container/heap"
+
+// Time is a simulated timestamp or duration in picoseconds. Integer
+// picoseconds keep all of Table I's latencies (down to 13.75 ns) exact and
+// make every run bit-reproducible.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// NS converts a floating-point nanosecond quantity (how the paper states
+// latencies, e.g. 13.75 ns) to Time, rounding to the nearest picosecond.
+func NS(ns float64) Time {
+	if ns >= 0 {
+		return Time(ns*1000 + 0.5)
+	}
+	return -Time(-ns*1000 + 0.5)
+}
+
+// Nanoseconds reports t as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / 1000 }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps reports how many events have executed; useful as a progress and
+// runaway-simulation guard in tests.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending reports the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality, which is always a modelling bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now. Negative delays panic.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for len(e.events) > 0 {
+		e.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d picoseconds of simulated time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+}

@@ -1,0 +1,135 @@
+package sim
+
+import "testing"
+
+func TestNSConversion(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Time
+	}{
+		{0, 0},
+		{1, 1000},
+		{13.75, 13750},
+		{0.0005, 1}, // rounds to nearest picosecond
+		{-2, -2000},
+	}
+	for _, c := range cases {
+		if got := NS(c.ns); got != c.want {
+			t.Errorf("NS(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestNanoseconds(t *testing.T) {
+	if got := Time(13750).Nanoseconds(); got != 13.75 {
+		t.Errorf("Nanoseconds() = %v, want 13.75", got)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(300, func() { order = append(order, 3) })
+	e.At(100, func() { order = append(order, 1) })
+	e.At(200, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 300 {
+		t.Errorf("clock = %d, want 300", e.Now())
+	}
+}
+
+func TestEqualTimestampsRunFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(50, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			e.After(10, chain)
+		}
+	}
+	e.After(10, chain)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("chained %d events, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Errorf("clock = %d, want 50", e.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Errorf("clock = %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran %d events after drain, want 3", ran)
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	e := New()
+	e.RunFor(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", e.Now())
+	}
+	e.RunFor(50)
+	if e.Now() != 150 {
+		t.Fatalf("clock = %d, want 150", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestStepsCountsExecutedEvents(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Fatalf("steps = %d, want 7", e.Steps())
+	}
+}

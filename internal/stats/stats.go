@@ -1,0 +1,249 @@
+// Package stats collects the counters, accumulators and histograms that the
+// evaluation figures are computed from. Every component in the simulator
+// writes into a shared *Set; the figure harness reads the named metrics out
+// at the end of a run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Set is a named bag of metrics. The zero value is not usable; call NewSet.
+type Set struct {
+	counters map[string]int64
+	accums   map[string]*Accumulator
+	hists    map[string]*Histogram
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]int64),
+		accums:   make(map[string]*Accumulator),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Reset clears every metric while keeping the set's identity, so
+// components holding the pointer keep recording. Used at the
+// warmup-to-measurement boundary.
+func (s *Set) Reset() {
+	s.counters = make(map[string]int64)
+	s.accums = make(map[string]*Accumulator)
+	s.hists = make(map[string]*Histogram)
+}
+
+// Add increments the named counter by delta.
+func (s *Set) Add(name string, delta int64) { s.counters[name] += delta }
+
+// Inc increments the named counter by one.
+func (s *Set) Inc(name string) { s.counters[name]++ }
+
+// Counter reports the value of the named counter (zero if never touched).
+func (s *Set) Counter(name string) int64 { return s.counters[name] }
+
+// Observe records a sample into the named accumulator.
+func (s *Set) Observe(name string, v float64) {
+	a := s.accums[name]
+	if a == nil {
+		a = &Accumulator{Min: math.Inf(1), Max: math.Inf(-1)}
+		s.accums[name] = a
+	}
+	a.Observe(v)
+}
+
+// Accum returns the named accumulator, or an empty one if never observed.
+func (s *Set) Accum(name string) *Accumulator {
+	if a := s.accums[name]; a != nil {
+		return a
+	}
+	return &Accumulator{}
+}
+
+// Hist returns (creating if needed) the named histogram with the given
+// bucket geometry. Geometry is fixed on first use.
+func (s *Set) Hist(name string, lo, width float64, n int) *Histogram {
+	h := s.hists[name]
+	if h == nil {
+		h = NewHistogram(lo, width, n)
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Names reports every metric name present, sorted, for debug dumps.
+func (s *Set) Names() []string {
+	var names []string
+	for k := range s.counters {
+		names = append(names, "counter/"+k)
+	}
+	for k := range s.accums {
+		names = append(names, "accum/"+k)
+	}
+	for k := range s.hists {
+		names = append(names, "hist/"+k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump formats every metric for human inspection.
+func (s *Set) Dump() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		switch {
+		case strings.HasPrefix(n, "counter/"):
+			fmt.Fprintf(&b, "%-52s %d\n", n, s.counters[strings.TrimPrefix(n, "counter/")])
+		case strings.HasPrefix(n, "accum/"):
+			a := s.accums[strings.TrimPrefix(n, "accum/")]
+			fmt.Fprintf(&b, "%-52s mean=%.3f n=%d min=%.3f max=%.3f\n", n, a.Mean(), a.Count, a.Min, a.Max)
+		}
+	}
+	return b.String()
+}
+
+// Accumulator tracks count/sum/min/max of a stream of float64 samples.
+type Accumulator struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Observe records one sample.
+func (a *Accumulator) Observe(v float64) {
+	a.Count++
+	a.Sum += v
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+// Mean reports the sample mean, or zero with no samples.
+func (a *Accumulator) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Histogram is a fixed-geometry linear histogram with underflow/overflow
+// buckets at the ends.
+type Histogram struct {
+	Lo      float64
+	Width   float64
+	Buckets []int64
+	Under   int64
+	Over    int64
+	total   int64
+	sum     float64
+}
+
+// NewHistogram builds a histogram covering [lo, lo+width*n) in n buckets.
+func NewHistogram(lo, width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("stats: invalid histogram geometry")
+	}
+	return &Histogram{Lo: lo, Width: width, Buckets: make([]int64, n)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	h.sum += v
+	i := int(math.Floor((v - h.Lo) / h.Width))
+	switch {
+	case i < 0:
+		h.Under++
+	case i >= len(h.Buckets):
+		h.Over++
+	default:
+		h.Buckets[i]++
+	}
+}
+
+// Total reports the number of samples observed.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean reports the mean of all observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Fraction reports the share of samples that landed in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.total)
+}
+
+// BucketLo reports the inclusive lower bound of bucket i.
+func (h *Histogram) BucketLo(i int) float64 { return h.Lo + float64(i)*h.Width }
+
+// GeoMean computes the geometric mean of strictly positive values; zero or
+// negative inputs are skipped (matching how the paper reports Fig 22).
+func GeoMean(vs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, v := range vs {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean computes the arithmetic mean of vs (zero for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Snapshot is a JSON-marshalable view of a Set.
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters"`
+	Accums   map[string]AccumSummary `json:"accumulators"`
+}
+
+// AccumSummary is the JSON view of an Accumulator.
+type AccumSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot captures the current metrics for serialization.
+func (s *Set) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: make(map[string]int64, len(s.counters)),
+		Accums:   make(map[string]AccumSummary, len(s.accums)),
+	}
+	for k, v := range s.counters {
+		snap.Counters[k] = v
+	}
+	for k, a := range s.accums {
+		snap.Accums[k] = AccumSummary{Count: a.Count, Mean: a.Mean(), Min: a.Min, Max: a.Max}
+	}
+	return snap
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Add("a", 4)
+	if got := s.Counter("a"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := s.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	s := NewSet()
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe("lat", v)
+	}
+	a := s.Accum("lat")
+	if a.Count != 4 || a.Mean() != 2.5 || a.Min != 1 || a.Max != 4 {
+		t.Fatalf("accum = %+v mean=%v", a, a.Mean())
+	}
+	if s.Accum("missing").Mean() != 0 {
+		t.Fatal("missing accum mean should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1, 5) // [10,15) in 5 buckets
+	for _, v := range []float64{9, 10, 10.5, 12, 14.9, 15, 100} {
+		h.Observe(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d, want 1 and 2", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 2 { // 10 and 10.5
+		t.Fatalf("bucket0 = %d, want 2", h.Buckets[0])
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+	if h.BucketLo(2) != 12 {
+		t.Fatalf("bucketLo(2) = %v, want 12", h.BucketLo(2))
+	}
+	if got := h.Fraction(0); math.Abs(got-2.0/7) > 1e-12 {
+		t.Fatalf("fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid geometry did not panic")
+		}
+	}()
+	NewHistogram(0, 0, 5)
+}
+
+func TestReset(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Observe("b", 1)
+	s.Hist("c", 0, 1, 10).Observe(5)
+	s.Reset()
+	if s.Counter("a") != 0 || s.Accum("b").Count != 0 {
+		t.Fatal("reset did not clear metrics")
+	}
+	if len(s.Names()) != 0 {
+		t.Fatalf("names after reset: %v", s.Names())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("geomean = %v, want 10", got)
+	}
+	// Non-positive values are skipped.
+	if got := GeoMean([]float64{0, -5, 4, 9}); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("geomean with skips = %v, want 6", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty should be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+}
+
+func TestDumpIncludesMetrics(t *testing.T) {
+	s := NewSet()
+	s.Inc("x/y")
+	s.Observe("z", 2)
+	d := s.Dump()
+	if len(d) == 0 {
+		t.Fatal("dump is empty")
+	}
+}
+
+func TestSnapshotRoundTripsJSON(t *testing.T) {
+	s := NewSet()
+	s.Add("x", 7)
+	s.Observe("y", 2.5)
+	snap := s.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["x"] != 7 || back.Accums["y"].Mean != 2.5 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// Snapshot is a copy: mutating the set afterwards must not affect it.
+	s.Add("x", 100)
+	if snap.Counters["x"] != 7 {
+		t.Fatal("snapshot aliases live counters")
+	}
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzRead feeds arbitrary bytes to the trace parser: it must reject or
+// accept cleanly, never panic, never produce out-of-range records.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "seed", 2, 1<<16)
+	w.Append(0, workload.Access{Addr: 0x1000, NonMem: 2})
+	w.Append(1, workload.Access{Addr: 0x2000, Write: true})
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("EMCCTRC1"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.Cores <= 0 || tr.Cores > 1024 {
+			t.Fatalf("accepted unreasonable core count %d", tr.Cores)
+		}
+		for c, pc := range tr.PerCore {
+			if c >= tr.Cores {
+				t.Fatal("per-core slice larger than core count")
+			}
+			_ = pc
+		}
+	})
+}

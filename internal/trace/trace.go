@@ -1,0 +1,246 @@
+// Package trace records and replays memory-reference traces. Synthetic
+// workloads are deterministic, but a recorded trace pins an experiment's
+// input completely — it can be shared, diffed, and replayed on any
+// simulator configuration (the Pin-trace workflow of the paper's Sec. III).
+//
+// The format is a compact binary stream: a header (magic, version,
+// benchmark name, core count, footprint) followed by one varint-encoded
+// record per access. Addresses are zigzag-delta encoded per core, so
+// streaming workloads cost ~3 bytes per reference.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+const (
+	magic   = "EMCCTRC1"
+	version = 1
+)
+
+// flag bits in each record.
+const (
+	flagWrite = 1 << 0
+	flagDep   = 1 << 1
+)
+
+// Writer streams accesses into a trace.
+type Writer struct {
+	w        *bufio.Writer
+	cores    int
+	lastAddr []uint64
+	count    int64
+	closed   bool
+}
+
+// NewWriter writes the header for a trace of `cores` interleaved streams.
+func NewWriter(w io.Writer, name string, cores int, footprint int64) (*Writer, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("trace: cores must be positive, got %d", cores)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, version)
+	hdr = binary.AppendUvarint(hdr, uint64(len(name)))
+	hdr = append(hdr, name...)
+	hdr = binary.AppendUvarint(hdr, uint64(cores))
+	hdr = binary.AppendUvarint(hdr, uint64(footprint))
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, cores: cores, lastAddr: make([]uint64, cores)}, nil
+}
+
+// Append records one access of core `core`.
+func (t *Writer) Append(core int, a workload.Access) error {
+	if t.closed {
+		return errors.New("trace: writer closed")
+	}
+	if core < 0 || core >= t.cores {
+		return fmt.Errorf("trace: core %d out of range [0,%d)", core, t.cores)
+	}
+	var rec []byte
+	rec = binary.AppendUvarint(rec, uint64(core))
+	var flags byte
+	if a.Write {
+		flags |= flagWrite
+	}
+	if a.Dep {
+		flags |= flagDep
+	}
+	rec = append(rec, flags)
+	delta := int64(a.Addr) - int64(t.lastAddr[core])
+	rec = binary.AppendVarint(rec, delta)
+	rec = binary.AppendUvarint(rec, uint64(a.NonMem))
+	t.lastAddr[core] = a.Addr
+	t.count++
+	_, err := t.w.Write(rec)
+	return err
+}
+
+// Count reports records appended so far.
+func (t *Writer) Count() int64 { return t.count }
+
+// Close flushes the trace. The Writer is unusable afterwards.
+func (t *Writer) Close() error {
+	t.closed = true
+	return t.w.Flush()
+}
+
+// Trace is a fully loaded trace.
+type Trace struct {
+	Name      string
+	Cores     int
+	Footprint int64
+	// PerCore holds each core's access stream.
+	PerCore [][]workload.Access
+}
+
+// Read loads a complete trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, err
+	}
+	cores, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if cores == 0 || cores > 1024 {
+		return nil, fmt.Errorf("trace: unreasonable core count %d", cores)
+	}
+	footprint, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		Name:      string(nameBuf),
+		Cores:     int(cores),
+		Footprint: int64(footprint),
+		PerCore:   make([][]workload.Access, cores),
+	}
+	last := make([]uint64, cores)
+	for {
+		core, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if core >= cores {
+			return nil, fmt.Errorf("trace: core %d out of range", core)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		nonMem, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		addr := uint64(int64(last[core]) + delta)
+		last[core] = addr
+		tr.PerCore[core] = append(tr.PerCore[core], workload.Access{
+			Addr:   addr,
+			Write:  flags&flagWrite != 0,
+			Dep:    flags&flagDep != 0,
+			NonMem: int(nonMem),
+		})
+	}
+}
+
+// Generators returns one replaying generator per core. Streams loop when
+// exhausted (matching the synthetic generators' unbounded contract); a
+// trace with an empty per-core stream cannot be replayed.
+func (t *Trace) Generators() ([]workload.Generator, error) {
+	gens := make([]workload.Generator, t.Cores)
+	for c := range gens {
+		if len(t.PerCore[c]) == 0 {
+			return nil, fmt.Errorf("trace: core %d has no accesses", c)
+		}
+		gens[c] = &replayer{name: t.Name, accesses: t.PerCore[c], footprint: t.Footprint}
+	}
+	return gens, nil
+}
+
+// replayer is a looping workload.Generator over a recorded stream.
+type replayer struct {
+	name      string
+	accesses  []workload.Access
+	footprint int64
+	pos       int
+}
+
+func (r *replayer) Name() string     { return r.name }
+func (r *replayer) Footprint() int64 { return r.footprint }
+
+func (r *replayer) Next() workload.Access {
+	a := r.accesses[r.pos]
+	r.pos++
+	if r.pos == len(r.accesses) {
+		r.pos = 0
+	}
+	return a
+}
+
+// Record captures `refs` references (round-robin across cores) from a
+// synthetic benchmark into w.
+func Record(w io.Writer, bench string, cores int, seed uint64, refs int64, sc workload.Scale) (int64, error) {
+	gens, err := workload.NewSet(bench, cores, seed, sc)
+	if err != nil {
+		return 0, err
+	}
+	space, err := workload.SpaceBytes(bench, cores, sc)
+	if err != nil {
+		return 0, err
+	}
+	tw, err := NewWriter(w, bench, cores, space)
+	if err != nil {
+		return 0, err
+	}
+	perCore := refs / int64(cores)
+	for i := int64(0); i < perCore; i++ {
+		for c := range gens {
+			if err := tw.Append(c, gens[c].Next()); err != nil {
+				return tw.Count(), err
+			}
+		}
+	}
+	return tw.Count(), tw.Close()
+}

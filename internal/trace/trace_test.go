@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/fsim"
+	"repro/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "demo", 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []struct {
+		core int
+		a    workload.Access
+	}{
+		{0, workload.Access{Addr: 0x1000, NonMem: 3}},
+		{1, workload.Access{Addr: 0x2000, Write: true, NonMem: 1}},
+		{0, workload.Access{Addr: 0x1040, Dep: true, NonMem: 0}},
+		{1, workload.Access{Addr: 0x1fc0, NonMem: 7}},
+	}
+	for _, r := range in {
+		if err := w.Append(r.core, r.a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || tr.Cores != 2 || tr.Footprint != 1<<20 {
+		t.Fatalf("header = %+v", tr)
+	}
+	if len(tr.PerCore[0]) != 2 || len(tr.PerCore[1]) != 2 {
+		t.Fatalf("per-core counts: %d/%d", len(tr.PerCore[0]), len(tr.PerCore[1]))
+	}
+	if tr.PerCore[0][1] != in[2].a {
+		t.Fatalf("record mismatch: %+v vs %+v", tr.PerCore[0][1], in[2].a)
+	}
+	if tr.PerCore[1][1] != in[3].a {
+		t.Fatalf("record mismatch: %+v vs %+v", tr.PerCore[1][1], in[3].a)
+	}
+}
+
+func TestRecordMatchesGenerator(t *testing.T) {
+	var buf bytes.Buffer
+	const refs = 4000
+	n, err := Record(&buf, "canneal", 2, 7, refs, workload.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != refs {
+		t.Fatalf("recorded %d refs, want %d", n, refs)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay must equal a fresh generator with the same seed.
+	fresh, _ := workload.NewSet("canneal", 2, 7, workload.TestScale())
+	gens, err := tr.Generators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < refs/2; i++ {
+		for c := 0; c < 2; c++ {
+			want := fresh[c].Next()
+			got := gens[c].Next()
+			if got != want {
+				t.Fatalf("core %d ref %d: %+v != %+v", c, i, got, want)
+			}
+		}
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "loop", 1, 1<<12)
+	w.Append(0, workload.Access{Addr: 0x40})
+	w.Append(0, workload.Access{Addr: 0x80})
+	w.Close()
+	tr, _ := Read(&buf)
+	gens, _ := tr.Generators()
+	a1 := gens[0].Next()
+	gens[0].Next()
+	a3 := gens[0].Next() // wrapped
+	if a1 != a3 {
+		t.Fatalf("replay did not loop: %+v vs %+v", a1, a3)
+	}
+}
+
+func TestTraceDrivesFunctionalSim(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Record(&buf, "canneal", 4, 1, 40_000, workload.TestScale()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := tr.Generators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	s, err := fsim.New(&cfg, fsim.Options{
+		Cores: 4, Refs: 40_000,
+		Generators: gens, DataBytes: tr.Footprint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.Stats().Counter(fsim.MetricDataRead) == 0 {
+		t.Fatal("trace replay produced no accesses")
+	}
+
+	// The replay must match the synthetic original exactly.
+	direct, err := fsim.New(&cfg, fsim.Options{
+		Benchmark: "canneal", Cores: 4, Seed: 1, Refs: 40_000,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.Run()
+	for _, m := range []string{fsim.MetricL2DataMiss, fsim.MetricDRAMDataRead, fsim.MetricDRAMCtrRead} {
+		if a, b := s.Stats().Counter(m), direct.Stats().Counter(m); a != b {
+			t.Fatalf("%s: trace %d != synthetic %d", m, a, b)
+		}
+	}
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, "x", 0, 1); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	w, _ := NewWriter(&buf, "x", 1, 1)
+	if err := w.Append(5, workload.Access{}); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+	w.Close()
+	if err := w.Append(0, workload.Access{}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+}
+
+func TestTruncatedStreamRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "x", 1, 1<<12)
+	w.Append(0, workload.Access{Addr: 0x40, NonMem: 3})
+	w.Close()
+	full := buf.Bytes()
+	// Chop mid-record (after magic+header): decoding must error, not
+	// hang or fabricate records.
+	for cut := len(full) - 1; cut > len(full)-3; cut-- {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestRecordUnknownBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Record(&buf, "nosuch", 2, 1, 100, workload.TestScale()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestEmptyCoreStreamCannotReplay(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "x", 2, 1<<12)
+	w.Append(0, workload.Access{Addr: 0x40})
+	w.Close() // core 1 never got an access
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Generators(); err == nil {
+		t.Fatal("empty core stream replayed")
+	}
+}

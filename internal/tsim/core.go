@@ -1,0 +1,203 @@
+package tsim
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// core is a window-limited out-of-order core model (Table I: 4-wide,
+// 192-entry ROB). It captures the properties the evaluation depends on:
+//
+//   - memory-level parallelism bounded by the ROB: an outstanding load
+//     permits up to ROBEntries younger instructions (including other
+//     loads) to dispatch before the front end stalls;
+//   - in-order retirement: the run's span ends at the last retirement;
+//   - dependent loads (pointer chases) issue only after their predecessor
+//     returns;
+//   - L1 MSHRs cap outstanding misses;
+//   - stores retire through a write buffer and never stall the core, but
+//     their fills consume MSHRs and memory bandwidth.
+type core struct {
+	s     *Sim
+	id    int
+	tile  noc.NodeID
+	gen   workload.Generator
+	l1    *cache.Cache
+	l1Lat sim.Time
+
+	refsLeft int64
+	instrs   int64 // retired instructions (memory + non-memory)
+	stash    *workload.Access
+
+	clock       sim.Time // front-end dispatch clock
+	outstanding int      // misses in flight (loads + store fills)
+	inflight    []int64  // instruction indices of in-flight loads, oldest first
+	lastMemDone sim.Time
+	lastMemPend bool  // the most recently issued memory access is in flight
+	lastMemIdx  int64 // its instruction index
+	lastRetire  sim.Time
+	waiting     bool
+	done        bool
+
+	cycle      sim.Time
+	issueWidth int64
+}
+
+func newCore(s *Sim, id int, gen workload.Generator, refs int64) *core {
+	return &core{
+		s:          s,
+		id:         id,
+		tile:       s.mesh.CoreTile(id),
+		gen:        gen,
+		l1:         cache.New("l1", s.cfg.L1Bytes, s.cfg.L1Ways),
+		l1Lat:      s.cfg.L1Latency,
+		refsLeft:   refs,
+		cycle:      s.cfg.CoreCycle(),
+		issueWidth: int64(s.cfg.IssueWidth),
+	}
+}
+
+func (c *core) start() { c.s.eng.At(0, c.step) }
+
+// step dispatches instructions until a structural stall (ROB, MSHR,
+// dependence) or the end of the stream. It re-arms from completion events.
+func (c *core) step() {
+	c.waiting = false
+	for {
+		if c.stash == nil {
+			if c.refsLeft <= 0 {
+				c.done = true
+				return
+			}
+			a := c.gen.Next()
+			c.refsLeft--
+			c.stash = &a
+		}
+		a := *c.stash
+		// Structural gates; any stall keeps the access stashed and
+		// waits for a completion to re-arm the loop.
+		if c.outstanding >= c.s.cfg.L1MSHRs {
+			c.waiting = true
+			return
+		}
+		nextInstr := c.instrs + int64(a.NonMem) + 1
+		if len(c.inflight) > 0 && nextInstr-c.inflight[0] >= int64(c.s.cfg.ROBEntries) {
+			c.waiting = true
+			return
+		}
+		if a.Dep && c.lastMemPend {
+			c.waiting = true
+			return
+		}
+
+		// Commit dispatch. The memory instruction occupies a dispatch
+		// slot alongside its non-memory batch.
+		c.stash = nil
+		batchCycles := (int64(a.NonMem) + 1 + c.issueWidth - 1) / c.issueWidth
+		c.clock += sim.Time(batchCycles) * c.cycle
+		c.instrs = nextInstr
+		if a.Dep && c.lastMemDone > c.clock {
+			c.clock = c.lastMemDone
+		}
+		c.issueMem(a)
+	}
+}
+
+// issueMem sends one memory access into the hierarchy at the front-end
+// clock. It never blocks.
+func (c *core) issueMem(a workload.Access) {
+	block := addr.BlockOf(a.Addr)
+	t := c.clock
+	if now := c.s.eng.Now(); t < now {
+		t = now
+		c.clock = t
+	}
+	idx := c.instrs
+
+	if a.Write {
+		c.s.st.Inc("tsim/store")
+		done := t + c.l1Lat
+		c.retireAt(done)
+		c.lastMemDone, c.lastMemPend, c.lastMemIdx = done, false, idx
+		if c.l1.Lookup(block) {
+			c.l1.MarkDirty(block)
+			return
+		}
+		// Store miss: fetch for ownership in the background.
+		c.outstanding++
+		c.s.at(done, func() {
+			c.s.l2s[c.id].read(block, true, func(at sim.Time) {
+				c.outstanding--
+				c.fillL1(block, true)
+				c.resume()
+			})
+		})
+		return
+	}
+
+	c.s.st.Inc("tsim/load")
+	if c.l1.Lookup(block) {
+		done := t + c.l1Lat
+		c.retireAt(done)
+		c.lastMemDone, c.lastMemPend, c.lastMemIdx = done, false, idx
+		return
+	}
+	// L1 load miss.
+	c.outstanding++
+	c.inflight = append(c.inflight, idx)
+	c.lastMemPend, c.lastMemIdx = true, idx
+	c.s.at(t+c.l1Lat, func() {
+		c.s.l2s[c.id].read(block, false, func(at sim.Time) {
+			c.loadDone(idx, block, at)
+		})
+	})
+}
+
+// loadDone retires a returning load and releases stalled dispatch.
+func (c *core) loadDone(instrIdx int64, block uint64, at sim.Time) {
+	c.outstanding--
+	c.fillL1(block, false)
+	c.retireAt(at)
+	for i := range c.inflight {
+		if c.inflight[i] == instrIdx {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			break
+		}
+	}
+	if c.lastMemPend && instrIdx == c.lastMemIdx {
+		c.lastMemPend = false
+	}
+	if c.lastMemDone < at {
+		c.lastMemDone = at
+	}
+	c.resume()
+}
+
+func (c *core) resume() {
+	if c.waiting {
+		c.waiting = false
+		c.s.eng.After(0, c.step)
+	}
+}
+
+// retireAt records an in-order retirement bound.
+func (c *core) retireAt(t sim.Time) {
+	if t > c.lastRetire {
+		c.lastRetire = t
+	}
+}
+
+// fillL1 inserts into L1, folding dirty victims into L2's functional state
+// (L1 writeback timing is absorbed into L2 latency).
+func (c *core) fillL1(block uint64, dirty bool) {
+	v, ok := c.l1.Insert(block, dirty, addr.KindData)
+	if ok && v.Dirty {
+		l2 := c.s.l2s[c.id]
+		if !l2.c.MarkDirty(v.Block) {
+			l2.fill(v.Block, true, c.s.eng.Now())
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package tsim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/emcc"
+	"repro/internal/mc"
+	"repro/internal/noc"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// readReq tracks one L2 miss through the hierarchy, including the EMCC
+// cryptography state of Sec. IV: where the counter was found, whether the
+// offload decision bit is set, and how the response (plaintext from LLC,
+// tagged-verified from MC, or ciphertext + MAC⊕dot to finish at L2) lands.
+type readReq struct {
+	block   uint64
+	isStore bool
+	l2      *l2Ctl
+	missAt  sim.Time // L2 miss detection time (Fig 17 latency origin)
+
+	offload   bool // decision bit: AES queue pressure at miss time
+	completed bool
+	mcStarted bool // dedupe XPT + LLC-forwarded arrivals at the MC
+	llcMissed bool // the data access missed in LLC (Fig 11 accounting)
+
+	// L2-side cryptography state (EMCC).
+	ctrKnown   bool
+	ctrReady   sim.Time // when the counter is usable at L2
+	aesStarted bool
+	aesKnown   bool
+	aesDone    sim.Time
+	cipherHere bool // untagged ciphertext response arrived at L2
+	cipherAt   sim.Time
+}
+
+// l2Ctl is the per-core L2 cache controller. Under EMCC it also hosts a
+// share of the AES units and the counter-side logic.
+type l2Ctl struct {
+	s    *Sim
+	id   int
+	tile noc.NodeID
+	c    *cache.Cache
+	lat  sim.Time
+	aes  *mc.AESPool // nil unless EMCC moves AES bandwidth here
+	pend map[uint64]*l2Mshr
+	// monitor, when non-nil, is the Sec. IV-F intensity monitor that
+	// dynamically turns EMCC off for non-memory-intensive phases.
+	monitor *emcc.IntensityMonitor
+	// pf, when non-nil, is the Table I constant-stride prefetcher.
+	pf *prefetch.Prefetcher
+}
+
+type l2Mshr struct {
+	req     *readReq
+	waiters []func(at sim.Time)
+}
+
+func newL2Ctl(s *Sim, id int) *l2Ctl {
+	l := &l2Ctl{
+		s:    s,
+		id:   id,
+		tile: s.mesh.CoreTile(id),
+		c:    cache.New(fmt.Sprintf("l2.%d", id), s.cfg.L2Bytes, s.cfg.L2Ways),
+		lat:  s.cfg.L2Latency,
+		pend: make(map[uint64]*l2Mshr),
+	}
+	if s.cfg.EMCC && s.cfg.EMCCAESFraction > 0 {
+		perL2 := s.cfg.AESPeakOpsPerSec * s.cfg.EMCCAESFraction / float64(s.opt.Cores)
+		l.aes = mc.NewAESPool(s.eng, perL2, s.cfg.AESLatency)
+		l.c.SetCounterCap(s.cfg.EMCCL2CounterBytes)
+	}
+	if s.cfg.EMCC && s.cfg.EMCCDynamicOff {
+		l.monitor = emcc.NewIntensityMonitor()
+	}
+	if s.cfg.PrefetchL2Degree > 0 {
+		l.pf = prefetch.New(s.cfg.PrefetchTable, s.cfg.PrefetchL2Degree)
+	}
+	return l
+}
+
+// read serves an L1 miss (load or store fill). done fires when the block is
+// decrypted, verified and resident in L2.
+func (l *l2Ctl) read(block uint64, isStore bool, done func(at sim.Time)) {
+	t := l.s.eng.Now()
+	if l.monitor != nil {
+		l.monitor.OnRequest()
+	}
+	if l.c.Lookup(block) {
+		done(t + l.lat)
+		return
+	}
+	if m := l.pend[block]; m != nil {
+		m.waiters = append(m.waiters, done)
+		return
+	}
+	tM := t + l.lat
+	req := &readReq{block: block, isStore: isStore, l2: l, missAt: tM}
+	l.pend[block] = &l2Mshr{req: req, waiters: []func(at sim.Time){done}}
+	l.s.st.Inc("tsim/l2-data-miss")
+	l.s.at(tM, func() { l.missPath(req) })
+	// Demand misses train the stride prefetcher; candidates fetch in the
+	// background through the same secure-read machinery.
+	if l.pf != nil {
+		for _, cand := range l.pf.Observe(block) {
+			l.prefetchInto(cand)
+		}
+	}
+}
+
+// prefetchInto launches a background fill. It does not train the
+// prefetcher (no runaway chains) and nobody waits on it.
+func (l *l2Ctl) prefetchInto(block uint64) {
+	if l.c.Peek(block) || l.pend[block] != nil {
+		return
+	}
+	t := l.s.eng.Now()
+	tM := t + l.lat
+	req := &readReq{block: block, isStore: false, l2: l, missAt: tM}
+	l.pend[block] = &l2Mshr{req: req}
+	l.s.st.Inc("tsim/l2-prefetch")
+	l.s.at(tM, func() { l.missPath(req) })
+}
+
+// missPath launches the parallel data and (under EMCC) counter requests.
+func (l *l2Ctl) missPath(req *readReq) {
+	s := l.s
+	tM := s.eng.Now()
+
+	emccOn := s.cfg.EMCC && s.secure() && (l.monitor == nil || l.monitor.Enabled())
+	if emccOn {
+		// Adaptive offload decision (Sec. IV-D): the bit travels with
+		// the miss request.
+		if l.aes == nil || s.pol.ShouldOffload(l.aes.QueueDelay()) {
+			req.offload = true
+			s.st.Inc(emcc.MetricOffloadQueue)
+		}
+		// Serial counter lookup in L2 during spare cycles ('J').
+		s.at(tM+s.pol.LookupDelay, func() { l.counterProbe(req) })
+	} else if s.cfg.EMCC && s.secure() {
+		// Dynamic EMCC-off (Sec. IV-F): all cryptography at the MC.
+		req.offload = true
+		s.st.Inc("emcc/dynamic-off-miss")
+	}
+
+	// Data request to the block's LLC slice.
+	slice := s.mesh.SliceOf(req.block)
+	s.at(tM+s.oneway(l.tile, slice), func() { s.llc.dataAccess(req, slice) })
+
+	// XPT LLC-miss prediction: forward the miss straight to the MC in
+	// parallel (idealised: only when the block really misses in LLC).
+	if s.cfg.XPT && !s.llc.c.Peek(req.block) {
+		mcTile := s.mesh.MCTile(s.mesh.MCOf(req.block))
+		s.at(tM+s.oneway(l.tile, mcTile), func() { s.mc.dataRead(req, false) })
+	}
+}
+
+// counterProbe is the Sec. IV-C serial counter lookup in L2, followed by a
+// speculative parallel fetch from LLC on miss.
+func (l *l2Ctl) counterProbe(req *readReq) {
+	s := l.s
+	if req.completed {
+		return
+	}
+	t := s.eng.Now()
+	cb := s.mc.home.CounterBlockOf(req.block)
+	if l.c.Lookup(cb) {
+		s.st.Inc(emcc.MetricL2CtrHit)
+		req.ctrKnown = true
+		req.ctrReady = t + s.mc.decodeLat
+		l.maybeStartAES(req)
+		return
+	}
+	s.st.Inc(emcc.MetricL2CtrMiss)
+	s.st.Inc(emcc.MetricSpecFetch)
+	slice := s.mesh.SliceOf(cb)
+	s.at(t+s.oneway(l.tile, slice), func() { s.llc.counterAccessFromL2(req, cb, slice) })
+}
+
+// counterArrived delivers a verified counter block to L2 (from LLC or,
+// after an on-chip miss, from the MC).
+func (l *l2Ctl) counterArrived(req *readReq, cb uint64) {
+	s := l.s
+	t := s.eng.Now()
+	l.insertCounter(cb)
+	if req.llcMissed {
+		// The fetch that triggered this counter already proved it
+		// useful: its own data access missed in LLC (Fig 11).
+		l.c.MarkUsed(cb)
+	}
+	if req.completed || req.ctrKnown {
+		return
+	}
+	req.ctrKnown = true
+	req.ctrReady = t + s.mc.decodeLat
+	l.maybeStartAES(req)
+}
+
+// insertCounter caches a counter block in L2 under the 32 KB cap with the
+// Fig 11 useless-fetch accounting.
+func (l *l2Ctl) insertCounter(cb uint64) {
+	l.s.st.Inc(emcc.MetricCtrInserted)
+	v, ok := l.c.Insert(cb, false, addr.KindCounter)
+	if !ok {
+		return
+	}
+	if v.Kind == addr.KindCounter {
+		if !v.WasUsed {
+			l.s.st.Inc(emcc.MetricUseless)
+		}
+		return
+	}
+	l.spillVictim(v)
+}
+
+// maybeStartAES arms the gated AES start of Sec. IV-D: no earlier than the
+// counter is decoded, and no earlier than one LLC-hit latency after the
+// miss (so LLC hits never waste AES bandwidth at L2).
+func (l *l2Ctl) maybeStartAES(req *readReq) {
+	s := l.s
+	if req.aesStarted || req.completed || req.offload || l.aes == nil {
+		return
+	}
+	req.aesStarted = true
+	start := req.ctrReady
+	if gate := req.missAt + s.pol.LLCHitWait; gate > start {
+		start = gate
+	}
+	s.at(start, func() {
+		if req.completed {
+			req.aesStarted = false // never reserved; nothing wasted
+			return
+		}
+		req.aesKnown = true
+		req.aesDone = l.aes.Reserve(emcc.AESOpsPerRead, s.eng.Now())
+		l.maybeFinishCipher(req)
+	})
+}
+
+// completePlain finishes a request whose data came decrypted: an LLC hit
+// (on-chip data is plaintext) or a tagged-verified MC response.
+func (l *l2Ctl) completePlain(req *readReq, fromMC bool) {
+	if req.completed {
+		return
+	}
+	if fromMC {
+		l.s.st.Inc(emcc.MetricDecryptAtMC)
+		if l.monitor != nil {
+			l.monitor.OnDRAMFill()
+		}
+	}
+	l.finish(req, l.s.eng.Now())
+}
+
+// cipherArrived handles an untagged MC response: ciphertext plus
+// MAC⊕dot-product, to be finished with the locally computed AES results.
+func (l *l2Ctl) cipherArrived(req *readReq) {
+	req.cipherHere = true
+	req.cipherAt = l.s.eng.Now()
+	if l.monitor != nil {
+		l.monitor.OnDRAMFill()
+	}
+	l.maybeFinishCipher(req)
+}
+
+// maybeFinishCipher completes the read once both the ciphertext and the
+// local AES results are available (the 1 ns XOR + compare is the only
+// data-dependent work, Sec. II).
+func (l *l2Ctl) maybeFinishCipher(req *readReq) {
+	if req.completed || !req.cipherHere || !req.aesKnown {
+		return
+	}
+	at := req.cipherAt
+	if req.aesDone > at {
+		at = req.aesDone
+	}
+	l.s.st.Observe("tsim/crypto-exposure-l2-ns", (at - req.cipherAt).Nanoseconds())
+	at += sim.NS(1)
+	l.s.st.Inc(emcc.MetricDecryptAtL2)
+	l.s.at(at, func() { l.finish(req, at) })
+}
+
+// finish inserts the block, wakes waiters and retires the MSHR.
+func (l *l2Ctl) finish(req *readReq, at sim.Time) {
+	if req.completed {
+		return
+	}
+	req.completed = true
+	l.fill(req.block, false, at)
+	m := l.pend[req.block]
+	delete(l.pend, req.block)
+	if m == nil {
+		return
+	}
+	if !req.isStore && len(m.waiters) > 0 {
+		l.s.st.Observe("tsim/l2-read-miss-latency-ns", (at - req.missAt).Nanoseconds())
+	}
+	for _, w := range m.waiters {
+		w(at)
+	}
+}
+
+// fill inserts a data block into L2, spilling the victim into the LLC.
+func (l *l2Ctl) fill(block uint64, dirty bool, at sim.Time) {
+	v, ok := l.c.Insert(block, dirty, addr.KindData)
+	if !ok {
+		return
+	}
+	l.spillVictim(v)
+}
+
+// spillVictim routes an evicted L2 line: counters just account uselessness
+// (the LLC keeps its own copy path), data goes to the LLC victim cache.
+func (l *l2Ctl) spillVictim(v cache.Victim) {
+	if v.Kind == addr.KindCounter {
+		if !v.WasUsed {
+			l.s.st.Inc(emcc.MetricUseless)
+		}
+		return
+	}
+	l.s.llc.insert(v.Block, v.Dirty, v.Kind)
+}
+
+// invalidateCounter handles an MC counter-update invalidation (Fig 23).
+func (l *l2Ctl) invalidateCounter(cb uint64) {
+	if v, ok := l.c.Invalidate(cb); ok {
+		l.s.st.Inc(emcc.MetricInvalidations)
+		if !v.WasUsed {
+			l.s.st.Inc(emcc.MetricUseless)
+		}
+	}
+}

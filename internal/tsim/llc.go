@@ -1,0 +1,100 @@
+package tsim
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// llcCtl models the sliced last-level cache. State is one functional cache
+// (the slices are a latency construct: each block's home slice tile
+// determines its NoC distances); a miss pays only the tag lookup while a
+// hit pays tag + data, the 'L' effect of Fig 13.
+type llcCtl struct {
+	s          *Sim
+	c          *cache.Cache
+	tagLat     sim.Time
+	dataLat    sim.Time
+	payloadPen sim.Time // 'M' of Fig 13: transmitting counter payloads
+}
+
+func newLLCCtl(s *Sim) *llcCtl {
+	return &llcCtl{
+		s:          s,
+		c:          cache.New("llc", s.cfg.L3Bytes, s.cfg.L3Ways),
+		tagLat:     s.cfg.L3TagLatency,
+		dataLat:    s.cfg.L3DataLatency,
+		payloadPen: sim.NS(1),
+	}
+}
+
+// dataAccess serves an L2 data miss arriving at its home slice.
+func (g *llcCtl) dataAccess(req *readReq, slice noc.NodeID) {
+	s := g.s
+	t := s.eng.Now()
+	s.st.Inc("tsim/llc-data-access")
+	if g.c.Lookup(req.block) {
+		// On-chip data is already decrypted and verified.
+		arr := t + g.tagLat + g.dataLat + s.oneway(slice, req.l2.tile)
+		s.at(arr, func() { req.l2.completePlain(req, false) })
+		return
+	}
+	s.st.Inc("tsim/llc-data-miss")
+	req.llcMissed = true
+	if s.cfg.EMCC && s.secure() {
+		// This LLC miss proves the L2's counter copy useful (Fig 11).
+		req.l2.c.MarkUsed(s.mc.home.CounterBlockOf(req.block))
+	}
+	mcTile := s.mesh.MCTile(s.mesh.MCOf(req.block))
+	s.at(t+g.tagLat+s.oneway(slice, mcTile), func() { s.mc.dataRead(req, true) })
+}
+
+// counterAccessFromL2 serves EMCC's speculative parallel counter fetch.
+func (g *llcCtl) counterAccessFromL2(req *readReq, cb uint64, slice noc.NodeID) {
+	s := g.s
+	t := s.eng.Now()
+	s.st.Inc("tsim/ctr-llc-lookup")
+	if g.c.Lookup(cb) {
+		s.st.Inc("tsim/ctr-llc-hit")
+		arr := t + g.tagLat + g.dataLat + g.payloadPen + s.oneway(slice, req.l2.tile)
+		s.at(arr, func() { req.l2.counterArrived(req, cb) })
+		return
+	}
+	s.st.Inc("tsim/ctr-llc-miss")
+	mcTile := s.mesh.MCTile(s.mesh.MCOf(cb))
+	s.at(t+g.tagLat+s.oneway(slice, mcTile), func() { s.mc.counterMissFromL2(req, cb) })
+}
+
+// metaAccessFromMC serves the baseline MC counter path: the MC, having
+// missed its private counter cache, probes the LLC (serially after the data
+// miss, Sec. III-B).
+func (g *llcCtl) metaAccessFromMC(mb uint64, mcTile noc.NodeID, done func(hit bool, at sim.Time)) {
+	s := g.s
+	t := s.eng.Now()
+	s.st.Inc("tsim/ctr-llc-lookup")
+	slice := s.mesh.SliceOf(mb)
+	if g.c.Lookup(mb) {
+		s.st.Inc("tsim/ctr-llc-hit")
+		arr := t + g.tagLat + g.dataLat + g.payloadPen + s.oneway(slice, mcTile)
+		s.at(arr, func() { done(true, arr) })
+		return
+	}
+	s.st.Inc("tsim/ctr-llc-miss")
+	arr := t + g.tagLat + s.oneway(slice, mcTile)
+	s.at(arr, func() { done(false, arr) })
+}
+
+// insert places a block in the LLC (L2 victims, counter copies), routing
+// displaced dirty blocks to the MC for writeback.
+func (g *llcCtl) insert(block uint64, dirty bool, kind addr.Kind) {
+	v, ok := g.c.Insert(block, dirty, kind)
+	if !ok || !v.Dirty {
+		return
+	}
+	if v.Kind == addr.KindData {
+		g.s.mc.writebackData(v.Block)
+		return
+	}
+	g.s.mc.writebackMeta(v.Block)
+}

@@ -1,0 +1,427 @@
+package tsim
+
+import (
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/emcc"
+	"repro/internal/mc"
+	"repro/internal/sim"
+)
+
+// mcCtl is the timing model of the secure memory controller: the private
+// counter/metadata cache, counter verification walks, AES pools,
+// decryption/verification orchestration, writeback counter updates with
+// invalidation, and the split-counter overflow engine. A single logical
+// authority serves both MC tiles (DESIGN.md simplification).
+type mcCtl struct {
+	s    *Sim
+	home *mc.Home
+	aes  *mc.AESPool
+	ovf  *mc.OverflowEngine
+
+	ctrCacheLat sim.Time
+	decodeLat   sim.Time
+
+	pendData map[uint64]*mcDataPending
+	pendMeta map[uint64]*metaFetch
+}
+
+// mcDataPending is the MC-side MSHR for one data block read.
+type mcDataPending struct {
+	block      uint64
+	reqs       []*readReq
+	needCrypto bool // MC decrypts/verifies (baseline, offload, on-chip counter miss)
+	confirmed  bool // a confirmed LLC miss arrived (not just an XPT prediction)
+	ctrStarted bool
+	aesKnown   bool
+	aesDone    sim.Time
+	dataHere   bool
+	dataAt     sim.Time
+	responded  bool
+}
+
+type metaFetch struct {
+	waiters []func(at sim.Time)
+}
+
+func newMCCtl(s *Sim, dataBytes int64) *mcCtl {
+	m := &mcCtl{
+		s:           s,
+		ctrCacheLat: s.cfg.CtrCacheLatency,
+		pendData:    make(map[uint64]*mcDataPending),
+		pendMeta:    make(map[uint64]*metaFetch),
+	}
+	if !s.secure() {
+		return m
+	}
+	m.home = mc.NewHome(s.cfg, dataBytes)
+	m.decodeLat = m.home.Org.DecodeLatency()
+	mcShare := 1.0
+	if s.cfg.EMCC {
+		mcShare = 1 - s.cfg.EMCCAESFraction
+		if mcShare <= 0 {
+			mcShare = 0.05 // the MC always keeps enough for counter verification
+		}
+	}
+	m.aes = mc.NewAESPool(s.eng, s.cfg.AESPeakOpsPerSec*mcShare, s.cfg.AESLatency)
+	m.ovf = mc.NewOverflowEngine(s.eng, s.st, s.cfg.OverflowMaxLive, s.cfg.OverflowSlots, m.issueOverflow)
+	return m
+}
+
+// ---- Data read path ----
+
+// dataRead receives a data miss request. confirmed=false marks an XPT
+// prediction: the DRAM data access starts speculatively, but the MC's
+// counter/cryptography path — which has verification side effects — only
+// starts once the confirmed LLC miss arrives (Fig 14b: under XPT the
+// baseline's counter access in LLC still follows the data's LLC lookup).
+func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
+	if req.completed {
+		return
+	}
+	if req.mcStarted {
+		if confirmed {
+			if p := m.pendData[req.block]; p != nil && !p.responded {
+				m.confirm(p)
+			}
+		}
+		return
+	}
+	// Sec. V: the MC rejects incoming LLC requests while a third
+	// overflow is outstanding.
+	if m.ovf != nil && m.ovf.Blocked() {
+		m.s.st.Inc("tsim/mc-rejected-while-blocked")
+		m.s.eng.After(sim.NS(200), func() { m.dataRead(req, confirmed) })
+		return
+	}
+	req.mcStarted = true
+
+	if p := m.pendData[req.block]; p != nil && !p.responded {
+		p.reqs = append(p.reqs, req)
+		if m.reqNeedsMCCrypto(req) && !p.needCrypto {
+			p.needCrypto = true
+		}
+		if confirmed {
+			m.confirm(p)
+		} else if p.confirmed && p.needCrypto {
+			m.startCounterPath(p)
+		}
+		return
+	}
+	p := &mcDataPending{block: req.block, reqs: []*readReq{req}}
+	p.needCrypto = m.reqNeedsMCCrypto(req)
+	m.pendData[req.block] = p
+	m.enqueueDRAM(req.block, false, dram.TrafficData, func(at sim.Time) {
+		p.dataHere, p.dataAt = true, at
+		m.maybeRespond(p)
+	})
+	if confirmed {
+		m.confirm(p)
+	}
+}
+
+// confirm marks the miss as real, releasing the counter path and any
+// response that was held for confirmation.
+func (m *mcCtl) confirm(p *mcDataPending) {
+	p.confirmed = true
+	if p.needCrypto {
+		m.startCounterPath(p)
+	}
+	m.maybeRespond(p)
+}
+
+// reqNeedsMCCrypto decides whether the MC must decrypt/verify this read:
+// always outside EMCC; under EMCC only when the miss request carries the
+// offload bit (counter-miss upgrades arrive via counterMissFromL2).
+func (m *mcCtl) reqNeedsMCCrypto(req *readReq) bool {
+	if !m.s.secure() {
+		return false
+	}
+	if !m.s.cfg.EMCC {
+		return true
+	}
+	return req.offload
+}
+
+// startCounterPath resolves the data block's counter at the MC and books
+// the AES work for decryption + verification.
+func (m *mcCtl) startCounterPath(p *mcDataPending) {
+	if p.ctrStarted {
+		return
+	}
+	p.ctrStarted = true
+	cb := m.home.CounterBlockOf(p.block)
+	m.fetchMeta(cb, false, func(at sim.Time) {
+		p.aesDone = m.aes.Reserve(emcc.AESOpsPerRead, at+m.decodeLat)
+		p.aesKnown = true
+		m.maybeRespond(p)
+	})
+}
+
+// maybeRespond sends the data response once its conditions are met.
+func (m *mcCtl) maybeRespond(p *mcDataPending) {
+	if p.responded || !p.dataHere {
+		return
+	}
+	if p.needCrypto && !p.aesKnown {
+		return
+	}
+	if m.s.secure() && !p.confirmed && !p.needCrypto {
+		// An EMCC untagged response may only answer a confirmed miss;
+		// a speculative read that beat the LLC lookup waits for it.
+		return
+	}
+	p.responded = true
+	delete(m.pendData, p.block)
+
+	var leave sim.Time
+	tagged := false
+	switch {
+	case !m.s.secure():
+		leave = p.dataAt
+	case p.needCrypto:
+		// Decrypt + verify at MC: XOR and dot product after AES.
+		leave = p.dataAt
+		if p.aesDone > leave {
+			leave = p.aesDone
+		}
+		m.s.st.Observe("tsim/crypto-exposure-mc-ns", (leave - p.dataAt).Nanoseconds())
+		leave += sim.NS(1)
+		tagged = true
+	default:
+		// EMCC untagged response: compute the ciphertext dot product
+		// and embed MAC⊕dot (Sec. IV-D).
+		leave = p.dataAt + sim.NS(1)
+	}
+	for _, req := range p.reqs {
+		r := req
+		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(p.block))
+		slice := m.s.mesh.SliceOf(p.block)
+		arr := leave + m.s.oneway(mcTile, slice) + m.s.oneway(slice, r.l2.tile)
+		isTagged := tagged
+		m.s.at(arr, func() {
+			switch {
+			case !m.s.secure():
+				r.l2.completePlain(r, false)
+			case isTagged:
+				r.l2.completePlain(r, true)
+			default:
+				r.l2.cipherArrived(r)
+			}
+		})
+	}
+}
+
+// counterMissFromL2 handles an EMCC counter request that missed on-chip
+// (L2 and LLC): the MC takes over cryptography for the data access when it
+// still can, and in any case resolves, verifies and distributes the
+// counter block to the LLC and the requesting L2 (Sec. IV-D).
+func (m *mcCtl) counterMissFromL2(req *readReq, cb uint64) {
+	m.s.st.Inc("tsim/ctr-miss-onchip")
+	if p := m.pendData[req.block]; p != nil && !p.responded && !p.needCrypto {
+		// The counter request is real (not speculative): the MC can
+		// take the cryptography over right away.
+		p.needCrypto = true
+		m.startCounterPath(p)
+	}
+	// The request already missed in LLC on its way here; go straight to
+	// the counter cache and DRAM.
+	m.fetchMeta(cb, true, func(at sim.Time) {
+		m.s.llc.insert(cb, false, addr.KindCounter)
+		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(cb))
+		slice := m.s.mesh.SliceOf(cb)
+		arr := at + m.s.oneway(mcTile, slice) + m.s.oneway(slice, req.l2.tile)
+		m.s.at(arr, func() { req.l2.counterArrived(req, cb) })
+	})
+}
+
+// ---- Metadata fetch (counter cache -> LLC -> DRAM + verification) ----
+
+// fetchMeta obtains a verified metadata block at the MC, calling done with
+// the time it becomes usable. Concurrent fetches of one block merge.
+// skipLLC is set when the caller already observed an LLC miss for mb.
+func (m *mcCtl) fetchMeta(mb uint64, skipLLC bool, done func(at sim.Time)) {
+	t := m.s.eng.Now()
+	if m.home.LookupMeta(mb) {
+		at := t + m.ctrCacheLat
+		m.s.at(at, func() { done(at) })
+		return
+	}
+	if f := m.pendMeta[mb]; f != nil {
+		f.waiters = append(f.waiters, done)
+		return
+	}
+	m.pendMeta[mb] = &metaFetch{waiters: []func(at sim.Time){done}}
+	missAt := t + m.ctrCacheLat
+	if m.s.cfg.CountersInLLC && !skipLLC {
+		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(mb))
+		slice := m.s.mesh.SliceOf(mb)
+		m.s.at(missAt+m.s.oneway(mcTile, slice), func() {
+			m.s.llc.metaAccessFromMC(mb, mcTile, func(hit bool, at sim.Time) {
+				if hit {
+					m.insertMeta(mb)
+					m.completeMeta(mb, at)
+					return
+				}
+				m.fetchMetaFromDRAM(mb)
+			})
+		})
+		return
+	}
+	m.s.at(missAt, func() { m.fetchMetaFromDRAM(mb) })
+}
+
+// fetchMetaFromDRAM reads a metadata block from memory and verifies it
+// against its parent (fetched recursively) before use.
+func (m *mcCtl) fetchMetaFromDRAM(mb uint64) {
+	m.enqueueDRAM(mb, false, dram.TrafficCounter, func(at sim.Time) {
+		parent, ok := m.home.Space.ParentOf(mb)
+		if !ok {
+			// Tree root: verified against on-chip state.
+			m.insertMeta(mb)
+			m.completeMeta(mb, at)
+			return
+		}
+		m.fetchMeta(parent, false, func(pAt sim.Time) {
+			start := at
+			if pAt > start {
+				start = pAt
+			}
+			verified := m.aes.Reserve(1, start) + sim.NS(1)
+			m.insertMeta(mb)
+			m.completeMeta(mb, verified)
+		})
+	})
+}
+
+// insertMeta fills the MC's metadata cache. Every displaced metadata block
+// — clean or dirty — spills into the LLC (second-level counter cache).
+func (m *mcCtl) insertMeta(mb uint64) {
+	v, ok := m.home.InsertMeta(mb, false)
+	if ok {
+		m.spillMeta(v.Block, v.Dirty)
+	}
+}
+
+// completeMeta wakes every waiter of a finished metadata fetch.
+func (m *mcCtl) completeMeta(mb uint64, at sim.Time) {
+	f := m.pendMeta[mb]
+	if f == nil {
+		return
+	}
+	delete(m.pendMeta, mb)
+	for _, w := range f.waiters {
+		w(at)
+	}
+}
+
+// spillMeta routes metadata leaving the MC's cache: into the LLC when
+// counters live there, else straight to DRAM when dirty.
+func (m *mcCtl) spillMeta(mb uint64, dirty bool) {
+	if m.s.cfg.CountersInLLC {
+		m.s.llc.insert(mb, dirty, m.home.Space.Kind(mb))
+		return
+	}
+	if dirty {
+		m.writebackMeta(mb)
+	}
+}
+
+// ---- Writebacks ----
+
+// writebackData handles a dirty data block arriving from the LLC: encrypt
+// (AES bandwidth), update its counter, invalidate EMCC L2 copies, write.
+func (m *mcCtl) writebackData(block uint64) {
+	if m.s.warming {
+		if m.s.secure() {
+			m.s.warmBump(block)
+			if m.s.cfg.EMCC {
+				for _, l2 := range m.s.l2s {
+					l2.invalidateCounter(m.home.CounterBlockOf(block))
+				}
+			}
+		}
+		return
+	}
+	if m.s.secure() {
+		m.aes.ReserveLow(emcc.AESOpsPerWrite, m.s.eng.Now())
+		m.bumpCounter(block, true)
+	}
+	m.enqueueDRAM(block, true, dram.TrafficData, nil)
+}
+
+// writebackMeta handles a dirty metadata block reaching DRAM.
+func (m *mcCtl) writebackMeta(mb uint64) {
+	if m.s.warming {
+		m.s.warmBump(mb)
+		return
+	}
+	m.enqueueDRAM(mb, true, dram.TrafficCounter, nil)
+	m.bumpCounter(mb, false)
+}
+
+// bumpCounter advances the write counter protecting `block`, handling
+// overflow and EMCC invalidation. The owning counter block is fetched to
+// the MC first (bandwidth on the writeback path).
+func (m *mcCtl) bumpCounter(block uint64, isData bool) {
+	parent, ok := m.home.Space.ParentOf(block)
+	if !ok {
+		return // root counter lives on-chip
+	}
+	m.fetchMeta(parent, false, func(at sim.Time) {
+		ov := m.home.IncrementCounterOf(block)
+		m.home.MarkMetaDirty(parent)
+		if m.s.cfg.EMCC && isData {
+			m.invalidateL2Counters(parent)
+		}
+		if !ov.Happened {
+			return
+		}
+		first, n := m.home.Space.CoveredRange(parent)
+		m.ovf.Start(first, n, ov.Level)
+		if m.s.cfg.EMCC && ov.Level == 0 {
+			m.invalidateL2Counters(parent)
+		}
+	})
+}
+
+// invalidateL2Counters broadcasts a counter-block invalidation to every L2
+// (the Home-Agent-style circuit of Sec. IV-C).
+func (m *mcCtl) invalidateL2Counters(cb uint64) {
+	mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(cb))
+	for _, l2 := range m.s.l2s {
+		l := l2
+		m.s.at(m.s.eng.Now()+m.s.oneway(mcTile, l.tile), func() { l.invalidateCounter(cb) })
+	}
+}
+
+// ---- DRAM plumbing ----
+
+// enqueueDRAM submits a request, retrying while the target queue is full.
+func (m *mcCtl) enqueueDRAM(block uint64, write bool, kind dram.TrafficKind, done func(at sim.Time)) {
+	r := &dram.Request{Block: block, Write: write, Kind: kind, Done: done}
+	if !m.s.dram.Enqueue(r) {
+		m.s.st.Inc("tsim/dram-queue-full-retry")
+		m.s.eng.After(sim.NS(100), func() { m.enqueueDRAM(block, write, kind, done) })
+	}
+}
+
+// issueOverflow injects one overflow re-encryption access, charging the AES
+// work for re-encrypting a block (decrypt 5 + encrypt 8) on its read.
+func (m *mcCtl) issueOverflow(block uint64, write bool, level int, done func()) bool {
+	kind := dram.TrafficOverflowL0
+	if level > 0 {
+		kind = dram.TrafficOverflowHi
+	}
+	r := &dram.Request{Block: block, Write: write, Kind: kind}
+	if done != nil {
+		r.Done = func(at sim.Time) { done() }
+	}
+	if !m.s.dram.Enqueue(r) {
+		return false
+	}
+	if !write {
+		m.aes.ReserveLow(emcc.AESOpsPerRead+emcc.AESOpsPerWrite, m.s.eng.Now())
+	}
+	return true
+}

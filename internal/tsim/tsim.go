@@ -1,0 +1,197 @@
+// Package tsim is the timing simulator — the equivalent of the paper's
+// gem5 methodology (Sec. V): an event-driven model of 4 OoO cores, a
+// non-inclusive L1/L2/LLC hierarchy on a 6x5 mesh NoC, a secure memory
+// controller with counter cache, AES pools, integrity-tree walks and
+// split-counter overflow handling, and a DDR4 timing model. It produces the
+// performance figures (15-22) and the latency timelines.
+//
+// Deliberate simplifications (documented in DESIGN.md): a single logical
+// metadata authority shared by both MC tiles; idealised XPT (the LLC-miss
+// prediction is an oracle, so mispredictions cost no DRAM bandwidth); MESI
+// coherence between cores is not modelled beyond EMCC's counter
+// invalidations (workloads are multi-programmed or share read-mostly data).
+package tsim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/emcc"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options selects workload and run length.
+type Options struct {
+	Benchmark string
+	Cores     int
+	Seed      uint64
+	// Refs is the total number of memory references replayed across all
+	// cores (the run ends when every core consumed its share and the
+	// machine drained).
+	Refs int64
+	// Warmup references are replayed functionally (no timing) before the
+	// detailed phase, warming caches and counter values (Sec. V).
+	Warmup int64
+	Scale  workload.Scale
+	// Generators, when non-nil, replaces the synthetic benchmark with
+	// caller-provided streams (e.g. a recorded trace, internal/trace);
+	// DataBytes must then bound every address they emit.
+	Generators []workload.Generator
+	DataBytes  int64
+}
+
+// Result summarises a timing run.
+type Result struct {
+	// SimulatedTime is when the last core retired its last instruction.
+	SimulatedTime sim.Time
+	// Instructions counts all retired instructions (memory + non-memory).
+	Instructions int64
+	// IPC is Instructions per core cycle, summed over cores.
+	IPC float64
+	// L2MissLatencyNS is the mean latency of L2 data read misses
+	// (Fig 17).
+	L2MissLatencyNS float64
+	// BusyFraction is the DRAM bus utilisation split by traffic kind
+	// (Fig 15).
+	BusyFraction map[dram.TrafficKind]float64
+	// DecryptAtL2Frac is the fraction of DRAM data reads decrypted and
+	// verified at L2 (Fig 19; zero for non-EMCC systems).
+	DecryptAtL2Frac float64
+}
+
+// Sim is one timing-simulation instance.
+type Sim struct {
+	cfg  *config.Config
+	opt  Options
+	eng  *sim.Engine
+	st   *stats.Set
+	mesh *noc.Mesh
+	dram *dram.DRAM
+	mc   *mcCtl
+	llc  *llcCtl
+	l2s  []*l2Ctl
+	cpus []*core
+	pol  emcc.Policy
+
+	warming bool // functional warmup in progress: no timing, no traffic
+}
+
+// New builds a timing simulation.
+func New(cfg *config.Config, opt Options) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Cores == 0 {
+		opt.Cores = cfg.Cores
+	}
+	if opt.Scale == (workload.Scale{}) {
+		opt.Scale = workload.DefaultScale()
+	}
+	gens := opt.Generators
+	dataBytes := opt.DataBytes
+	if gens == nil {
+		var err error
+		gens, err = workload.NewSet(opt.Benchmark, opt.Cores, opt.Seed, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		dataBytes, err = workload.SpaceBytes(opt.Benchmark, opt.Cores, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(gens) != opt.Cores {
+			return nil, fmt.Errorf("%s: %d generators for %d cores", "sim", len(gens), opt.Cores)
+		}
+		if dataBytes <= 0 {
+			return nil, fmt.Errorf("sim: DataBytes required with custom generators")
+		}
+	}
+
+	s := &Sim{
+		cfg:  cfg,
+		opt:  opt,
+		eng:  sim.New(),
+		st:   stats.NewSet(),
+		mesh: noc.New(cfg.MeshCols, cfg.MeshRows, cfg.NoCHopLatency, cfg.NoCBaseOneWay),
+	}
+	s.pol = emcc.NewPolicy(cfg, s.mesh)
+	s.dram = dram.New(s.eng, s.st, cfg)
+	s.llc = newLLCCtl(s)
+	s.mc = newMCCtl(s, dataBytes)
+	perCore := opt.Refs / int64(opt.Cores)
+	for c := 0; c < opt.Cores; c++ {
+		l2 := newL2Ctl(s, c)
+		s.l2s = append(s.l2s, l2)
+		s.cpus = append(s.cpus, newCore(s, c, gens[c], perCore))
+	}
+	return s, nil
+}
+
+// Stats exposes collected metrics.
+func (s *Sim) Stats() *stats.Set { return s.st }
+
+// Engine exposes the event engine (timeline tooling uses it).
+func (s *Sim) Engine() *sim.Engine { return s.eng }
+
+// Run warms the machine, executes the workload to completion and
+// summarises.
+func (s *Sim) Run() Result {
+	s.warm(s.opt.Warmup)
+	for _, c := range s.cpus {
+		c.start()
+	}
+	// Hard ceiling guards against modelling bugs hanging the run.
+	const maxSteps = 2_000_000_000
+	for s.eng.Pending() > 0 {
+		if s.eng.Steps() > maxSteps {
+			panic(fmt.Sprintf("tsim: exceeded %d events — likely a stall bug", int64(maxSteps)))
+		}
+		s.eng.RunFor(sim.Millisecond)
+	}
+
+	var res Result
+	var lastRetire sim.Time
+	for _, c := range s.cpus {
+		if c.refsLeft > 0 || c.outstanding > 0 || c.stash != nil {
+			panic(fmt.Sprintf("tsim: core %d stuck at drain (refsLeft=%d outstanding=%d stashed=%v) — lost completion",
+				c.id, c.refsLeft, c.outstanding, c.stash != nil))
+		}
+		res.Instructions += c.instrs
+		if c.lastRetire > lastRetire {
+			lastRetire = c.lastRetire
+		}
+	}
+	res.SimulatedTime = lastRetire
+	if res.SimulatedTime > 0 {
+		cycles := float64(res.SimulatedTime) / float64(s.cfg.CoreCycle())
+		res.IPC = float64(res.Instructions) / cycles
+	}
+	res.L2MissLatencyNS = s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	res.BusyFraction = s.dram.BusyFraction(0, res.SimulatedTime)
+	atL2 := s.st.Counter(emcc.MetricDecryptAtL2)
+	atMC := s.st.Counter(emcc.MetricDecryptAtMC)
+	if atL2+atMC > 0 {
+		res.DecryptAtL2Frac = float64(atL2) / float64(atL2+atMC)
+	}
+	return res
+}
+
+// at schedules fn at the later of t and now (events cannot be scheduled in
+// the past; component handoffs routinely compute times at or before now).
+func (s *Sim) at(t sim.Time, fn func()) {
+	if now := s.eng.Now(); t < now {
+		t = now
+	}
+	s.eng.At(t, fn)
+}
+
+// secure reports whether a counter design is active.
+func (s *Sim) secure() bool { return s.cfg.Counter != config.CtrNone }
+
+// Convenience latencies.
+func (s *Sim) oneway(a, b noc.NodeID) sim.Time { return s.mesh.OneWay(a, b) }

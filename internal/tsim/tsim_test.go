@@ -1,0 +1,256 @@
+package tsim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/emcc"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, mutate func(*config.Config), bench string, refs, warm int64) (*Sim, Result) {
+	t.Helper()
+	cfg := config.Default()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(&cfg, Options{
+		Benchmark: bench, Seed: 3, Refs: refs, Warmup: warm,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s, s.Run()
+}
+
+func TestNonSecureRunCompletes(t *testing.T) {
+	s, res := run(t, func(c *config.Config) {
+		c.Counter = config.CtrNone
+		c.CountersInLLC = false
+	}, "canneal", 100_000, 200_000)
+	if res.SimulatedTime <= 0 || res.Instructions <= 0 || res.IPC <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// IPC is aggregated across cores.
+	if res.IPC > float64(s.cfg.IssueWidth*s.opt.Cores) {
+		t.Fatalf("aggregate IPC %.2f exceeds machine width", res.IPC)
+	}
+	if s.st.Counter("dram/access/counter/read") != 0 {
+		t.Fatal("non-secure run generated counter traffic")
+	}
+}
+
+func TestSecureSystemsAreSlower(t *testing.T) {
+	_, ns := run(t, func(c *config.Config) {
+		c.Counter = config.CtrNone
+		c.CountersInLLC = false
+	}, "canneal", 100_000, 200_000)
+	_, mo := run(t, nil, "canneal", 100_000, 200_000)
+	if mo.SimulatedTime < ns.SimulatedTime {
+		t.Fatalf("morphable (%v) faster than non-secure (%v)", mo.SimulatedTime, ns.SimulatedTime)
+	}
+	if mo.L2MissLatencyNS < ns.L2MissLatencyNS {
+		t.Fatalf("morphable miss latency (%v) below non-secure (%v)", mo.L2MissLatencyNS, ns.L2MissLatencyNS)
+	}
+}
+
+func TestEMCCRunExercisesAllPaths(t *testing.T) {
+	s, res := run(t, func(c *config.Config) { c.EMCC = true }, "canneal", 150_000, 300_000)
+	st := s.Stats()
+	probes := st.Counter(emcc.MetricL2CtrHit) + st.Counter(emcc.MetricL2CtrMiss)
+	if probes != st.Counter("tsim/l2-data-miss") {
+		t.Fatalf("counter probes %d != L2 data misses %d", probes, st.Counter("tsim/l2-data-miss"))
+	}
+	if st.Counter(emcc.MetricDecryptAtL2) == 0 {
+		t.Fatal("EMCC never decrypted at L2")
+	}
+	if res.DecryptAtL2Frac <= 0 || res.DecryptAtL2Frac > 1 {
+		t.Fatalf("decrypt-at-L2 fraction = %v", res.DecryptAtL2Frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, a := run(t, func(c *config.Config) { c.EMCC = true }, "pageRank", 80_000, 150_000)
+	_, b := run(t, func(c *config.Config) { c.EMCC = true }, "pageRank", 80_000, 150_000)
+	if a.SimulatedTime != b.SimulatedTime || a.Instructions != b.Instructions {
+		t.Fatalf("identical configs diverged: %v/%v vs %v/%v",
+			a.SimulatedTime, a.Instructions, b.SimulatedTime, b.Instructions)
+	}
+}
+
+func TestXPTSpeedsUpMisses(t *testing.T) {
+	_, off := run(t, nil, "canneal", 100_000, 200_000)
+	_, on := run(t, func(c *config.Config) { c.XPT = true }, "canneal", 100_000, 200_000)
+	if on.L2MissLatencyNS >= off.L2MissLatencyNS {
+		t.Fatalf("XPT did not reduce L2 miss latency: %.1f vs %.1f",
+			on.L2MissLatencyNS, off.L2MissLatencyNS)
+	}
+}
+
+func TestSC64GeneratesOverflowTraffic(t *testing.T) {
+	s, _ := run(t, func(c *config.Config) { c.Counter = config.CtrSC64 }, "canneal", 150_000, 400_000)
+	if s.st.Counter("overflow/events") == 0 {
+		t.Skip("no overflow at this scale; acceptable but unusual")
+	}
+	if s.st.Counter("dram/access/overflow-l0/read") == 0 {
+		t.Fatal("overflow happened but produced no DRAM traffic")
+	}
+}
+
+func TestMoreChannelsReduceQueuing(t *testing.T) {
+	_, ch1 := run(t, nil, "mcf", 100_000, 200_000)
+	_, ch8 := run(t, func(c *config.Config) { c.Channels = 8 }, "mcf", 100_000, 200_000)
+	if ch8.SimulatedTime > ch1.SimulatedTime {
+		t.Fatalf("8 channels slower than 1: %v vs %v", ch8.SimulatedTime, ch1.SimulatedTime)
+	}
+}
+
+func TestBandwidthFractionsSane(t *testing.T) {
+	_, res := run(t, nil, "mcf", 100_000, 200_000)
+	var total float64
+	for _, v := range res.BusyFraction {
+		if v < 0 {
+			t.Fatalf("negative utilisation: %+v", res.BusyFraction)
+		}
+		total += v
+	}
+	if total > 1.01 {
+		t.Fatalf("total utilisation %v exceeds 100%%", total)
+	}
+}
+
+func TestWarmupReducesColdMisses(t *testing.T) {
+	cold, warm := int64(0), int64(0)
+	{
+		s, _ := run(t, nil, "omnetpp", 100_000, 0)
+		cold = s.st.Counter("tsim/llc-data-miss")
+	}
+	{
+		s, _ := run(t, nil, "omnetpp", 100_000, 400_000)
+		warm = s.st.Counter("tsim/llc-data-miss")
+	}
+	if warm >= cold {
+		t.Fatalf("warmup did not reduce misses: cold=%d warm=%d", cold, warm)
+	}
+}
+
+func TestEveryPrimaryBenchmarkRuns(t *testing.T) {
+	for _, b := range workload.PrimaryNames() {
+		b := b
+		t.Run(b, func(t *testing.T) {
+			_, res := run(t, func(c *config.Config) { c.EMCC = true }, b, 40_000, 80_000)
+			if res.SimulatedTime <= 0 {
+				t.Fatalf("%s produced no simulated time", b)
+			}
+		})
+	}
+}
+
+func TestDynamicOffOnCacheResidentWorkload(t *testing.T) {
+	// exchange2_s is cache-resident (512 KB footprint): after its cold
+	// start, the Sec. IV-F monitor should observe almost no DRAM fills
+	// and turn EMCC off.
+	cfg := config.Default()
+	cfg.EMCC = true
+	cfg.EMCCDynamicOff = true
+	s, err := New(&cfg, Options{
+		Benchmark: "exchange2_s", Seed: 3, Refs: 600_000, Warmup: 400_000,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	off := 0
+	for _, l2 := range s.l2s {
+		if l2.monitor == nil {
+			t.Fatal("monitor not installed")
+		}
+		if !l2.monitor.Enabled() {
+			off++
+		}
+	}
+	if off == 0 {
+		t.Fatal("intensity monitor never turned EMCC off on a cache-resident app")
+	}
+}
+
+func TestAblationFlagsChangeBehaviour(t *testing.T) {
+	base := func(c *config.Config) { c.EMCC = true }
+	_, a := run(t, base, "canneal", 80_000, 200_000)
+	_, b := run(t, func(c *config.Config) { base(c); c.EMCCDisableAESGate = true }, "canneal", 80_000, 200_000)
+	// The ablation must at least produce a different schedule.
+	if a.SimulatedTime == b.SimulatedTime {
+		t.Skip("gate ablation produced identical timing at this scale")
+	}
+}
+
+func TestPrefetcherHelpsStreamingWorkload(t *testing.T) {
+	// streamcluster is stream-dominated: a degree-2 stride prefetcher
+	// should cut its L2 read-miss latency or total time.
+	_, off := run(t, nil, "streamcluster", 120_000, 200_000)
+	s, on := run(t, func(c *config.Config) { c.PrefetchL2Degree = 2 }, "streamcluster", 120_000, 200_000)
+	if s.st.Counter("tsim/l2-prefetch") == 0 {
+		t.Fatal("prefetcher never issued")
+	}
+	if on.SimulatedTime > off.SimulatedTime*105/100 {
+		t.Fatalf("prefetching slowed streaming run: %v vs %v", on.SimulatedTime, off.SimulatedTime)
+	}
+}
+
+func TestCustomGeneratorsDriveTiming(t *testing.T) {
+	gens, err := workload.NewSet("canneal", 4, 5, workload.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, _ := workload.SpaceBytes("canneal", 4, workload.TestScale())
+	cfg := config.Default()
+	s, err := New(&cfg, Options{
+		Cores: 4, Refs: 40_000, Generators: gens, DataBytes: space,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.SimulatedTime <= 0 {
+		t.Fatal("custom-generator run produced no time")
+	}
+}
+
+func TestCustomGeneratorsValidated(t *testing.T) {
+	gens, _ := workload.NewSet("canneal", 2, 5, workload.TestScale())
+	cfg := config.Default()
+	if _, err := New(&cfg, Options{Cores: 4, Refs: 1, Generators: gens, DataBytes: 1 << 20}); err == nil {
+		t.Fatal("generator/core mismatch accepted")
+	}
+	gens4, _ := workload.NewSet("canneal", 4, 5, workload.TestScale())
+	if _, err := New(&cfg, Options{Cores: 4, Refs: 1, Generators: gens4}); err == nil {
+		t.Fatal("missing DataBytes accepted")
+	}
+}
+
+func TestWarmupFillsEMCCCounters(t *testing.T) {
+	cfg := config.Default()
+	cfg.EMCC = true
+	s, err := New(&cfg, Options{
+		Benchmark: "canneal", Seed: 3, Refs: 4, Warmup: 400_000,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.warm(s.opt.Warmup)
+	// The warm replay must have populated counters in at least one L2
+	// and metadata in the MC's cache.
+	total := 0
+	for _, l2 := range s.l2s {
+		total += l2.c.KindCount(1) + l2.c.KindCount(2) // counter + tree kinds
+	}
+	if total == 0 {
+		t.Fatal("warmup left no counters in any L2")
+	}
+	if s.mc.home.Meta.Occupancy() == 0 {
+		t.Fatal("warmup left the MC metadata cache empty")
+	}
+}

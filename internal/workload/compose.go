@@ -1,0 +1,60 @@
+package workload
+
+import "fmt"
+
+// Composition summarises a generated stream: the knobs a reader needs to
+// sanity-check a benchmark's behaviour without replaying it through a
+// simulator (used by tests and the tracer's info output).
+type Composition struct {
+	Refs        int64
+	WriteFrac   float64
+	DepFrac     float64
+	MeanNonMem  float64
+	UniqueBlk   int64
+	TouchedByte int64 // upper bound of touched addresses
+}
+
+// Compose samples n references from a fresh instance of the benchmark and
+// summarises them.
+func Compose(name string, seed uint64, n int64, sc Scale) (Composition, error) {
+	gens, err := NewSet(name, 1, seed, sc)
+	if err != nil {
+		return Composition{}, err
+	}
+	g := gens[0]
+	var c Composition
+	var nonMem int64
+	blocks := make(map[uint64]struct{})
+	var writes, deps int64
+	var maxAddr uint64
+	for i := int64(0); i < n; i++ {
+		a := g.Next()
+		if a.Write {
+			writes++
+		}
+		if a.Dep {
+			deps++
+		}
+		nonMem += int64(a.NonMem)
+		blocks[a.Addr>>6] = struct{}{}
+		if a.Addr > maxAddr {
+			maxAddr = a.Addr
+		}
+	}
+	if n == 0 {
+		return Composition{}, fmt.Errorf("workload: cannot compose over zero references")
+	}
+	c.Refs = n
+	c.WriteFrac = float64(writes) / float64(n)
+	c.DepFrac = float64(deps) / float64(n)
+	c.MeanNonMem = float64(nonMem) / float64(n)
+	c.UniqueBlk = int64(len(blocks))
+	c.TouchedByte = int64(maxAddr) + 64
+	return c, nil
+}
+
+// String implements fmt.Stringer.
+func (c Composition) String() string {
+	return fmt.Sprintf("refs=%d writes=%.1f%% deps=%.1f%% nonmem=%.1f unique-blocks=%d touched<=%dMB",
+		c.Refs, 100*c.WriteFrac, 100*c.DepFrac, c.MeanNonMem, c.UniqueBlk, c.TouchedByte>>20)
+}

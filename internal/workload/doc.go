@@ -1,0 +1,35 @@
+// Package workload — benchmark catalogue.
+//
+// The eleven primary (large/irregular) benchmarks mirror the paper's
+// Figs 2–23 suite:
+//
+//	pageRank       RMAT graph; sequential row pointers, irregular rank
+//	               gathers over 256 B vertex records, one write per vertex
+//	graphColoring  label propagation over neighbor colors, always writes
+//	connectedComp  label propagation, writes when the label changes
+//	degreeCentr    row-pointer streaming plus a property write (regular)
+//	DFS            depth-first visit order, neighbor visited-flag probes
+//	BFS            breadth-first visit order, same probe structure
+//	triangleCount  per-edge adjacency-list intersection, read-dominated
+//	shortestPath   Bellman-Ford-style relaxation, ~20% neighbor writes
+//	canneal        simulated-annealing swap pattern: page-dwelling random
+//	               reads, dependent pointer chases, 30% writes
+//	omnetpp        event-queue pattern: hot heap + drifting random window
+//	mcf            network simplex: arc-array streams + random node access,
+//	               the most memory-intensive of the suite
+//
+// The fifteen regular benchmarks stand in for the paper's Fig 24
+// SPEC CPU 2017 / PARSEC 3.0 set (blackscholes … x264_s): streaming and
+// cache-resident mixtures with high compute density, where EMCC's
+// speculative counter fetches should be rare and harmless.
+//
+// Three locality mechanisms make the synthetic streams behave like the
+// real applications where it matters to this paper:
+//
+//  1. page-grain spatial dwell — consecutive misses share an 8 KB counter
+//     block, producing MC counter-cache hits (Fig 6's 65% mean);
+//  2. counter-block-neighborhood gathers — distinct data blocks inside a
+//     recently-touched vertex span, misses that hit on-chip counters;
+//  3. dependent chases — address chains that serialise the core, making
+//     canneal/omnetpp/mcf latency-bound the way the paper's are.
+package workload

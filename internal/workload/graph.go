@@ -1,0 +1,440 @@
+package workload
+
+// The graph substrate: an RMAT power-law graph in CSR form, with a
+// simulated memory layout (row-pointer array, adjacency array, and four
+// 8-byte-per-vertex property arrays) that the kernels below walk the way
+// graphBIG's kernels walk theirs — sequential row pointers, bursty
+// adjacency scans, and irregular property-array accesses keyed by neighbor
+// IDs, which is exactly the pattern that defeats counter caches (Sec. III).
+
+type graph struct {
+	v      int
+	rowPtr []uint32
+	adj    []uint32
+
+	// Simulated memory layout (byte offsets from the graph's base).
+	rowPtrBase uint64
+	adjBase    uint64
+	propBase   [4]uint64
+	footprint  int64
+
+	// propStride is the simulated per-vertex property size. 128 B models
+	// the fat vertex records of graph frameworks and sizes the gather
+	// footprint (and therefore the counter working set) realistically —
+	// simulated addresses cost no host memory.
+
+	bfsOrder []uint32 // computed on demand
+	dfsOrder []uint32
+}
+
+// buildGraph generates a deterministic RMAT graph (a=0.57 b=0.19 c=0.19,
+// the Graph500 parameters) with vertices*avgDegree directed edges.
+// propStride is the simulated per-vertex property record size in bytes.
+const propStride = 256
+
+// graphCache shares built graphs (and their traversal orders) across
+// simulator instances; RMAT construction at default scale is expensive.
+// The simulators are single-threaded by design, so no locking.
+var graphCache = map[[3]uint64]*graph{}
+
+func cachedGraph(vertices, avgDegree int, seed uint64) *graph {
+	key := [3]uint64{uint64(vertices), uint64(avgDegree), seed}
+	if g := graphCache[key]; g != nil {
+		return g
+	}
+	g := buildGraph(vertices, avgDegree, seed)
+	graphCache[key] = g
+	return g
+}
+
+func buildGraph(vertices, avgDegree int, seed uint64) *graph {
+	if vertices <= 0 || vertices&(vertices-1) != 0 {
+		panic("workload: graph vertices must be a positive power of two")
+	}
+	r := newRNG(seed)
+	levels := 0
+	for 1<<levels < vertices {
+		levels++
+	}
+	e := vertices * avgDegree
+	srcs := make([]uint32, 0, e)
+	dsts := make([]uint32, 0, e)
+	// Quadrant thresholds on 16-bit slices of one rng draw (four levels
+	// per draw) keep construction fast at default scale.
+	const thA, thB, thC = 37355, 49807, 62259 // 0.57, +0.19, +0.19 of 65536
+	for i := 0; i < e; i++ {
+		var s, d uint32
+		var bits uint64
+		for l := 0; l < levels; l++ {
+			if l%4 == 0 {
+				bits = r.next()
+			}
+			p := uint32(bits & 0xffff)
+			bits >>= 16
+			switch {
+			case p < thA: // quadrant a
+			case p < thB: // b
+				d |= 1 << uint(l)
+			case p < thC: // c
+				s |= 1 << uint(l)
+			default: // d
+				s |= 1 << uint(l)
+				d |= 1 << uint(l)
+			}
+		}
+		if s == d {
+			d = uint32((int(d) + 1) % vertices)
+		}
+		srcs = append(srcs, s)
+		dsts = append(dsts, d)
+	}
+	// Counting sort into CSR.
+	g := &graph{v: vertices}
+	g.rowPtr = make([]uint32, vertices+1)
+	for _, s := range srcs {
+		g.rowPtr[s+1]++
+	}
+	for i := 1; i <= vertices; i++ {
+		g.rowPtr[i] += g.rowPtr[i-1]
+	}
+	g.adj = make([]uint32, e)
+	cursor := make([]uint32, vertices)
+	copy(cursor, g.rowPtr[:vertices])
+	for i, s := range srcs {
+		g.adj[cursor[s]] = dsts[i]
+		cursor[s]++
+	}
+	g.layout()
+	return g
+}
+
+// layout assigns byte offsets to each array region, 64 B aligned.
+func (g *graph) layout() {
+	align := func(x uint64) uint64 { return (x + 63) &^ 63 }
+	cur := uint64(0)
+	g.rowPtrBase = cur
+	cur = align(cur + uint64(4*(g.v+1)))
+	g.adjBase = cur
+	cur = align(cur + uint64(4*len(g.adj)))
+	for i := range g.propBase {
+		g.propBase[i] = cur
+		cur = align(cur + uint64(propStride*g.v))
+	}
+	g.footprint = int64(cur)
+}
+
+func (g *graph) degree(v uint32) int { return int(g.rowPtr[v+1] - g.rowPtr[v]) }
+
+// addrRowPtr, addrAdj and addrProp translate structure indices to byte
+// addresses in the simulated layout.
+func (g *graph) addrRowPtr(v uint32) uint64 { return g.rowPtrBase + 4*uint64(v) }
+func (g *graph) addrAdj(i uint32) uint64    { return g.adjBase + 4*uint64(i) }
+func (g *graph) addrProp(k int, v uint32) uint64 {
+	return g.propBase[k] + propStride*uint64(v)
+}
+
+// orderBFS computes (once) a BFS visit order with restarts.
+func (g *graph) orderBFS() []uint32 {
+	if g.bfsOrder != nil {
+		return g.bfsOrder
+	}
+	order := make([]uint32, 0, g.v)
+	seen := make([]bool, g.v)
+	queue := make([]uint32, 0, g.v)
+	for root := 0; root < g.v; root++ {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		queue = append(queue[:0], uint32(root))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for i := g.rowPtr[v]; i < g.rowPtr[v+1]; i++ {
+				u := g.adj[i]
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	g.bfsOrder = order
+	return order
+}
+
+// orderDFS computes (once) a DFS visit order with restarts.
+func (g *graph) orderDFS() []uint32 {
+	if g.dfsOrder != nil {
+		return g.dfsOrder
+	}
+	order := make([]uint32, 0, g.v)
+	seen := make([]bool, g.v)
+	stack := make([]uint32, 0, 1024)
+	for root := 0; root < g.v; root++ {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		stack = append(stack[:0], uint32(root))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, v)
+			for i := g.rowPtr[v]; i < g.rowPtr[v+1]; i++ {
+				u := g.adj[i]
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	g.dfsOrder = order
+	return order
+}
+
+// kernelFunc emits the accesses for one unit of work (typically one vertex)
+// into out. State lives in the generator.
+type kernelFunc func(s *graphGen, out *[]Access)
+
+// graphKernels maps benchmark names to kernel behaviours.
+var graphKernels = map[string]kernelFunc{
+	"pageRank":      kernPageRank,
+	"graphColoring": kernLabelProp(1, 1.0), // color prop, always writes
+	"connectedComp": kernLabelProp(2, 0.5), // label prop, writes when changed
+	"degreeCentr":   kernDegree,
+	"BFS":           kernTraversal(func(g *graph) []uint32 { return g.orderBFS() }),
+	"DFS":           kernTraversal(func(g *graph) []uint32 { return g.orderDFS() }),
+	"triangleCount": kernTriangle,
+	"shortestPath":  kernSSSP,
+}
+
+// graphGen walks one vertex partition of the shared graph with a kernel.
+type graphGen struct {
+	name   string
+	kern   kernelFunc
+	g      *graph
+	r      *rng
+	lo, hi uint32 // partition [lo, hi)
+	cursor uint32
+	buf    []Access
+	pos    int
+
+	// recent is a ring of recently gathered vertices. Real graph kernels
+	// re-touch hot vertices far more often than a uniform pass suggests
+	// (frontier overlap, hub neighborhoods, convergence checks); gathers
+	// re-target a recent vertex with probability pLocal, which is what
+	// gives counter accesses the temporal locality the paper's Fig 6
+	// hit rates imply.
+	recent    [64]uint32
+	recentLen int
+	recentPos int
+}
+
+// pTemporal is the probability a gather re-touches a recently gathered
+// vertex exactly (hits in the data caches; models frontier overlap and hot
+// hubs). pSpatial is the probability it lands elsewhere in a recent
+// vertex's counter-block neighborhood (usually a data-cache miss that hits
+// in the counter caches). The remainder are raw far gathers.
+const (
+	pTemporal = 0.40
+	pSpatial  = 0.38
+)
+
+// ctrNeighborhood is the vertex span one counter block covers: a Morphable
+// block protects 8 KB = 64 vertices of 128 B records. Community-ordered
+// real graphs put most of a vertex's neighbors within such spans.
+const ctrNeighborhood = 64
+
+// gatherTarget applies spatio-temporal locality to a gather of vertex u:
+// with probability pLocal the gather lands near a recently touched vertex —
+// usually a *different* vertex (and so a different data block that can miss
+// in every cache) but inside the same counter block's coverage. That is the
+// kind of locality that produces counter-cache hits at the MC without
+// being filtered out by the data caches (Fig 6).
+func (s *graphGen) gatherTarget(u uint32) uint32 {
+	if s.recentLen > 0 {
+		p := s.r.float()
+		switch {
+		case p < pTemporal:
+			u = s.recent[s.r.intn(s.recentLen)]
+		case p < pTemporal+pSpatial:
+			base := s.recent[s.r.intn(s.recentLen)]
+			delta := uint32(s.r.intn(ctrNeighborhood))
+			u = (base &^ (ctrNeighborhood - 1)) + delta
+			if int(u) >= s.g.v {
+				u = base
+			}
+		}
+	}
+	s.recent[s.recentPos] = u
+	s.recentPos = (s.recentPos + 1) % len(s.recent)
+	if s.recentLen < len(s.recent) {
+		s.recentLen++
+	}
+	return u
+}
+
+func newGraphGen(name string, kern kernelFunc, g *graph, core, cores int, seed uint64) *graphGen {
+	per := g.v / cores
+	lo := uint32(core * per)
+	hi := uint32((core + 1) * per)
+	if core == cores-1 {
+		hi = uint32(g.v)
+	}
+	return &graphGen{name: name, kern: kern, g: g, r: newRNG(seed), lo: lo, hi: hi, cursor: lo}
+}
+
+func (s *graphGen) Name() string     { return s.name }
+func (s *graphGen) Footprint() int64 { return s.g.footprint }
+
+func (s *graphGen) Next() Access {
+	for s.pos >= len(s.buf) {
+		s.buf = s.buf[:0]
+		s.pos = 0
+		s.kern(s, &s.buf)
+		s.advance()
+	}
+	a := s.buf[s.pos]
+	s.pos++
+	return a
+}
+
+// advance moves to the next vertex in the partition, wrapping (a new
+// "iteration" of the kernel) indefinitely.
+func (s *graphGen) advance() {
+	s.cursor++
+	if s.cursor >= s.hi {
+		s.cursor = s.lo
+	}
+}
+
+// ---- Kernels ----
+
+// kernPageRank: sequential row pointers, irregular neighbor-rank gathers,
+// one write per vertex. The classic counter-cache killer.
+func kernPageRank(s *graphGen, out *[]Access) {
+	g, v := s.g, s.cursor
+	*out = append(*out,
+		Access{Addr: g.addrRowPtr(v), NonMem: 2},
+		Access{Addr: g.addrRowPtr(v + 1), NonMem: 1},
+	)
+	for i := g.rowPtr[v]; i < g.rowPtr[v+1]; i++ {
+		u := s.gatherTarget(g.adj[i])
+		*out = append(*out,
+			Access{Addr: g.addrAdj(i), NonMem: 1},
+			Access{Addr: g.addrProp(0, u), NonMem: 14},
+		)
+	}
+	*out = append(*out, Access{Addr: g.addrProp(1, v), Write: true, NonMem: 6})
+}
+
+// kernLabelProp builds graphColoring / connectedComp: gather neighbor
+// labels from property array k, write own with probability pWrite.
+func kernLabelProp(prop int, pWrite float64) kernelFunc {
+	return func(s *graphGen, out *[]Access) {
+		g, v := s.g, s.cursor
+		*out = append(*out, Access{Addr: g.addrRowPtr(v), NonMem: 2})
+		for i := g.rowPtr[v]; i < g.rowPtr[v+1]; i++ {
+			u := s.gatherTarget(g.adj[i])
+			*out = append(*out,
+				Access{Addr: g.addrAdj(i), NonMem: 1},
+				Access{Addr: g.addrProp(prop, u), NonMem: 14},
+			)
+		}
+		if s.r.float() < pWrite {
+			*out = append(*out, Access{Addr: g.addrProp(prop, v), Write: true, NonMem: 2})
+		}
+	}
+}
+
+// kernDegree: degree centrality — row-pointer streaming plus a property
+// write; regular compared to the gather kernels.
+func kernDegree(s *graphGen, out *[]Access) {
+	g, v := s.g, s.cursor
+	*out = append(*out,
+		Access{Addr: g.addrRowPtr(v), NonMem: 3},
+		Access{Addr: g.addrRowPtr(v + 1), NonMem: 1},
+		Access{Addr: g.addrProp(3, v), Write: true, NonMem: 2},
+	)
+}
+
+// kernTraversal builds BFS/DFS: vertices visited in traversal order, each
+// visit scanning its adjacency burst and probing the visited flags of its
+// neighbors (irregular), marking newly discovered ones (writes).
+func kernTraversal(orderOf func(*graph) []uint32) kernelFunc {
+	return func(s *graphGen, out *[]Access) {
+		g := s.g
+		order := orderOf(g)
+		// The cursor indexes the traversal order, partitioned like
+		// vertices are.
+		v := order[s.cursor%uint32(len(order))]
+		*out = append(*out, Access{Addr: g.addrRowPtr(v), NonMem: 2})
+		deg := g.degree(v)
+		writeP := 0.0
+		if deg > 0 {
+			writeP = 1.0 / float64(deg) * 4 // a few discoveries per visit
+		}
+		for i := g.rowPtr[v]; i < g.rowPtr[v+1]; i++ {
+			u := s.gatherTarget(g.adj[i])
+			*out = append(*out,
+				Access{Addr: g.addrAdj(i), NonMem: 1},
+				Access{Addr: g.addrProp(2, u), NonMem: 12},
+			)
+			if s.r.float() < writeP {
+				*out = append(*out, Access{Addr: g.addrProp(2, u), Write: true, NonMem: 1})
+			}
+		}
+	}
+}
+
+// kernTriangle: triangle counting — for each vertex, intersect its
+// adjacency list with each neighbor's (two concurrent sequential scans at
+// unrelated offsets). Read-dominated, heavy adjacency traffic.
+func kernTriangle(s *graphGen, out *[]Access) {
+	g, v := s.g, s.cursor
+	*out = append(*out, Access{Addr: g.addrRowPtr(v), NonMem: 2})
+	deg := g.degree(v)
+	// Cap per-vertex work so hub vertices do not monopolise the stream.
+	limit := g.rowPtr[v] + uint32(minInt(deg, 8))
+	for i := g.rowPtr[v]; i < limit; i++ {
+		u := g.adj[i]
+		*out = append(*out,
+			Access{Addr: g.addrAdj(i), NonMem: 1},
+			Access{Addr: g.addrRowPtr(u), NonMem: 1},
+		)
+		uLimit := g.rowPtr[u] + uint32(minInt(g.degree(u), 8))
+		for j := g.rowPtr[u]; j < uLimit; j++ {
+			*out = append(*out, Access{Addr: g.addrAdj(j), NonMem: 2})
+		}
+	}
+}
+
+// kernSSSP: Bellman-Ford-style relaxation — read own distance, gather
+// neighbor distances, relax (write) a fraction of them.
+func kernSSSP(s *graphGen, out *[]Access) {
+	g, v := s.g, s.cursor
+	*out = append(*out,
+		Access{Addr: g.addrRowPtr(v), NonMem: 2},
+		Access{Addr: g.addrProp(0, v), NonMem: 1},
+	)
+	for i := g.rowPtr[v]; i < g.rowPtr[v+1]; i++ {
+		u := s.gatherTarget(g.adj[i])
+		*out = append(*out,
+			Access{Addr: g.addrAdj(i), NonMem: 1},
+			Access{Addr: g.addrProp(0, u), NonMem: 12},
+		)
+		if s.r.float() < 0.2 {
+			*out = append(*out, Access{Addr: g.addrProp(0, u), Write: true, NonMem: 1})
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

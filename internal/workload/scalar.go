@@ -1,0 +1,254 @@
+package workload
+
+import "fmt"
+
+// Scalar (non-graph) benchmarks are modelled as parameterised mixtures of
+// four access behaviours over a per-core footprint:
+//
+//   - stream:  sequential walk (unit-stride array sweeps)
+//   - random:  uniform references over the whole footprint
+//   - chase:   dependent pointer chasing (hash-chain; Dep=true)
+//   - hot:     references confined to a small cache-resident region
+//
+// The mixture weights, write ratio, footprint and compute density (NonMem)
+// are chosen per benchmark to land each one in the regime the paper
+// reports: canneal/mcf/omnetpp are large and irregular (high counter miss,
+// Figs 6/15), the SPEC/PARSEC set of Fig 24 is cache-friendly or streaming
+// (negligible useless counter accesses).
+type scalarSpec struct {
+	footprint   func(sc Scale) int64
+	hotBytes    int64
+	pStream     float64
+	pRandom     float64
+	pChase      float64 // remainder after stream+random+chase is hot
+	writeFrac   float64
+	nonMemMean  int
+	strideBytes uint64
+	// pLocal is the fraction of random accesses confined to a slowly
+	// drifting window (temporal locality of real working sets); it is
+	// the lever that sets counter-cache hit rates (Figs 6/7).
+	pLocal     float64
+	localBytes int64
+}
+
+var scalarSpecs = map[string]scalarSpec{
+	// -- the three large/irregular non-graph benchmarks (primary set) --
+	"canneal": {
+		footprint: func(sc Scale) int64 { return sc.IrregularBytes * 3 / 8 },
+		hotBytes:  1 << 20,
+		pStream:   0.12, pRandom: 0.08, pChase: 0.10,
+		writeFrac: 0.30, nonMemMean: 14, strideBytes: 64,
+		pLocal: 0.55, localBytes: 32 << 20,
+	},
+	"omnetpp": {
+		footprint: func(sc Scale) int64 { return sc.IrregularBytes / 4 },
+		hotBytes:  8 << 20,
+		pStream:   0.15, pRandom: 0.14, pChase: 0.08,
+		writeFrac: 0.35, nonMemMean: 12, strideBytes: 64,
+		pLocal: 0.60, localBytes: 16 << 20,
+	},
+	"mcf": {
+		footprint: func(sc Scale) int64 { return sc.IrregularBytes / 2 },
+		hotBytes:  2 << 20,
+		pStream:   0.28, pRandom: 0.22, pChase: 0.12,
+		writeFrac: 0.25, nonMemMean: 6, strideBytes: 64,
+		pLocal: 0.60, localBytes: 16 << 20,
+	},
+
+	// -- the Fig 24 SPEC/PARSEC regular set --
+	"blackscholes": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes },
+		hotBytes:  512 << 10,
+		pStream:   0.60, pRandom: 0.02, pChase: 0,
+		writeFrac: 0.30, nonMemMean: 20, strideBytes: 8,
+	},
+	"bodytrack": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes / 2 },
+		hotBytes:  2 << 20,
+		pStream:   0.30, pRandom: 0.08, pChase: 0,
+		writeFrac: 0.25, nonMemMean: 12, strideBytes: 8,
+	},
+	"ferret": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes },
+		hotBytes:  1 << 20,
+		pStream:   0.45, pRandom: 0.10, pChase: 0,
+		writeFrac: 0.20, nonMemMean: 10, strideBytes: 16,
+	},
+	"freqmine": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes },
+		hotBytes:  4 << 20,
+		pStream:   0.20, pRandom: 0.12, pChase: 0.08,
+		writeFrac: 0.25, nonMemMean: 8, strideBytes: 8,
+	},
+	"streamcluster": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes * 2 },
+		hotBytes:  256 << 10,
+		pStream:   0.80, pRandom: 0.03, pChase: 0,
+		writeFrac: 0.10, nonMemMean: 6, strideBytes: 8,
+	},
+	"x264": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes },
+		hotBytes:  1 << 20,
+		pStream:   0.55, pRandom: 0.05, pChase: 0,
+		writeFrac: 0.30, nonMemMean: 8, strideBytes: 64,
+	},
+	"facesim": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes * 2 },
+		hotBytes:  2 << 20,
+		pStream:   0.50, pRandom: 0.08, pChase: 0,
+		writeFrac: 0.35, nonMemMean: 10, strideBytes: 8,
+	},
+	"fluidanimate": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes },
+		hotBytes:  1 << 20,
+		pStream:   0.45, pRandom: 0.15, pChase: 0,
+		writeFrac: 0.40, nonMemMean: 8, strideBytes: 8,
+	},
+	"bwaves_s": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes * 3 },
+		hotBytes:  512 << 10,
+		pStream:   0.75, pRandom: 0.02, pChase: 0,
+		writeFrac: 0.40, nonMemMean: 6, strideBytes: 8,
+	},
+	"exchange2_s": {
+		footprint: func(sc Scale) int64 { return 512 << 10 },
+		hotBytes:  256 << 10,
+		pStream:   0.10, pRandom: 0, pChase: 0,
+		writeFrac: 0.30, nonMemMean: 15, strideBytes: 8,
+	},
+	"perlbench_s": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes / 2 },
+		hotBytes:  2 << 20,
+		pStream:   0.15, pRandom: 0.10, pChase: 0.05,
+		writeFrac: 0.30, nonMemMean: 10, strideBytes: 8,
+	},
+	"cactuBSSN_s": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes * 2 },
+		hotBytes:  1 << 20,
+		pStream:   0.65, pRandom: 0.05, pChase: 0,
+		writeFrac: 0.35, nonMemMean: 8, strideBytes: 8,
+	},
+	"deepsjeng_s": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes / 3 },
+		hotBytes:  4 << 20,
+		pStream:   0.05, pRandom: 0.15, pChase: 0,
+		writeFrac: 0.25, nonMemMean: 12, strideBytes: 8,
+	},
+	"leela_s": {
+		footprint: func(sc Scale) int64 { return 4 << 20 },
+		hotBytes:  1 << 20,
+		pStream:   0.05, pRandom: 0.08, pChase: 0,
+		writeFrac: 0.20, nonMemMean: 14, strideBytes: 8,
+	},
+	"x264_s": {
+		footprint: func(sc Scale) int64 { return sc.RegularBytes },
+		hotBytes:  1 << 20,
+		pStream:   0.55, pRandom: 0.06, pChase: 0,
+		writeFrac: 0.30, nonMemMean: 9, strideBytes: 64,
+	},
+}
+
+// perCoreRegion reports the address space reserved per core instance for a
+// multiprogrammed scalar benchmark (footprint rounded up to 64 MB so
+// instances never overlap).
+func perCoreRegion(name string, sc Scale) int64 {
+	spec, ok := scalarSpecs[name]
+	if !ok {
+		return 0
+	}
+	fp := spec.footprint(sc)
+	const gran = 64 << 20
+	return (fp + gran - 1) / gran * gran
+}
+
+// scalarGen realises one scalar benchmark instance.
+type scalarGen struct {
+	name      string
+	spec      scalarSpec
+	base      uint64
+	footprint int64
+	r         *rng
+
+	streamPos uint64
+	chasePos  uint64
+	localBase uint64
+	localCnt  int
+}
+
+func newScalarGen(name string, base uint64, seed uint64, sc Scale) (*scalarGen, error) {
+	spec, ok := scalarSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	fp := spec.footprint(sc)
+	if spec.hotBytes > fp {
+		spec.hotBytes = fp
+	}
+	g := &scalarGen{name: name, spec: spec, base: base, footprint: fp, r: newRNG(seed)}
+	g.chasePos = g.r.next() % uint64(fp)
+	return g, nil
+}
+
+func (g *scalarGen) Name() string     { return g.name }
+func (g *scalarGen) Footprint() int64 { return g.footprint }
+
+func (g *scalarGen) Next() Access {
+	sp := &g.spec
+	p := g.r.float()
+	write := g.r.float() < sp.writeFrac
+	nonMem := g.nonMem()
+	switch {
+	case p < sp.pStream:
+		g.streamPos += sp.strideBytes
+		if g.streamPos >= uint64(g.footprint) {
+			g.streamPos = 0
+		}
+		return Access{Addr: g.base + g.streamPos, Write: write, NonMem: nonMem}
+	case p < sp.pStream+sp.pRandom:
+		// Far-random references are read-mostly: scattered stores are
+		// rarer than scattered loads in real irregular heaps, and this
+		// keeps EMCC's counter invalidations at the Fig 23 scale.
+		off := g.randomOffset()
+		return Access{Addr: g.base + off, Write: write && g.r.float() < 0.3, NonMem: nonMem}
+	case p < sp.pStream+sp.pRandom+sp.pChase:
+		// Hash-chain walk: the next address depends on the current
+		// one, so the access is serialised behind its predecessor.
+		g.chasePos = (g.chasePos*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d) % uint64(g.footprint)
+		return Access{Addr: g.base + g.chasePos, Write: false, NonMem: nonMem, Dep: true}
+	default:
+		off := g.r.next() % uint64(g.spec.hotBytes)
+		return Access{Addr: g.base + off, Write: write, NonMem: nonMem}
+	}
+}
+
+// randomOffset draws a footprint-wide or locality-window offset per the
+// spec's pLocal split. Window accesses dwell on one 8 KB page for a burst
+// of references before moving on — the page-grain spatial locality of real
+// heaps that makes consecutive cache misses share one counter block (and
+// thereby produces the counter-cache hit rates of Figs 6/7).
+func (g *scalarGen) randomOffset() uint64 {
+	sp := &g.spec
+	if sp.pLocal > 0 && g.r.float() < sp.pLocal {
+		g.localCnt++
+		if g.localCnt%4096 == 0 {
+			g.localBase = (g.localBase + uint64(sp.localBytes)/4) % uint64(g.footprint)
+		}
+		const pageBytes = 8 << 10
+		const dwell = 16 // references per page visit
+		pages := uint64(sp.localBytes) / pageBytes
+		page := (uint64(g.localCnt)/dwell + g.r.next()%3) % pages
+		off := g.localBase + page*pageBytes + g.r.next()%pageBytes
+		return off % uint64(g.footprint)
+	}
+	return g.r.next() % uint64(g.footprint)
+}
+
+// nonMem draws a non-memory instruction count around the spec mean.
+func (g *scalarGen) nonMem() int {
+	m := g.spec.nonMemMean
+	if m <= 1 {
+		return m
+	}
+	// Uniform in [m/2, 3m/2] keeps the mean with cheap variance.
+	return m/2 + g.r.intn(m+1)
+}
