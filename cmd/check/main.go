@@ -1,0 +1,37 @@
+// Command check runs the verification harness (internal/check): differential
+// fsim-vs-tsim/secmem comparisons, metamorphic configuration properties and
+// invariant-instrumented simulation runs. It prints one line per check and
+// exits non-zero if any fail.
+//
+// Usage:
+//
+//	go run ./cmd/check [-quick] [-seed N] [-refs N] [-bench name] [-cores N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+)
+
+func main() {
+	opt := check.Options{}
+	flag.Uint64Var(&opt.Seed, "seed", 0, "workload seed (0 = default)")
+	flag.Int64Var(&opt.Refs, "refs", 0, "memory references per run (0 = default)")
+	flag.StringVar(&opt.Benchmark, "bench", "", "synthetic benchmark to trace (empty = default)")
+	flag.IntVar(&opt.Cores, "cores", 0, "simulated cores (0 = default)")
+	flag.BoolVar(&opt.Quick, "quick", false, "halve the reference budget")
+	flag.Parse()
+
+	results := check.Run(opt)
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	failed := check.Failed(results)
+	fmt.Printf("\n%d checks, %d failed\n", len(results), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/inv"
 )
 
 // line is one cache way.
@@ -177,7 +178,78 @@ func (c *Cache) Insert(block uint64, dirty bool, kind addr.Kind) (Victim, bool) 
 	}
 	set[victimIdx] = line{tag: block, valid: true, dirty: dirty, kind: kind, lastUse: c.stamp}
 	c.kindCnt[kind]++
+	if inv.On() {
+		c.checkSet(set, block)
+	}
 	return out, evicted
+}
+
+// checkSet validates the per-set invariants after a mutation: a block is
+// resident in at most one way, LRU stamps never run ahead of the global
+// stamp, and counter occupancy respects the configured cap. O(ways), gated.
+func (c *Cache) checkSet(set []line, block uint64) {
+	seen := 0
+	for i := range set {
+		if !set[i].valid {
+			continue
+		}
+		if set[i].tag == block {
+			seen++
+		}
+		if set[i].lastUse > c.stamp {
+			inv.Failf("cache", "%s: line lastUse %d ahead of global stamp %d", c.name, set[i].lastUse, c.stamp)
+		}
+	}
+	if seen > 1 {
+		inv.Failf("cache", "%s: block %#x resident in %d ways of one set", c.name, block, seen)
+	}
+	if c.ctrCapLines > 0 && c.kindCnt[addr.KindCounter] > c.ctrCapLines {
+		inv.Failf("cache", "%s: %d counter lines exceed cap %d", c.name, c.kindCnt[addr.KindCounter], c.ctrCapLines)
+	}
+}
+
+// CheckConsistency fully rescans the tag store and cross-checks the
+// per-kind occupancy ledger, the counter cap and intra-set tag uniqueness.
+// O(capacity): the verification harness calls it after a run; it is not for
+// per-access use.
+func (c *Cache) CheckConsistency() error {
+	recount := make(map[addr.Kind]int)
+	for s := uint64(0); s < c.sets; s++ {
+		set := c.lines[s*uint64(c.ways) : (s+1)*uint64(c.ways)]
+		tags := make(map[uint64]int)
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			recount[set[i].kind]++
+			tags[set[i].tag]++
+			if set[i].tag%c.sets != s {
+				return fmt.Errorf("cache %s: block %#x stored in set %d, maps to set %d", c.name, set[i].tag, s, set[i].tag%c.sets)
+			}
+			if set[i].lastUse > c.stamp {
+				return fmt.Errorf("cache %s: line lastUse %d ahead of global stamp %d", c.name, set[i].lastUse, c.stamp)
+			}
+		}
+		for tag, n := range tags {
+			if n > 1 {
+				return fmt.Errorf("cache %s: block %#x resident in %d ways of set %d", c.name, tag, n, s)
+			}
+		}
+	}
+	for k, n := range recount {
+		if c.kindCnt[k] != n {
+			return fmt.Errorf("cache %s: kind %v ledger says %d lines, tag store holds %d", c.name, k, c.kindCnt[k], n)
+		}
+	}
+	for k, n := range c.kindCnt {
+		if n != recount[k] {
+			return fmt.Errorf("cache %s: kind %v ledger says %d lines, tag store holds %d", c.name, k, n, recount[k])
+		}
+	}
+	if c.ctrCapLines > 0 && c.kindCnt[addr.KindCounter] > c.ctrCapLines {
+		return fmt.Errorf("cache %s: %d counter lines exceed cap %d", c.name, c.kindCnt[addr.KindCounter], c.ctrCapLines)
+	}
+	return nil
 }
 
 // pickVictim chooses the way to replace: an invalid way first; otherwise,
@@ -216,6 +288,9 @@ func (c *Cache) Invalidate(block uint64) (Victim, bool) {
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			v := Victim{Block: set[i].tag, Dirty: set[i].dirty, Kind: set[i].kind, WasUsed: set[i].usedForLLCMiss}
+			if inv.On() && c.kindCnt[set[i].kind] <= 0 {
+				inv.Failf("cache", "%s: invalidating %v block %#x with non-positive kind ledger %d", c.name, set[i].kind, block, c.kindCnt[set[i].kind])
+			}
 			c.kindCnt[set[i].kind]--
 			set[i] = line{}
 			return v, true

@@ -1,0 +1,118 @@
+package check
+
+import (
+	"repro/internal/config"
+	"repro/internal/fsim"
+	"repro/internal/inv"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tsim"
+)
+
+// Invariants runs both simulators over every system with the internal/inv
+// recorder enabled and requires zero violations, then applies post-run
+// conservation rules: every reference replayed is accounted for, and every
+// DRAM data fill that was requested happened exactly once.
+func Invariants(opt Options) []Result {
+	opt = opt.withDefaults()
+	tr, err := recordTrace(opt)
+	if err != nil {
+		return []Result{failf(PillarInvariant, "record-trace", "%v", err)}
+	}
+	var out []Result
+	for _, system := range diffSystems {
+		cfg, err := systemConfig(system)
+		if err != nil {
+			out = append(out, failf(PillarInvariant, system, "%v", err))
+			continue
+		}
+		out = append(out, InvariantRun(system, &cfg, tr, opt)...)
+	}
+	return out
+}
+
+// InvariantRun executes one configuration through fsim and tsim under the
+// invariant recorder and reports violations plus conservation results.
+func InvariantRun(system string, cfg *config.Config, tr *trace.Trace, opt Options) []Result {
+	opt = opt.withDefaults()
+	name := func(rule string) string { return system + "/" + rule }
+	// Both simulators replay refs/cores references on each core.
+	expectRefs := (opt.Refs / int64(tr.Cores)) * int64(tr.Cores)
+
+	var out []Result
+
+	// fsim under the recorder.
+	inv.Enable(true)
+	fst, err := runFsim(cfg, tr, opt)
+	out = append(out, violationResult(name("fsim-violations"))) // reads + disables below
+	inv.Enable(false)
+	if err != nil {
+		return append(out, failf(PillarInvariant, name("fsim"), "%v", err))
+	}
+	out = append(out, conserve(name("fsim-refs"), "replayed refs",
+		fst.Counter(fsim.MetricDataRead)+fst.Counter(fsim.MetricDataWrite), expectRefs))
+	out = append(out, conserve(name("fsim-fills"), "DRAM data reads vs LLC data misses",
+		fst.Counter(fsim.MetricDRAMDataRead), fst.Counter(fsim.MetricLLCDataMiss)))
+
+	// tsim under the recorder.
+	inv.Enable(true)
+	tst, err := runTsim(cfg, tr, opt)
+	out = append(out, violationResult(name("tsim-violations")))
+	inv.Enable(false)
+	if err != nil {
+		return append(out, failf(PillarInvariant, name("tsim"), "%v", err))
+	}
+	out = append(out, conserve(name("tsim-refs"), "replayed refs",
+		tst.Counter("tsim/load")+tst.Counter("tsim/store"), expectRefs))
+	out = append(out, conserve(name("tsim-fills"), "MSHR data fills vs DRAM data reads",
+		tst.Counter("tsim/mc-data-fill"), tst.Counter("dram/access/data/read")))
+	return out
+}
+
+func runFsim(cfg *config.Config, tr *trace.Trace, opt Options) (*stats.Set, error) {
+	gens, err := tr.Generators()
+	if err != nil {
+		return nil, err
+	}
+	s, err := fsim.New(cfg, fsim.Options{
+		Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Run()
+	return s.Stats(), nil
+}
+
+func runTsim(cfg *config.Config, tr *trace.Trace, opt Options) (*stats.Set, error) {
+	gens, err := tr.Generators()
+	if err != nil {
+		return nil, err
+	}
+	s, err := tsim.New(cfg, tsim.Options{
+		Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Run()
+	return s.Stats(), nil
+}
+
+// violationResult converts the recorder's current state into a Result.
+func violationResult(name string) Result {
+	if n := inv.Count(); n > 0 {
+		vs := inv.Violations()
+		first := vs[0]
+		return failf(PillarInvariant, name, "%d violation(s); first: [%s] %s", n, first.Component, first.Message)
+	}
+	return passf(PillarInvariant, name, "0 violations recorded")
+}
+
+// conserve asserts exact equality of a conservation pair.
+func conserve(name, what string, got, want int64) Result {
+	if got != want {
+		return failf(PillarInvariant, name, "%s: %d != %d", what, got, want)
+	}
+	return passf(PillarInvariant, name, "%s: %d == %d", what, got, want)
+}

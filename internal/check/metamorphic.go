@@ -1,0 +1,214 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/figures"
+	"repro/internal/sim"
+	"repro/internal/tsim"
+)
+
+// Metamorphic checks that perturbing configurations moves responses the
+// right way: analytic timelines first (cheap, exhaustive over a parameter
+// grid), then real tsim runs (expensive, a handful of points).
+func Metamorphic(opt Options) []Result {
+	opt = opt.withDefaults()
+	var out []Result
+	out = append(out, TimelineProperties()...)
+	out = append(out, AESMonotonicity(opt))
+	out = append(out, ChannelQueueing(opt))
+	return out
+}
+
+// TimelineProperties sweeps the analytic decrypt-timeline model (Figs 9/10)
+// over a grid of latency configurations and asserts two properties at every
+// point:
+//
+//  1. EMCC never loses to the baseline by more than the final xor step on
+//     any timeline (counter hit row-hit / row-miss, counter miss). The xor
+//     slack is inherent: when a timeline is fully data-bound, EMCC's
+//     keystream is ready early but the xor still serialises after the
+//     ciphertext arrives, exactly as in the baseline.
+//  2. Raising AES latency alone never shortens any endpoint.
+func TimelineProperties() []Result {
+	aesGrid := []float64{7, 14, 28, 56}
+	hopGrid := []float64{0.5, 1, 2}
+	tclGrid := []float64{10, 13.75, 20}
+	ctrGrid := []float64{1, 3, 6}
+	jGrid := []float64{0, 1, 2}
+
+	points := 0
+	// prevByKey remembers the previous (smaller-AES) endpoints at the same
+	// non-AES coordinates for the monotonicity property.
+	prevByKey := make(map[string][3]timelineEndpoint)
+
+	for _, hop := range hopGrid {
+		for _, tcl := range tclGrid {
+			for _, ctrLat := range ctrGrid {
+				for _, j := range jGrid {
+					key := fmt.Sprintf("%v/%v/%v/%v", hop, tcl, ctrLat, j)
+					for _, aes := range aesGrid {
+						cfg := config.Default()
+						cfg.AESLatency = sim.NS(aes)
+						cfg.NoCHopLatency = sim.NS(hop)
+						cfg.TCL = sim.NS(tcl)
+						cfg.TRCD = sim.NS(tcl)
+						cfg.CtrCacheLatency = sim.NS(ctrLat)
+						cfg.EMCCLookupDelay = sim.NS(j)
+
+						if loss := timelineEMCCLoss(&cfg); loss != "" {
+							return []Result{failf(PillarMetamorphic, "timeline-emcc-wins",
+								"at aes=%vns hop=%vns tcl=%vns ctr=%vns j=%vns: %s",
+								aes, hop, tcl, ctrLat, j, loss)}
+						}
+						eps := timelineEndpoints(&cfg)
+						if prev, ok := prevByKey[key]; ok {
+							for i, ep := range eps {
+								if ep.base < prev[i].base || ep.emcc < prev[i].emcc {
+									return []Result{failf(PillarMetamorphic, "timeline-aes-monotone",
+										"%s at hop=%vns tcl=%vns ctr=%vns j=%vns: raising AES to %vns shortened a timeline (baseline %v→%v, emcc %v→%v)",
+										ep.label, hop, tcl, ctrLat, j, aes, prev[i].base, ep.base, prev[i].emcc, ep.emcc)}
+								}
+							}
+						}
+						points += len(eps)
+						prevByKey[key] = eps
+					}
+				}
+			}
+		}
+	}
+	return []Result{
+		passf(PillarMetamorphic, "timeline-emcc-wins", "emcc ≤ baseline + xor-slack at all %d grid endpoints", points),
+		passf(PillarMetamorphic, "timeline-aes-monotone", "endpoints non-decreasing in AES latency across the grid"),
+	}
+}
+
+// timelineEndpoint is one analytic decrypt-timeline endpoint pair.
+type timelineEndpoint struct {
+	label      string
+	base, emcc sim.Time
+}
+
+// timelineEndpoints evaluates the three Fig 9/10 regimes under cfg.
+func timelineEndpoints(cfg *config.Config) [3]timelineEndpoint {
+	m := figures.NewTimelineModel(cfg)
+	var eps [3]timelineEndpoint
+	eps[0].label = "ctr-hit/row-hit"
+	eps[0].base, eps[0].emcc = m.CounterHitLLC(true)
+	eps[1].label = "ctr-hit/row-miss"
+	eps[1].base, eps[1].emcc = m.CounterHitLLC(false)
+	eps[2].label = "ctr-miss"
+	eps[2].base, eps[2].emcc = m.CounterMissLLC()
+	return eps
+}
+
+// timelineEMCCLoss reports a description of the first analytic endpoint at
+// which EMCC loses to the baseline by more than the inherent xor slack
+// under cfg, or "" if EMCC wins everywhere.
+func timelineEMCCLoss(cfg *config.Config) string {
+	slack := figures.NewTimelineModel(cfg).Slack()
+	for _, ep := range timelineEndpoints(cfg) {
+		if ep.emcc > ep.base+slack {
+			return fmt.Sprintf("%s: emcc %v > baseline %v + slack %v", ep.label, ep.emcc, ep.base, slack)
+		}
+	}
+	return ""
+}
+
+// AESMonotonicity runs tsim at increasing AES latencies on the same trace
+// and requires simulated runtime never to decrease: a slower decrypt engine
+// cannot speed the machine up.
+func AESMonotonicity(opt Options) Result {
+	opt = opt.withDefaults()
+	times, err := tsimRuntimes(opt, func(cfg *config.Config, i int) {
+		ns := 7 << uint(i) // 7, 14, 28 ns
+		cfg.AESLatency = sim.NS(float64(ns))
+	}, 3)
+	if err != nil {
+		return failf(PillarMetamorphic, "tsim-aes-monotone", "%v", err)
+	}
+	return assertNonDecreasing("tsim-aes-monotone", "AES latency 7→14→28 ns", times)
+}
+
+// tsimRuntimes runs n tsim configurations derived from the default by
+// mutate(cfg, i) over one shared trace and returns the simulated runtimes.
+func tsimRuntimes(opt Options, mutate func(*config.Config, int), n int) ([]sim.Time, error) {
+	tr, err := recordTrace(opt)
+	if err != nil {
+		return nil, err
+	}
+	times := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		cfg := config.Default()
+		mutate(&cfg, i)
+		gens, err := tr.Generators()
+		if err != nil {
+			return nil, err
+		}
+		s, err := tsim.New(&cfg, tsim.Options{
+			Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+		})
+		if err != nil {
+			return nil, err
+		}
+		times[i] = s.Run().SimulatedTime
+	}
+	return times, nil
+}
+
+func assertNonDecreasing(name, what string, times []sim.Time) Result {
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return failf(PillarMetamorphic, name, "%s: runtime decreased %v → %v at step %d", what, times[i-1], times[i], i)
+		}
+	}
+	return passf(PillarMetamorphic, name, "%s: runtimes %v non-decreasing", what, times)
+}
+
+// ChannelQueueing runs tsim at 1 and 4 DRAM channels and requires the mean
+// data-read queuing delay not to increase: more parallel channels can only
+// relieve queue pressure. The property only binds when queues actually
+// form — at light load, channel interleaving perturbs row-buffer locality
+// by more than the (near-zero) queuing delay it relieves — so this check
+// raises core count and reference budget until the single-channel
+// configuration is queue-bound. A small absolute slack absorbs FR-FCFS
+// discreteness on top of that.
+func ChannelQueueing(opt Options) Result {
+	opt = opt.withDefaults()
+	if opt.Cores < 4 {
+		opt.Cores = 4
+	}
+	if opt.Refs < 120_000 {
+		opt.Refs = 120_000
+	}
+	tr, err := recordTrace(opt)
+	if err != nil {
+		return failf(PillarMetamorphic, "tsim-channel-qdelay", "%v", err)
+	}
+	delays := make([]float64, 2)
+	for i, channels := range []int{1, 4} {
+		cfg := config.Default()
+		cfg.Channels = channels
+		gens, err := tr.Generators()
+		if err != nil {
+			return failf(PillarMetamorphic, "tsim-channel-qdelay", "%v", err)
+		}
+		s, err := tsim.New(&cfg, tsim.Options{
+			Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+		})
+		if err != nil {
+			return failf(PillarMetamorphic, "tsim-channel-qdelay", "%v", err)
+		}
+		s.Run()
+		delays[i] = s.Stats().Accum("dram/qdelay/data/read").Mean()
+	}
+	const slackNS = 0.5
+	if delays[1] > delays[0]+slackNS {
+		return failf(PillarMetamorphic, "tsim-channel-qdelay",
+			"mean data-read qdelay rose from %.3f ns (1 ch) to %.3f ns (4 ch)", delays[0], delays[1])
+	}
+	return passf(PillarMetamorphic, "tsim-channel-qdelay",
+		"mean data-read qdelay %.3f ns (1 ch) → %.3f ns (4 ch)", delays[0], delays[1])
+}

@@ -1,0 +1,174 @@
+package ctr
+
+import (
+	"testing"
+)
+
+// TestMorphableEncodeDecodeLossless drives a morphable organisation through
+// uniform, ZCC and rebase regimes and checks the image round-trips exactly
+// at every step.
+func TestMorphableEncodeDecodeLossless(t *testing.T) {
+	m := newMorphable()
+	const blk = 7
+	check := func(step string) {
+		t.Helper()
+		b := m.blocks[blk]
+		if b == nil {
+			b = &morphBlock{}
+		}
+		var img [SerializedBytes]byte
+		m.Serialize(blk, &img)
+		major, minors, err := DecodeMorphable(&img)
+		if err != nil {
+			t.Fatalf("%s: decode failed: %v", step, err)
+		}
+		if major != b.major || minors != b.minors {
+			t.Fatalf("%s: round trip lost state: got major=%d, want %d", step, major, b.major)
+		}
+		var re [SerializedBytes]byte
+		if !EncodeMorphable(major, &minors, &re) {
+			t.Fatalf("%s: re-encode rejected decoded state", step)
+		}
+		if re != img {
+			t.Fatalf("%s: re-encode is not byte-identical", step)
+		}
+	}
+
+	check("empty")
+	// Uniform regime: every minor small.
+	for off := 0; off < 128; off++ {
+		m.Increment(blk, off, 0)
+	}
+	check("uniform")
+	// Push one minor into ZCC territory (width > 3).
+	for i := 0; i < 40; i++ {
+		m.Increment(blk, 3, 0)
+	}
+	check("zcc")
+	// Spread non-zero minors across offsets until the ZCC slot budget
+	// bursts and the block rebases, checking throughout.
+	rebased := false
+	for i := 0; i < 100000 && !rebased; i++ {
+		ov := m.Increment(blk, i%128, 0)
+		rebased = ov.Happened
+		if i%13 == 0 {
+			check("hammer")
+		}
+	}
+	if !rebased {
+		t.Fatal("expected a rebase")
+	}
+	check("post-rebase")
+}
+
+// TestDecodeMorphableRejectsMalformed pins the validation rules.
+func TestDecodeMorphableRejectsMalformed(t *testing.T) {
+	var img [SerializedBytes]byte
+	minors := [128]uint32{0: 9, 5: 12}
+	if !EncodeMorphable(42, &minors, &img) {
+		t.Fatal("encode rejected representable state")
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*[SerializedBytes]byte)
+	}{
+		{"bad-tag", func(b *[SerializedBytes]byte) { b[morphTagOff] = 33 }},
+		{"uniform-tag-under-zcc", func(b *[SerializedBytes]byte) { b[morphTagOff] = 1 }},
+		{"padding-dirty", func(b *[SerializedBytes]byte) { b[SerializedBytes-1] = 0xff }},
+		{"non-canonical-width", func(b *[SerializedBytes]byte) { b[morphTagOff] = 5 }},
+		{"phantom-minor", func(b *[SerializedBytes]byte) { b[morphBitmapOff+15] |= 0x80 }},
+	}
+	for _, tc := range cases {
+		mut := img
+		tc.mutate(&mut)
+		if _, _, err := DecodeMorphable(&mut); err == nil {
+			t.Errorf("%s: malformed image accepted", tc.name)
+		}
+	}
+}
+
+// TestEncodeMorphableRejectsUnrepresentable: too many wide minors fit no
+// format; Encode must refuse rather than truncate.
+func TestEncodeMorphableRejectsUnrepresentable(t *testing.T) {
+	var minors [128]uint32
+	for i := range minors {
+		minors[i] = 8 // 128 non-zero minors at width 4 = 512 > 256 bits
+	}
+	var img [SerializedBytes]byte
+	if EncodeMorphable(1, &minors, &img) {
+		t.Fatal("encode accepted unrepresentable state")
+	}
+	if representable(&minors) {
+		t.Fatal("representable disagrees with EncodeMorphable")
+	}
+}
+
+// FuzzMorphableImageRoundTrip: any image DecodeMorphable accepts must
+// re-encode byte-identically (decode∘encode identity on the canonical
+// image set), and the decoded state must be representable.
+func FuzzMorphableImageRoundTrip(f *testing.F) {
+	// Seed with canonical images from live blocks in each regime.
+	m := newMorphable()
+	for i := 0; i < 300; i++ {
+		m.Increment(1, i%128, 0)
+		m.Increment(1, 2, 0)
+	}
+	var seed [SerializedBytes]byte
+	m.Serialize(1, &seed)
+	f.Add(seed[:])
+	f.Add(make([]byte, SerializedBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < SerializedBytes {
+			return
+		}
+		var img [SerializedBytes]byte
+		copy(img[:], data)
+		major, minors, err := DecodeMorphable(&img)
+		if err != nil {
+			return // malformed input cleanly rejected
+		}
+		if !representable(&minors) {
+			t.Fatal("decode accepted an unrepresentable minor population")
+		}
+		var re [SerializedBytes]byte
+		if !EncodeMorphable(major, &minors, &re) {
+			t.Fatal("re-encode rejected decoded state")
+		}
+		if re != img {
+			t.Fatalf("decode->encode not lossless:\n in %x\nout %x", img, re)
+		}
+	})
+}
+
+// FuzzMorphableStateRoundTrip: arbitrary (major, minors) states, clamped to
+// representable populations, must survive encode->decode unchanged
+// (encode∘decode identity on the representable state set).
+func FuzzMorphableStateRoundTrip(f *testing.F) {
+	f.Add(uint64(3), []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint64(0), []byte{})
+	f.Add(^uint64(0), []byte{0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, major uint64, raw []byte) {
+		var minors [128]uint32
+		for i := 0; i+1 < len(raw) && i/2 < len(minors); i += 2 {
+			minors[i/2] = uint32(raw[i]) | uint32(raw[i+1])<<8
+		}
+		if !representable(&minors) {
+			// Clamp to the uniform format, always representable.
+			for i := range minors {
+				minors[i] &= (1 << uniformBits) - 1
+			}
+		}
+		var img [SerializedBytes]byte
+		if !EncodeMorphable(major, &minors, &img) {
+			t.Fatal("encode rejected representable state")
+		}
+		gotMajor, gotMinors, err := DecodeMorphable(&img)
+		if err != nil {
+			t.Fatalf("decode rejected canonical image: %v", err)
+		}
+		if gotMajor != major || gotMinors != minors {
+			t.Fatal("encode->decode lost state")
+		}
+	})
+}

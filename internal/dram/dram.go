@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/config"
+	"repro/internal/inv"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -348,6 +349,21 @@ func (ch *channel) issue(r *Request) {
 		dataAt = ch.busFree
 	}
 	finish := dataAt + ch.d.cfg.burst
+
+	if inv.On() {
+		if start < r.enqueued {
+			inv.Failf("dram", "ch%d request issued at %d ps before its enqueue at %d ps", ch.id, start, r.enqueued)
+		}
+		if finish <= start {
+			inv.Failf("dram", "ch%d access finishes at %d ps, not after its start at %d ps", ch.id, finish, start)
+		}
+		if finish < ch.busFree {
+			inv.Failf("dram", "ch%d data bus moved backwards: finish %d ps < busFree %d ps", ch.id, finish, ch.busFree)
+		}
+		if finish < b.freeAt {
+			inv.Failf("dram", "ch%d bank %d freeAt moved backwards: %d ps -> %d ps", ch.id, bankID, b.freeAt, finish)
+		}
+	}
 
 	b.openRow, b.rowValid = loc.Row, true
 	b.lastAccess = finish

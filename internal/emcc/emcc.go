@@ -19,6 +19,7 @@ package emcc
 
 import (
 	"repro/internal/config"
+	"repro/internal/inv"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -78,13 +79,24 @@ func NewPolicy(cfg *config.Config, mesh *noc.Mesh) Policy {
 	if cfg.EMCCDisableAESGate {
 		llcHit = 0
 	}
-	return Policy{
+	p := Policy{
 		LookupDelay:      cfg.EMCCLookupDelay,
 		LLCHitWait:       llcHit,
 		OffloadThreshold: save,
 		L2CounterCap:     cfg.EMCCL2CounterBytes,
 		OffloadDisabled:  cfg.EMCCDisableOffload,
 	}
+	// A policy with negative waits or a non-positive counter budget would
+	// schedule events in the past or starve the L2 of counters entirely.
+	if inv.On() {
+		if p.LookupDelay < 0 || p.LLCHitWait < 0 || p.OffloadThreshold < 0 {
+			inv.Failf("emcc", "negative policy delay: lookup=%d llc-wait=%d offload=%d", p.LookupDelay, p.LLCHitWait, p.OffloadThreshold)
+		}
+		if p.L2CounterCap <= 0 {
+			inv.Failf("emcc", "non-positive L2 counter budget %d bytes", p.L2CounterCap)
+		}
+	}
+	return p
 }
 
 // ShouldOffload reports whether a new L2 miss should carry the offload

@@ -135,6 +135,13 @@ type latencies struct {
 
 func defaultLatencies() latencies {
 	cfg := config.Default()
+	return latenciesFor(&cfg)
+}
+
+// latenciesFor derives the analytic building blocks from an arbitrary
+// configuration, so the timelines (and the verification harness's
+// metamorphic properties over them) respond to config changes.
+func latenciesFor(cfg *config.Config) latencies {
 	mesh := noc.New(cfg.MeshCols, cfg.MeshRows, cfg.NoCHopLatency, cfg.NoCBaseOneWay)
 	return latencies{
 		oneWay:   mesh.MeanOneWay(mesh.CoreTile(0)),
@@ -150,6 +157,57 @@ func defaultLatencies() latencies {
 		j:        cfg.EMCCLookupDelay,
 		payload:  sim.NS(1),
 	}
+}
+
+// TimelineModel exposes the analytic secure-memory-access timeline
+// endpoints (the response times the Fig 10/13 timelines end at) as
+// functions of a configuration. internal/check sweeps configurations
+// through it to assert metamorphic properties — e.g. EMCC never responds
+// later than the baseline on counter-hit timelines.
+type TimelineModel struct{ l latencies }
+
+// NewTimelineModel derives the model from cfg.
+func NewTimelineModel(cfg *config.Config) TimelineModel {
+	return TimelineModel{l: latenciesFor(cfg)}
+}
+
+// Slack is the single xor/compute step (1 ns) by which EMCC's extra final
+// verify may trail the baseline when the DRAM access dominates both
+// systems and neither counter path matters.
+func (m TimelineModel) Slack() sim.Time { return m.l.xor }
+
+// CounterHitLLC reports the baseline and EMCC response times for an L2
+// data miss whose counter hits in the LLC (the Fig 13 regime; rowHit
+// selects the DRAM row state). Times are measured from the L2 miss.
+func (m TimelineModel) CounterHitLLC(rowHit bool) (baseline, emcc sim.Time) {
+	l := m.l
+	toMC := l.oneWay + l.llcTag + l.oneWay
+	dramAccess := l.rowMiss
+	if rowHit {
+		dramAccess = l.rowHit
+	}
+	dd := toMC + dramAccess
+	cBase := toMC + l.ctrCache + 2*l.oneWay + l.llcTag + l.llcData + l.payload + l.decode + l.aes
+	baseline = maxT(cBase, dd) + 2*l.oneWay + l.xor
+	cipher := dd + 2*l.oneWay + l.xor
+	cEm := l.j + 2*l.oneWay + l.llcTag + l.llcData + l.payload + l.decode + l.aes
+	emcc = maxT(cEm, cipher) + l.xor
+	return baseline, emcc
+}
+
+// CounterMissLLC reports the baseline and EMCC response times for an L2
+// data miss whose counter misses everywhere on chip (the Fig 10 regime;
+// DRAM row miss). Times are measured from the L2 miss.
+func (m TimelineModel) CounterMissLLC() (baseline, emcc sim.Time) {
+	l := m.l
+	toMC := l.oneWay + l.llcTag + l.oneWay
+	back := 2*l.oneWay + l.xor
+	dd := toMC + l.rowMiss
+	cBase := toMC + l.ctrCache + 2*l.oneWay + l.llcTag + l.rowMiss + l.decode + l.aes
+	baseline = maxT(cBase, dd) + back
+	cEm := l.j + l.oneWay + l.llcTag + l.oneWay + l.ctrCache + l.rowMiss + l.decode + l.aes
+	emcc = maxT(cEm, dd) + back
+	return baseline, emcc
 }
 
 // Fig5: Secure Memory Access Latency under counter miss in all caches, with

@@ -1,0 +1,98 @@
+// Package inv is the runtime invariant-checking facility shared by the
+// simulator components (sim, dram, cache, mc, itree, emcc). Checks are
+// gated on a single atomic flag so production runs pay one predictable
+// branch per check site and zero allocation; verification runs (cmd/check,
+// go test ./internal/check) enable the flag and collect violations instead
+// of crashing mid-simulation, so one broken invariant cannot mask the rest.
+//
+// Usage at a check site:
+//
+//	if inv.On() && start < enqueued {
+//		inv.Failf("dram", "request issued %d ps before enqueue", enqueued-start)
+//	}
+//
+// The condition and the Failf arguments are only evaluated when checking is
+// enabled, keeping the disabled path free of fmt traffic.
+package inv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Violation is one recorded invariant failure.
+type Violation struct {
+	// Component labels the subsystem that detected the failure
+	// ("sim", "dram", "cache", "mc", "itree", "emcc", ...).
+	Component string
+	// Message describes the violated invariant.
+	Message string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Component + ": " + v.Message }
+
+// maxRecorded caps stored violations; beyond it only the total count grows
+// (a systematically broken invariant would otherwise flood memory).
+const maxRecorded = 256
+
+var (
+	enabled atomic.Bool
+	total   atomic.Int64
+
+	mu   sync.Mutex
+	vios []Violation
+)
+
+// Enable switches invariant checking on or off. Enabling also clears any
+// previously recorded violations so a run starts from a clean slate.
+func Enable(on bool) {
+	if on {
+		Reset()
+	}
+	enabled.Store(on)
+}
+
+// On reports whether invariant checking is active. Check sites call this
+// first so the disabled path costs one atomic load.
+func On() bool { return enabled.Load() }
+
+// Failf records an invariant violation. It never panics: simulation
+// continues so a single failure cannot hide later, independent ones.
+func Failf(component, format string, args ...interface{}) {
+	total.Add(1)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(vios) < maxRecorded {
+		vios = append(vios, Violation{Component: component, Message: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Check records a violation when cond is false. Prefer the `if inv.On()`
+// form at hot sites; Check is for cold paths where brevity wins.
+func Check(cond bool, component, format string, args ...interface{}) {
+	if !cond {
+		Failf(component, format, args...)
+	}
+}
+
+// Violations returns a copy of the recorded violations (at most the first
+// maxRecorded; Count reports the true total).
+func Violations() []Violation {
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]Violation(nil), vios...)
+}
+
+// Count reports the total number of violations since the last Reset,
+// including any dropped beyond the recording cap.
+func Count() int64 { return total.Load() }
+
+// Reset clears recorded violations and the counter.
+func Reset() {
+	mu.Lock()
+	vios = nil
+	mu.Unlock()
+	total.Store(0)
+}

@@ -1,0 +1,74 @@
+package inv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Enable(false)
+	Reset()
+	if On() {
+		t.Fatal("recorder on without Enable")
+	}
+}
+
+func TestEnableRecordsAndResets(t *testing.T) {
+	Enable(true)
+	defer Enable(false)
+	Failf("demo", "value %d out of range", 7)
+	Check(false, "demo", "check form")
+	Check(true, "demo", "must not record")
+	if Count() != 2 {
+		t.Fatalf("Count = %d, want 2", Count())
+	}
+	vs := Violations()
+	if len(vs) != 2 || vs[0].Component != "demo" || vs[0].Message != "value 7 out of range" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if got := vs[0].String(); got != "demo: value 7 out of range" {
+		t.Fatalf("String = %q", got)
+	}
+	// Re-enabling starts a clean slate.
+	Enable(true)
+	if Count() != 0 || len(Violations()) != 0 {
+		t.Fatal("Enable(true) did not reset")
+	}
+}
+
+func TestRecordingCap(t *testing.T) {
+	Enable(true)
+	defer Enable(false)
+	for i := 0; i < maxRecorded+10; i++ {
+		Failf("cap", "violation %d", i)
+	}
+	if n := len(Violations()); n != maxRecorded {
+		t.Fatalf("stored %d violations, cap is %d", n, maxRecorded)
+	}
+	if Count() != int64(maxRecorded+10) {
+		t.Fatalf("Count = %d, want %d", Count(), maxRecorded+10)
+	}
+}
+
+// TestConcurrentFailf exercises the recorder from many goroutines under
+// -race: Failf and Violations must be safe to interleave.
+func TestConcurrentFailf(t *testing.T) {
+	Enable(true)
+	defer Enable(false)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Failf("race", "g%d-%d", g, i)
+				_ = Violations()
+				_ = On()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if Count() != 800 {
+		t.Fatalf("Count = %d, want 800", Count())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/crypto"
 	"repro/internal/ctr"
+	"repro/internal/inv"
 )
 
 // Tree ties an address space, a counter organisation and a crypto engine
@@ -75,11 +76,27 @@ func (t *Tree) CounterOf(block uint64) uint64 {
 // returns any overflow (page re-encryption) consequence. For the root the
 // on-chip counter advances overflow-free.
 func (t *Tree) IncrementCounterOf(block uint64) ctr.Overflow {
+	check := inv.On()
+	var before uint64
+	if check {
+		before = t.CounterOf(block)
+	}
+	var ov ctr.Overflow
 	parent, off, ok := t.childSlot(block)
 	if !ok {
-		return t.org.Increment(rootKey, 0, t.space.Level(block)+1)
+		ov = t.org.Increment(rootKey, 0, t.space.Level(block)+1)
+	} else {
+		ov = t.org.Increment(parent, off, t.space.Level(parent))
 	}
-	return t.org.Increment(parent, off, t.space.Level(parent))
+	// Freshness rests on write counters strictly increasing — a counter
+	// that repeats a value reopens the replay window, so overflow/rebase
+	// handling must never move one backwards.
+	if check {
+		if after := t.CounterOf(block); after <= before {
+			inv.Failf("itree", "counter of block %#x did not advance: %#x -> %#x (%s)", block, before, after, t.org.Name())
+		}
+	}
+	return ov
 }
 
 // WriteBack simulates writing metadata block `block` to DRAM: its counter

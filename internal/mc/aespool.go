@@ -5,7 +5,10 @@
 // verification/invalidation.
 package mc
 
-import "repro/internal/sim"
+import (
+	"repro/internal/inv"
+	"repro/internal/sim"
+)
 
 // AESPool models a group of AES units as a bandwidth-limited server: ops
 // issue at a fixed rate (the pool's aggregate bandwidth) and each op
@@ -62,12 +65,18 @@ func (p *AESPool) Reserve(n int, at sim.Time) sim.Time {
 		start = p.nextFree
 	}
 	last := start + sim.Time(n-1)*p.interval
+	if inv.On() && last+p.interval < p.nextFree {
+		inv.Failf("mc", "aes pool critical horizon moved backwards: %d ps -> %d ps", p.nextFree, last+p.interval)
+	}
 	p.nextFree = last + p.interval
 	// Preempted background work resumes after the critical ops.
 	if p.lowNextFree < p.nextFree {
 		p.lowNextFree = p.nextFree
 	}
 	p.Reserved += int64(n)
+	if inv.On() {
+		p.checkUtilisation()
+	}
 	return last + p.latency
 }
 
@@ -86,10 +95,45 @@ func (p *AESPool) ReserveLow(n int, at sim.Time) sim.Time {
 		start = p.lowNextFree
 	}
 	last := start + sim.Time(n-1)*p.interval
+	if inv.On() && last+p.interval < p.lowNextFree {
+		inv.Failf("mc", "aes pool background horizon moved backwards: %d ps -> %d ps", p.lowNextFree, last+p.interval)
+	}
 	p.lowNextFree = last + p.interval
 	p.Reserved += int64(n)
+	if inv.On() {
+		p.checkUtilisation()
+	}
 	return last + p.latency
 }
 
 // Latency reports the per-op latency (used by timeline tooling).
 func (p *AESPool) Latency() sim.Time { return p.latency }
+
+// Horizon reports the time by which every reserved op will have issued:
+// the later of the critical and background issue horizons.
+func (p *AESPool) Horizon() sim.Time {
+	if p.lowNextFree > p.nextFree {
+		return p.lowNextFree
+	}
+	return p.nextFree
+}
+
+// Utilisation reports the fraction of the pool's issue bandwidth consumed
+// over [0, Horizon]. A bandwidth server can never exceed 1.0: every
+// reservation of n ops advances a horizon by at least n*interval, so
+// Reserved*interval ≤ Horizon always — the verification harness asserts it.
+func (p *AESPool) Utilisation() float64 {
+	h := p.Horizon()
+	if h <= 0 {
+		return 0
+	}
+	return float64(p.Reserved) * float64(p.interval) / float64(h)
+}
+
+// checkUtilisation asserts the bandwidth bound in exact integer arithmetic.
+func (p *AESPool) checkUtilisation() {
+	if p.Reserved*int64(p.interval) > int64(p.Horizon()) {
+		inv.Failf("mc", "aes pool over-committed: %d ops * %d ps/op > horizon %d ps (utilisation %.3f)",
+			p.Reserved, p.interval, p.Horizon(), p.Utilisation())
+	}
+}

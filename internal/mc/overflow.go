@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"repro/internal/inv"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -84,6 +85,14 @@ func (e *OverflowEngine) Pump() {
 		job.next++
 		e.inFlight++
 	}
+	if inv.On() {
+		if e.inFlight > e.maxSlots {
+			inv.Failf("mc", "overflow engine holds %d queue slots, cap %d", e.inFlight, e.maxSlots)
+		}
+		if len(e.live) > e.maxLive {
+			inv.Failf("mc", "overflow engine runs %d concurrent jobs, cap %d", len(e.live), e.maxLive)
+		}
+	}
 }
 
 // readDone chains the write half for a re-encrypted block, keeping the
@@ -98,6 +107,14 @@ func (e *OverflowEngine) readDone(job *overflowJob, blk uint64) {
 func (e *OverflowEngine) writeDone(job *overflowJob) {
 	e.inFlight--
 	job.done++
+	if inv.On() {
+		if e.inFlight < 0 {
+			inv.Failf("mc", "overflow engine slot count went negative: %d", e.inFlight)
+		}
+		if job.done > job.total {
+			inv.Failf("mc", "overflow job rewrote %d blocks of %d planned", job.done, job.total)
+		}
+	}
 	if job.done == job.total {
 		e.finish(job)
 	}

@@ -7,7 +7,11 @@
 // timestamps, which keeps simulations deterministic).
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"repro/internal/inv"
+)
 
 // Time is a simulated timestamp or duration in picoseconds. Integer
 // picoseconds keep all of Table I's latencies (down to 13.75 ns) exact and
@@ -118,6 +122,9 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
 func (e *Engine) step() {
 	ev := heap.Pop(&e.events).(event)
+	if inv.On() && ev.at < e.now {
+		inv.Failf("sim", "clock moved backwards: event at %d ps popped at now=%d ps", ev.at, e.now)
+	}
 	e.now = ev.at
 	e.steps++
 	ev.fn()

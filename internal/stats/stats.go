@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -231,6 +232,13 @@ type AccumSummary struct {
 	Mean  float64 `json:"mean"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
+}
+
+// StableJSON renders the snapshot as indented JSON. encoding/json sorts
+// map keys, so two equal snapshots always produce byte-identical output —
+// the determinism tests and golden files rely on that.
+func (s Snapshot) StableJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
 }
 
 // Snapshot captures the current metrics for serialization.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/dram"
 	"repro/internal/emcc"
+	"repro/internal/inv"
 	"repro/internal/mc"
 	"repro/internal/sim"
 )
@@ -111,6 +112,9 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 	p := &mcDataPending{block: req.block, reqs: []*readReq{req}}
 	p.needCrypto = m.reqNeedsMCCrypto(req)
 	m.pendData[req.block] = p
+	// One fill per MSHR entry: internal/check's conservation rule compares
+	// this against the DRAM model's issued data reads after drain.
+	m.s.st.Inc("tsim/mc-data-fill")
 	m.enqueueDRAM(req.block, false, dram.TrafficData, func(at sim.Time) {
 		p.dataHere, p.dataAt = true, at
 		m.maybeRespond(p)
@@ -170,6 +174,17 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		// An EMCC untagged response may only answer a confirmed miss;
 		// a speculative read that beat the LLC lookup waits for it.
 		return
+	}
+	// Conservation: one MSHR entry ⇔ one DRAM fill ⇔ one response. A
+	// pending entry that lost its registration (or its requesters) would
+	// mean a fill was issued twice or a response answers nobody.
+	if inv.On() {
+		if m.pendData[p.block] != p {
+			inv.Failf("mc", "data fill for block %#x responds without an owning MSHR entry", p.block)
+		}
+		if len(p.reqs) == 0 {
+			inv.Failf("mc", "data fill for block %#x completes with no waiting requests", p.block)
+		}
 	}
 	p.responded = true
 	delete(m.pendData, p.block)
