@@ -24,6 +24,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/mc"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tsim"
@@ -247,6 +248,11 @@ func BenchmarkFunctionalSimThroughput(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkTimingSimThroughput measures the disabled-tracer path: no
+// tracer is attached, so every obs call site reduces to a nil check. The
+// tracing PR's acceptance bar is that this stays within 1% of the
+// pre-instrumentation number; BenchmarkTimingSimTraced below prices the
+// enabled path for comparison.
 func BenchmarkTimingSimThroughput(b *testing.B) {
 	cfg := config.Default()
 	cfg.EMCC = true
@@ -260,6 +266,26 @@ func BenchmarkTimingSimThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkTimingSimTraced is the same run with full tracing into the
+// aggregate sink (no Chrome writer): the cost of attributing every request.
+func BenchmarkTimingSimTraced(b *testing.B) {
+	cfg := config.Default()
+	cfg.EMCC = true
+	refs := int64(b.N)
+	if refs < 4 {
+		refs = 4
+	}
+	s, err := tsim.New(&cfg, tsim.Options{
+		Benchmark: "canneal", Seed: 1, Refs: refs, Scale: workload.TestScale(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetTracer(obs.New(obs.Options{Stats: s.Stats()}))
 	b.ResetTimer()
 	s.Run()
 }

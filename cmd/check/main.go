@@ -3,17 +3,25 @@
 // invariant-instrumented simulation runs. It prints one line per check and
 // exits non-zero if any fail.
 //
+// The differential and metamorphic units are independent and fan out across
+// -parallel goroutines (default: GOMAXPROCS); the invariant pillar is always
+// serial (its violation recorder is process-global). Parallelism changes
+// only the wall-clock time, never the report.
+//
 // Usage:
 //
-//	go run ./cmd/check [-quick] [-seed N] [-refs N] [-bench name] [-cores N]
+//	go run ./cmd/check [-quick] [-seed N] [-refs N] [-bench name] [-cores N] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/check"
+	"repro/internal/config"
+	"repro/internal/prov"
 )
 
 func main() {
@@ -23,8 +31,16 @@ func main() {
 	flag.StringVar(&opt.Benchmark, "bench", "", "synthetic benchmark to trace (empty = default)")
 	flag.IntVar(&opt.Cores, "cores", 0, "simulated cores (0 = default)")
 	flag.BoolVar(&opt.Quick, "quick", false, "halve the reference budget")
+	flag.IntVar(&opt.Parallel, "parallel", runtime.GOMAXPROCS(0), "concurrent check units (1 = serial)")
 	flag.Parse()
 
+	cfg := config.Default()
+	fmt.Printf("# %s\n", prov.Line(prov.Manifest(&cfg, map[string]string{
+		"tool":     "check",
+		"seed":     fmt.Sprint(opt.Seed),
+		"refs":     fmt.Sprint(opt.Refs),
+		"parallel": fmt.Sprint(opt.Parallel),
+	})))
 	results := check.Run(opt)
 	for _, r := range results {
 		fmt.Println(r)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/fsim"
+	"repro/internal/prov"
 	"repro/internal/sim"
 	"repro/internal/tsim"
 	"repro/internal/workload"
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	cfg := config.Default()
-	if err := applySystem(&cfg, *system); err != nil {
+	if err := config.ApplySystem(&cfg, *system); err != nil {
 		fatal(err)
 	}
 	if *llcMB > 0 {
@@ -82,6 +83,15 @@ func main() {
 		scale = workload.TestScale()
 	}
 
+	manifest := prov.Manifest(&cfg, map[string]string{
+		"tool":      "emccsim",
+		"mode":      *mode,
+		"benchmark": *bench,
+		"seed":      fmt.Sprint(*seed),
+		"refs":      fmt.Sprint(*refs),
+		"warmup":    fmt.Sprint(*warm),
+	})
+
 	switch *mode {
 	case "functional":
 		s, err := fsim.New(&cfg, fsim.Options{Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm, Scale: scale})
@@ -89,6 +99,7 @@ func main() {
 			fatal(err)
 		}
 		s.Run()
+		s.Stats().SetProvenance(manifest)
 		if *asJSON {
 			emitJSON(map[string]interface{}{
 				"mode": "functional", "system": cfg.SystemName(), "benchmark": *bench,
@@ -97,6 +108,7 @@ func main() {
 			return
 		}
 		fmt.Printf("# functional %s on %s, %d refs\n", cfg.SystemName(), *bench, *refs)
+		fmt.Printf("# %s\n", prov.Line(manifest))
 		fmt.Print(s.Stats().Dump())
 	case "timing":
 		s, err := tsim.New(&cfg, tsim.Options{Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm, Scale: scale})
@@ -104,6 +116,7 @@ func main() {
 			fatal(err)
 		}
 		res := s.Run()
+		s.Stats().SetProvenance(manifest)
 		if *asJSON {
 			util := map[string]float64{}
 			for k, v := range res.BusyFraction {
@@ -121,6 +134,7 @@ func main() {
 			return
 		}
 		fmt.Printf("# timing %s on %s, %d refs\n", cfg.SystemName(), *bench, *refs)
+		fmt.Printf("# %s\n", prov.Line(manifest))
 		fmt.Printf("simulated-time-ms            %.3f\n", res.SimulatedTime.Nanoseconds()/1e6)
 		fmt.Printf("instructions                 %d\n", res.Instructions)
 		fmt.Printf("ipc                          %.3f\n", res.IPC)
@@ -133,37 +147,6 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}
-}
-
-// applySystem configures the secure-memory design from its figure-legend
-// name. The "+nollc" suffix disables caching counters in LLC (the Fig 2
-// "W/o" configuration).
-func applySystem(cfg *config.Config, name string) error {
-	base := strings.TrimSuffix(name, "+nollc")
-	switch base {
-	case "non-secure", "nonsecure", "none":
-		cfg.Counter = config.CtrNone
-		cfg.CountersInLLC = false
-		cfg.EMCC = false
-	case "mono":
-		cfg.Counter = config.CtrMono
-	case "sc64":
-		cfg.Counter = config.CtrSC64
-	case "morphable":
-		cfg.Counter = config.CtrMorphable
-	case "emcc":
-		cfg.Counter = config.CtrMorphable
-		cfg.EMCC = true
-	default:
-		return fmt.Errorf("unknown -system %q", name)
-	}
-	if strings.HasSuffix(name, "+nollc") {
-		cfg.CountersInLLC = false
-		if cfg.EMCC {
-			return fmt.Errorf("emcc requires counters in LLC")
-		}
-	}
-	return nil
 }
 
 func emitJSON(v interface{}) {

@@ -1,0 +1,117 @@
+// Command trace runs one timing simulation with per-request critical-path
+// tracing enabled (internal/obs) and writes a Chrome/Perfetto trace_event
+// file, a provenance sidecar, and a latency-attribution report with the
+// top-N slowest requests.
+//
+// Usage:
+//
+//	trace -system emcc -bench canneal -refs 200000 -out trace.json
+//	trace -system morphable -bench mcf -refs 200000 -sample 16 -out m.json
+//
+// Open the output at https://ui.perfetto.dev (or chrome://tracing): each
+// core is a process, each in-flight request a thread pair — the data lane
+// and the crypto lane — so EMCC's decrypt overlap is visible as parallel
+// bars. <out>.prov.json records what produced the file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/prov"
+	"repro/internal/sim"
+	"repro/internal/tsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "emcc", "non-secure | sc64 | morphable | emcc | mono | <any>+nollc")
+		bench    = flag.String("bench", "canneal", "synthetic benchmark")
+		refs     = flag.Int64("refs", 200_000, "memory references to replay")
+		warm     = flag.Int64("warmup", 0, "warmup references before measuring")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		cores    = flag.Int("cores", 0, "simulated cores (0 = config default)")
+		small    = flag.Bool("small", false, "use the miniature test scale")
+		out      = flag.String("out", "trace.json", "Chrome trace output path")
+		topN     = flag.Int("top", 10, "slowest requests to report")
+		sample   = flag.Uint64("sample", 1, "trace every Nth request (1 = all)")
+		periodNS = flag.Float64("sample-period-ns", 1000, "time-series sampling period in ns (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	if err := config.ApplySystem(&cfg, *system); err != nil {
+		fatal(err)
+	}
+	scale := workload.DefaultScale()
+	if *small {
+		scale = workload.TestScale()
+	}
+
+	manifest := prov.Manifest(&cfg, map[string]string{
+		"tool":      "trace",
+		"benchmark": *bench,
+		"seed":      fmt.Sprint(*seed),
+		"refs":      fmt.Sprint(*refs),
+		"warmup":    fmt.Sprint(*warm),
+		"sample":    fmt.Sprint(*sample),
+		"out":       *out,
+	})
+
+	s, err := tsim.New(&cfg, tsim.Options{
+		Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm,
+		Cores: *cores, Scale: scale,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	s.Stats().SetProvenance(manifest)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	// The Chrome file's otherData block carries the masked manifest so the
+	// trace stream stays byte-deterministic for a fixed seed; the full
+	// manifest (wall time, toolchain, revision) goes to the sidecar.
+	tr := obs.New(obs.Options{
+		Stats:        s.Stats(),
+		Writer:       f,
+		Sample:       *sample,
+		TopN:         *topN,
+		SamplePeriod: sim.NS(*periodNS),
+		Meta:         prov.Masked(manifest),
+	})
+	s.SetTracer(tr)
+	res := s.Run()
+	if err := tr.Close(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	sidecar, err := prov.JSON(manifest)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out+".prov.json", sidecar, 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# trace %s on %s, %d refs → %s\n", cfg.SystemName(), *bench, *refs, *out)
+	fmt.Printf("# %s\n", prov.Line(manifest))
+	fmt.Printf("simulated-time-ms            %.3f\n", float64(res.SimulatedTime.Nanoseconds())/1e6)
+	fmt.Printf("ipc                          %.3f\n", res.IPC)
+	fmt.Println()
+	obs.WriteSummary(os.Stdout, s.Stats())
+	obs.WriteTopRequests(os.Stdout, tr.TopRequests())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

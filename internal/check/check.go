@@ -23,6 +23,7 @@ package check
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -67,6 +68,11 @@ type Options struct {
 	Cores int
 	// Quick halves the reference budget (cmd/check -quick).
 	Quick bool
+	// Parallel is the number of independent check units Run executes
+	// concurrently (0 or 1 = serial). Every unit owns its simulators and
+	// stats.Sets outright, so parallelism never changes any result — only
+	// the wall-clock time (closes the ROADMAP fan-out item).
+	Parallel int
 }
 
 // withDefaults fills unset fields.
@@ -89,12 +95,43 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Run executes every pillar and returns all results.
+// Run executes every pillar and returns all results. The differential and
+// metamorphic units are independent (each builds its own simulators over a
+// shared read-only trace) and fan out across opt.Parallel goroutines; the
+// invariant pillar always runs serially afterwards because internal/inv's
+// violation recorder is process-global and would absorb signals from
+// concurrent runs. Results land in fixed slots, so the report order — and
+// with deterministic simulators, every byte of it — is identical at any
+// parallelism.
 func Run(opt Options) []Result {
 	opt = opt.withDefaults()
+	tr, err := recordTrace(opt)
+	if err != nil {
+		return []Result{failf(PillarDifferential, "record-trace", "%v", err)}
+	}
+	units := append(diffUnits(tr, opt), metamorphicUnits(opt)...)
+	slots := make([][]Result, len(units))
+	workers := opt.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, unit := range units {
+		i, unit := i, unit
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			slots[i] = unit()
+		}()
+	}
+	wg.Wait()
 	var out []Result
-	out = append(out, Differential(opt)...)
-	out = append(out, Metamorphic(opt)...)
+	for _, rs := range slots {
+		out = append(out, rs...)
+	}
 	out = append(out, Invariants(opt)...)
 	return out
 }

@@ -15,10 +15,21 @@ import (
 func Metamorphic(opt Options) []Result {
 	opt = opt.withDefaults()
 	var out []Result
-	out = append(out, TimelineProperties()...)
-	out = append(out, AESMonotonicity(opt))
-	out = append(out, ChannelQueueing(opt))
+	for _, unit := range metamorphicUnits(opt) {
+		out = append(out, unit()...)
+	}
 	return out
+}
+
+// metamorphicUnits splits the pillar into independent tasks for parallel
+// Run. AESMonotonicity and ChannelQueueing each record their own trace, so
+// the units share no state at all.
+func metamorphicUnits(opt Options) []func() []Result {
+	return []func() []Result{
+		func() []Result { return TimelineProperties() },
+		func() []Result { return []Result{AESMonotonicity(opt)} },
+		func() []Result { return []Result{ChannelQueueing(opt)} },
+	}
 }
 
 // TimelineProperties sweeps the analytic decrypt-timeline model (Figs 9/10)

@@ -5,6 +5,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -269,4 +270,36 @@ func (c *Config) SystemName() string {
 		name = "emcc+" + name
 	}
 	return name
+}
+
+// ApplySystem configures the secure-memory design from its figure-legend
+// name (the -system flag vocabulary shared by cmd/emccsim, cmd/trace and
+// cmd/check). The "+nollc" suffix disables caching counters in LLC (the
+// Fig 2 "W/o" configuration).
+func ApplySystem(cfg *Config, name string) error {
+	base := strings.TrimSuffix(name, "+nollc")
+	switch base {
+	case "non-secure", "nonsecure", "none":
+		cfg.Counter = CtrNone
+		cfg.CountersInLLC = false
+		cfg.EMCC = false
+	case "mono":
+		cfg.Counter = CtrMono
+	case "sc64":
+		cfg.Counter = CtrSC64
+	case "morphable":
+		cfg.Counter = CtrMorphable
+	case "emcc":
+		cfg.Counter = CtrMorphable
+		cfg.EMCC = true
+	default:
+		return fmt.Errorf("unknown system %q", name)
+	}
+	if strings.HasSuffix(name, "+nollc") {
+		cfg.CountersInLLC = false
+		if cfg.EMCC {
+			return fmt.Errorf("emcc requires counters in LLC")
+		}
+	}
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/inv"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -55,6 +56,9 @@ type Request struct {
 	// Done is called when the access completes on the DRAM pins (data
 	// available for reads, burst written for writes). May be nil.
 	Done func(at sim.Time)
+	// Obs, when non-nil, is the memory request's trace context: issue()
+	// attributes the queue wait and bank service to it (internal/obs).
+	Obs *obs.Req
 
 	enqueued sim.Time
 }
@@ -137,6 +141,16 @@ func (d *DRAM) Enqueue(r *Request) bool {
 	}
 	ch.kick()
 	return true
+}
+
+// QueueDepths reports the total read- and write-queue occupancy across
+// channels — the tracer's periodic sampler plots these over time.
+func (d *DRAM) QueueDepths() (reads, writes int) {
+	for _, ch := range d.chans {
+		reads += len(ch.readQ)
+		writes += len(ch.writeQ)
+	}
+	return reads, writes
 }
 
 // BusyFraction reports the fraction of simulated time [since, now] the
@@ -377,6 +391,8 @@ func (ch *channel) issue(r *Request) {
 	}
 	ch.d.st.Observe(fmt.Sprintf("dram/qdelay/%s/%s", r.Kind, rw), (start - r.enqueued).Nanoseconds())
 	ch.d.st.Inc(fmt.Sprintf("dram/access/%s/%s", r.Kind, rw))
+	r.Obs.AddSpan(obs.SegDRAMQueue, r.enqueued, start)
+	r.Obs.AddSpan(obs.SegDRAMService, start, finish)
 
 	if r.Done != nil {
 		done := r.Done

@@ -96,6 +96,12 @@ type IntensityMonitor struct {
 	// below which EMCC turns off for the next window.
 	MinDRAMPerK int64
 
+	// OnTransition, when non-nil, is called whenever a window boundary
+	// flips the enabled state (observability hook: the timing simulator
+	// emits a trace event so EMCC on/off phases are visible on the
+	// timeline).
+	OnTransition func(enabled bool)
+
 	requests int64
 	dramHits int64
 	enabled  bool
@@ -118,8 +124,12 @@ func (m *IntensityMonitor) OnRequest() {
 	m.requests++
 	if m.requests >= m.Window {
 		perK := m.dramHits * 1000 / m.requests
+		was := m.enabled
 		m.enabled = perK >= m.MinDRAMPerK
 		m.requests, m.dramHits = 0, 0
+		if m.enabled != was && m.OnTransition != nil {
+			m.OnTransition(m.enabled)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/emcc"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -66,6 +67,10 @@ type Sim struct {
 	home *mc.Home
 	pol  emcc.Policy
 	gens []workload.Generator
+
+	trc      *obs.Tracer // nil = tracing disabled
+	warming  bool
+	refsSeen int64 // measured references replayed (pseudo-time for flow events)
 }
 
 // New builds a functional simulation. cfg.Counter selects the secure-memory
@@ -125,6 +130,10 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 // Stats exposes the collected metrics.
 func (s *Sim) Stats() *stats.Set { return s.st }
 
+// SetTracer attaches a tracer. fsim has no clock, so misses are recorded
+// as flow events stamped with the reference index; warmup is never traced.
+func (s *Sim) SetTracer(t *obs.Tracer) { s.trc = t }
+
 // Space exposes the address map (nil for non-secure runs).
 func (s *Sim) Space() *addr.Space {
 	if s.home == nil {
@@ -136,7 +145,9 @@ func (s *Sim) Space() *addr.Space {
 // Run replays the warmup (discarding statistics) and then opt.Refs
 // references, round-robin across cores.
 func (s *Sim) Run() {
+	s.warming = true
 	s.replay(s.opt.Warmup)
+	s.warming = false
 	s.st.Reset()
 	s.replay(s.opt.Refs)
 }
@@ -153,6 +164,9 @@ func (s *Sim) replay(refs int64) {
 // access replays one reference through the hierarchy.
 func (s *Sim) access(core int, a workload.Access) {
 	block := addr.BlockOf(a.Addr)
+	if !s.warming {
+		s.refsSeen++
+	}
 	if a.Write {
 		s.st.Inc(MetricDataWrite)
 	} else {
@@ -180,12 +194,18 @@ func (s *Sim) access(core int, a workload.Access) {
 	// LLC.
 	s.st.Inc(MetricLLCDataAccess)
 	if s.llc.Lookup(block) {
+		if s.trc != nil && !s.warming {
+			s.trc.Flow(core, block, a.Write, false, s.refsSeen)
+		}
 		// Non-inclusive victim-cache style: promote to L2.
 		s.fillL2(core, block, false)
 		s.fillL1(core, block, a.Write)
 		return
 	}
 	s.st.Inc(MetricLLCDataMiss)
+	if s.trc != nil && !s.warming {
+		s.trc.Flow(core, block, a.Write, true, s.refsSeen)
+	}
 
 	// DRAM data read, with its counter access (secure designs).
 	s.st.Inc(MetricDRAMDataRead)

@@ -15,6 +15,11 @@ import (
 // the LLC in parallel with the data access; when it misses in LLC too, the
 // MC takes over (fetching, verifying, and tagging the data response) and
 // returns the counter block to both LLC and L2 for future misses.
+//
+// The speculative LLC probe classifies its own hit/miss (the same
+// ctr-llc-hit/ctr-llc-miss split tsim's counterAccessFromL2 counts, so the
+// differential harness can compare the LLC split under EMCC), and the
+// on-chip-miss handoff skips the LLC re-probe — the probe just missed.
 func (s *Sim) emccCounterProbe(core int, dataBlock uint64) {
 	cb := s.home.CounterBlockOf(dataBlock)
 	if s.l2[core].Lookup(cb) {
@@ -25,12 +30,14 @@ func (s *Sim) emccCounterProbe(core int, dataBlock uint64) {
 	s.st.Inc(emcc.MetricSpecFetch)
 	s.st.Inc(MetricCtrLLCLookup)
 	if s.llc.Lookup(cb) {
+		s.st.Inc(MetricCtrLLCHit)
 		s.insertCtrIntoL2(core, cb)
 		return
 	}
+	s.st.Inc(MetricCtrLLCMiss)
 	// Counter missed on-chip: MC resolves it (possibly from its own
 	// cache, else DRAM + tree verification) and supplies LLC and L2.
-	s.fetchMeta(cb)
+	s.fetchMeta(cb, true)
 	s.insertLLC(cb, false, addr.KindCounter)
 	s.insertCtrIntoL2(core, cb)
 }
@@ -77,21 +84,24 @@ func (s *Sim) counterForDataRead(core int, dataBlock uint64) {
 		}
 		s.st.Inc(MetricCtrLLCMiss)
 	}
-	s.st.Inc(MetricDRAMCtrRead)
-	if p, ok := s.home.Space.ParentOf(cb); ok {
-		s.fetchMeta(p) // verify the DRAM-fetched counter block
-	}
-	s.moveMetaToMC(cb)
+	// The probe (if any) just missed: go straight to DRAM + verification.
+	s.fetchMeta(cb, true)
 }
 
 // fetchMeta obtains a metadata block at the MC, wherever it currently is,
 // counting the traffic it generates. DRAM-sourced blocks are verified,
-// which requires their parent chain on-chip (recursive fetch).
-func (s *Sim) fetchMeta(mb uint64) {
+// which requires their parent chain on-chip (recursive fetch). skipLLC is
+// set when the caller already probed (and missed) the LLC for mb, so the
+// probe is neither repeated nor double-counted. Secondary probes here count
+// only ctr-llc-lookups: the hit/miss classification metrics keep their
+// per-primary-probe semantics (one per DRAM data read in the baseline, one
+// per speculative fetch under EMCC), which is what Figs 6/7 and the
+// differential rules consume.
+func (s *Sim) fetchMeta(mb uint64, skipLLC bool) {
 	if s.home.LookupMeta(mb) {
 		return
 	}
-	if s.cfg.CountersInLLC {
+	if s.cfg.CountersInLLC && !skipLLC {
 		s.st.Inc(MetricCtrLLCLookup)
 		if s.llc.Lookup(mb) {
 			s.moveMetaToMC(mb)
@@ -100,7 +110,7 @@ func (s *Sim) fetchMeta(mb uint64) {
 	}
 	s.st.Inc(MetricDRAMCtrRead)
 	if p, ok := s.home.Space.ParentOf(mb); ok {
-		s.fetchMeta(p)
+		s.fetchMeta(p, false)
 	}
 	s.moveMetaToMC(mb)
 }
@@ -156,7 +166,7 @@ func (s *Sim) bumpCounter(block uint64) {
 	if !ok {
 		return // root: on-chip counter only
 	}
-	s.fetchMeta(parent)
+	s.fetchMeta(parent, false)
 	ov := s.home.IncrementCounterOf(block)
 	s.home.MarkMetaDirty(parent)
 	if !ov.Happened {

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// WriteSummary renders the per-segment attribution aggregated in st (by a
+// tracer whose Stats sink was st) as a human-readable table: sample count,
+// mean and max per segment, the decrypt overlap split, and the request-mix
+// counters. It is the text half of cmd/trace's output.
+func WriteSummary(w io.Writer, st *stats.Set) {
+	fmt.Fprintf(w, "traced requests: %d (%d stores, %d MSHR-merged, %d LLC misses, %d offloaded)\n",
+		st.Counter("obs/req-traced"), st.Counter("obs/req-store"),
+		st.Counter("obs/req-merged"), st.Counter("obs/req-llc-miss"),
+		st.Counter("obs/req-offload"))
+	lat := st.Accum("obs/req-latency-ns")
+	if lat.Count > 0 {
+		fmt.Fprintf(w, "request latency: mean %.1f ns  min %.1f  max %.1f\n", lat.Mean(), lat.Min, lat.Max)
+	}
+
+	fmt.Fprintf(w, "\n%-16s %10s %12s %12s\n", "segment", "spans", "mean ns", "max ns")
+	for _, seg := range Segments() {
+		a := st.Accum("obs/seg/" + seg.String() + "-ns")
+		if a.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %10d %12.2f %12.2f\n", seg.String(), a.Count, a.Mean(), a.Max)
+	}
+
+	exp := st.Accum("obs/exposed-decrypt-ns")
+	over := st.Accum("obs/overlapped-decrypt-ns")
+	if exp.Count > 0 {
+		fmt.Fprintf(w, "\ndecrypt overlap (per decrypted fill):\n")
+		fmt.Fprintf(w, "  exposed    mean %8.2f ns  (n=%d)\n", exp.Mean(), exp.Count)
+		fmt.Fprintf(w, "  overlapped mean %8.2f ns  (n=%d)\n", over.Mean(), over.Count)
+		fmt.Fprintf(w, "  decrypt-at: l2=%d mc=%d   ctr-src: l2=%d llc=%d mc=%d\n",
+			st.Counter("obs/decrypt-at/l2"), st.Counter("obs/decrypt-at/mc"),
+			st.Counter("obs/ctr-src/l2"), st.Counter("obs/ctr-src/llc"), st.Counter("obs/ctr-src/mc"))
+	}
+}
+
+// WriteTopRequests renders the tracer's slowest-requests table with
+// per-segment attribution, longest first.
+func WriteTopRequests(w io.Writer, reqs []*Req) {
+	if len(reqs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "top %d slowest requests:\n", len(reqs))
+	for i, r := range reqs {
+		kind := "load"
+		if r.Store {
+			kind = "store"
+		}
+		flags := ""
+		if r.LLCMiss {
+			flags += " llc-miss"
+		}
+		if r.Offload {
+			flags += " offload"
+		}
+		if r.Merged {
+			flags += " merged"
+		}
+		fmt.Fprintf(w, "#%-3d %-5s core %d block 0x%010x  %9.1f ns%s\n",
+			i+1, kind, r.Core, r.Block, r.Latency().Nanoseconds(), flags)
+		for _, part := range segBreakdown(r) {
+			fmt.Fprintf(w, "      %-16s %9.1f ns\n", part.name, part.ns)
+		}
+		if r.Decrypt != DecNone {
+			fmt.Fprintf(w, "      decrypt@%-8s %9.1f ns exposed\n", r.Decrypt, r.Exposed.Nanoseconds())
+		}
+	}
+}
+
+type segPart struct {
+	name string
+	ns   float64
+}
+
+// segBreakdown collapses a request's spans into per-segment totals, in
+// pipeline order, dropping empty segments.
+func segBreakdown(r *Req) []segPart {
+	var parts []segPart
+	for _, seg := range Segments() {
+		if d := r.SegTotal(seg); d > 0 {
+			parts = append(parts, segPart{seg.String(), d.Nanoseconds()})
+		}
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].ns > parts[j].ns })
+	return parts
+}

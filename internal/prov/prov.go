@@ -1,0 +1,120 @@
+// Package prov stamps simulation outputs with run provenance: enough
+// context to answer, months later, "what exactly produced this file?" —
+// the configuration (hashed), the workload seed, the toolchain and the
+// source revision. Every cmd tool attaches a manifest to its stats
+// snapshot and sidecar files; golden tests mask the volatile fields so
+// the stamp never breaks byte-stable comparisons.
+package prov
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+)
+
+// Volatile names the manifest keys that change from run to run or machine
+// to machine. Masked replaces them; everything else is deterministic for a
+// fixed configuration and binary.
+var Volatile = []string{"wall-time", "go-version", "vcs"}
+
+// Manifest builds the provenance map for one run. extra carries the
+// tool-specific fields (tool name, benchmark, seed, refs, output path)
+// and wins on key collision, though the stock keys below are reserved
+// names no tool should repurpose.
+func Manifest(cfg *config.Config, extra map[string]string) map[string]string {
+	m := map[string]string{
+		"config-hash": ConfigHash(cfg),
+		"system":      cfg.SystemName(),
+		"go-version":  runtime.Version(),
+		"vcs":         vcsDescribe(),
+		"wall-time":   time.Now().UTC().Format(time.RFC3339),
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return m
+}
+
+// ConfigHash fingerprints every field of the configuration. Two runs with
+// the same hash replayed the same microarchitecture; the full config can
+// always be reconstructed from the tool flags also present in the manifest.
+func ConfigHash(cfg *config.Config) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", *cfg)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// vcsDescribe reports the source revision baked into the binary by the go
+// tool ("<rev12>" or "<rev12>-dirty"), or "unknown" for test binaries and
+// builds outside a repository.
+func vcsDescribe() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// Masked returns a copy with the volatile keys replaced by "-", for golden
+// files and determinism tests that compare manifests byte-for-byte.
+func Masked(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	for _, k := range Volatile {
+		if _, ok := out[k]; ok {
+			out[k] = "-"
+		}
+	}
+	return out
+}
+
+// Line renders the manifest as one sorted "k=v k=v …" line for log headers
+// and text dumps.
+func Line(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// JSON renders the manifest as indented JSON (keys sorted by
+// encoding/json), trailing newline included — the sidecar file format.
+func JSON(m map[string]string) ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,67 @@
+package prov
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestManifestAndMasking(t *testing.T) {
+	cfg := config.Default()
+	m := Manifest(&cfg, map[string]string{"tool": "test", "seed": "7"})
+	for _, k := range []string{"config-hash", "system", "go-version", "vcs", "wall-time", "tool", "seed"} {
+		if m[k] == "" {
+			t.Errorf("manifest missing %q: %v", k, m)
+		}
+	}
+	masked := Masked(m)
+	for _, k := range Volatile {
+		if masked[k] != "-" {
+			t.Errorf("masked[%q] = %q, want -", k, masked[k])
+		}
+	}
+	if m["wall-time"] == "-" {
+		t.Error("Masked mutated the original manifest")
+	}
+	if masked["config-hash"] != m["config-hash"] || masked["seed"] != "7" {
+		t.Error("Masked touched non-volatile keys")
+	}
+}
+
+func TestConfigHashSensitivity(t *testing.T) {
+	a := config.Default()
+	b := config.Default()
+	if ConfigHash(&a) != ConfigHash(&b) {
+		t.Fatal("equal configs hash differently")
+	}
+	b.L3Bytes *= 2
+	if ConfigHash(&a) == ConfigHash(&b) {
+		t.Fatal("different configs hash equal")
+	}
+}
+
+func TestLineSortedAndStable(t *testing.T) {
+	m := map[string]string{"b": "2", "a": "1", "c": "3"}
+	if got := Line(m); got != "a=1 b=2 c=3" {
+		t.Fatalf("Line = %q", got)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	b, err := JSON(map[string]string{"x": "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Error("JSON output not newline-terminated")
+	}
+	var back map[string]string
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["x"] != "y" {
+		t.Fatalf("round trip lost data: %v", back)
+	}
+}

@@ -99,6 +99,24 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d picoseconds from now. Negative delays panic.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// Every invokes fn(now) each period, starting one period from now, for as
+// long as other work remains scheduled. The tick re-arms only when the heap
+// still holds at least one other event after it pops, so a periodic sampler
+// never keeps Run from terminating once the simulation proper has drained.
+func (e *Engine) Every(period Time, fn func(now Time)) {
+	if period <= 0 {
+		panic("sim: Every needs a positive period")
+	}
+	var tick func()
+	tick = func() {
+		fn(e.now)
+		if len(e.events) > 0 {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}
+
 // Run executes events until none remain.
 func (e *Engine) Run() {
 	for len(e.events) > 0 {

@@ -133,3 +133,37 @@ func TestStepsCountsExecutedEvents(t *testing.T) {
 		t.Fatalf("steps = %d, want 7", e.Steps())
 	}
 }
+
+// TestEveryStopsWhenWorkDrains proves a periodic sampler cannot keep Run
+// alive: once the simulation's own events are exhausted, the tick sees an
+// empty heap and does not re-arm.
+func TestEveryStopsWhenWorkDrains(t *testing.T) {
+	e := New()
+	var ticks []Time
+	e.Every(10, func(now Time) { ticks = append(ticks, now) })
+	e.At(35, func() {})
+	e.Run()
+	// Ticks at 10, 20, 30; the tick at 40 fires (the 35-event was pending
+	// when the 30-tick re-armed) and finds nothing left, so no 50-tick.
+	want := []Time{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events left pending", e.Pending())
+	}
+}
+
+func TestEveryRejectsNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	New().Every(0, func(Time) {})
+}

@@ -17,6 +17,7 @@ type Set struct {
 	counters map[string]int64
 	accums   map[string]*Accumulator
 	hists    map[string]*Histogram
+	prov     map[string]string
 }
 
 // NewSet returns an empty metric set.
@@ -36,6 +37,11 @@ func (s *Set) Reset() {
 	s.accums = make(map[string]*Accumulator)
 	s.hists = make(map[string]*Histogram)
 }
+
+// SetProvenance attaches a run-provenance manifest (see internal/prov) to
+// the set; it rides along into every Snapshot. Reset does not clear it —
+// provenance describes the run, not the measurement window.
+func (s *Set) SetProvenance(m map[string]string) { s.prov = m }
 
 // Add increments the named counter by delta.
 func (s *Set) Add(name string, delta int64) { s.counters[name] += delta }
@@ -222,8 +228,11 @@ func Mean(vs []float64) float64 {
 
 // Snapshot is a JSON-marshalable view of a Set.
 type Snapshot struct {
-	Counters map[string]int64        `json:"counters"`
-	Accums   map[string]AccumSummary `json:"accumulators"`
+	// Provenance is the run manifest (internal/prov), when the owning
+	// tool attached one. Golden comparisons mask its volatile keys.
+	Provenance map[string]string       `json:"provenance,omitempty"`
+	Counters   map[string]int64        `json:"counters"`
+	Accums     map[string]AccumSummary `json:"accumulators"`
 }
 
 // AccumSummary is the JSON view of an Accumulator.
@@ -252,6 +261,12 @@ func (s *Set) Snapshot() Snapshot {
 	}
 	for k, a := range s.accums {
 		snap.Accums[k] = AccumSummary{Count: a.Count, Mean: a.Mean(), Min: a.Min, Max: a.Max}
+	}
+	if s.prov != nil {
+		snap.Provenance = make(map[string]string, len(s.prov))
+		for k, v := range s.prov {
+			snap.Provenance[k] = v
+		}
 	}
 	return snap
 }

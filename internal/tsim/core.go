@@ -4,6 +4,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -128,8 +129,11 @@ func (c *core) issueMem(a workload.Access) {
 		}
 		// Store miss: fetch for ownership in the background.
 		c.outstanding++
+		rt := c.s.trc.StartReq(c.id, block, true, t)
+		rt.AddSpan(obs.SegL1, t, done)
 		c.s.at(done, func() {
-			c.s.l2s[c.id].read(block, true, func(at sim.Time) {
+			c.s.l2s[c.id].read(block, true, rt, func(at sim.Time) {
+				rt.Finish(at)
 				c.outstanding--
 				c.fillL1(block, true)
 				c.resume()
@@ -149,8 +153,11 @@ func (c *core) issueMem(a workload.Access) {
 	c.outstanding++
 	c.inflight = append(c.inflight, idx)
 	c.lastMemPend, c.lastMemIdx = true, idx
+	rt := c.s.trc.StartReq(c.id, block, false, t)
+	rt.AddSpan(obs.SegL1, t, t+c.l1Lat)
 	c.s.at(t+c.l1Lat, func() {
-		c.s.l2s[c.id].read(block, false, func(at sim.Time) {
+		c.s.l2s[c.id].read(block, false, rt, func(at sim.Time) {
+			rt.Finish(at)
 			c.loadDone(idx, block, at)
 		})
 	})

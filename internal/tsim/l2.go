@@ -8,6 +8,7 @@ import (
 	"repro/internal/emcc"
 	"repro/internal/mc"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -21,6 +22,7 @@ type readReq struct {
 	isStore bool
 	l2      *l2Ctl
 	missAt  sim.Time // L2 miss detection time (Fig 17 latency origin)
+	tr      *obs.Req // trace context; nil when untraced (prefetches, tracing off)
 
 	offload   bool // decision bit: AES queue pressure at miss time
 	completed bool
@@ -83,22 +85,29 @@ func newL2Ctl(s *Sim, id int) *l2Ctl {
 }
 
 // read serves an L1 miss (load or store fill). done fires when the block is
-// decrypted, verified and resident in L2.
-func (l *l2Ctl) read(block uint64, isStore bool, done func(at sim.Time)) {
+// decrypted, verified and resident in L2. tr is the request's trace
+// context (nil when untraced).
+func (l *l2Ctl) read(block uint64, isStore bool, tr *obs.Req, done func(at sim.Time)) {
 	t := l.s.eng.Now()
 	if l.monitor != nil {
 		l.monitor.OnRequest()
 	}
 	if l.c.Lookup(block) {
+		tr.AddSpan(obs.SegL2Lookup, t, t+l.lat)
 		done(t + l.lat)
 		return
 	}
 	if m := l.pend[block]; m != nil {
+		// The merged request rides the primary miss: it keeps its own L1
+		// span and total latency, but the segment breakdown belongs to
+		// the miss that launched the path.
+		tr.MarkMerged()
 		m.waiters = append(m.waiters, done)
 		return
 	}
 	tM := t + l.lat
-	req := &readReq{block: block, isStore: isStore, l2: l, missAt: tM}
+	tr.AddSpan(obs.SegL2Lookup, t, tM)
+	req := &readReq{block: block, isStore: isStore, l2: l, missAt: tM, tr: tr}
 	l.pend[block] = &l2Mshr{req: req, waiters: []func(at sim.Time){done}}
 	l.s.st.Inc("tsim/l2-data-miss")
 	l.s.at(tM, func() { l.missPath(req) })
@@ -136,6 +145,7 @@ func (l *l2Ctl) missPath(req *readReq) {
 		// the miss request.
 		if l.aes == nil || s.pol.ShouldOffload(l.aes.QueueDelay()) {
 			req.offload = true
+			req.tr.MarkOffload()
 			s.st.Inc(emcc.MetricOffloadQueue)
 		}
 		// Serial counter lookup in L2 during spare cycles ('J').
@@ -148,6 +158,7 @@ func (l *l2Ctl) missPath(req *readReq) {
 
 	// Data request to the block's LLC slice.
 	slice := s.mesh.SliceOf(req.block)
+	req.tr.AddSpan(obs.SegNoCReq, tM, tM+s.oneway(l.tile, slice))
 	s.at(tM+s.oneway(l.tile, slice), func() { s.llc.dataAccess(req, slice) })
 
 	// XPT LLC-miss prediction: forward the miss straight to the MC in
@@ -166,16 +177,21 @@ func (l *l2Ctl) counterProbe(req *readReq) {
 		return
 	}
 	t := s.eng.Now()
+	// The probe span covers the serial-lookup wait ('J') plus the lookup.
+	req.tr.AddSpan(obs.SegCtrProbeL2, req.missAt, t)
 	cb := s.mc.home.CounterBlockOf(req.block)
 	if l.c.Lookup(cb) {
 		s.st.Inc(emcc.MetricL2CtrHit)
 		req.ctrKnown = true
 		req.ctrReady = t + s.mc.decodeLat
+		req.tr.MarkCtr(obs.CtrAtL2)
+		req.tr.AddSpan(obs.SegCtrFetch, t, req.ctrReady)
 		l.maybeStartAES(req)
 		return
 	}
 	s.st.Inc(emcc.MetricL2CtrMiss)
 	s.st.Inc(emcc.MetricSpecFetch)
+	req.tr.Begin(obs.SegCtrFetch, t)
 	slice := s.mesh.SliceOf(cb)
 	s.at(t+s.oneway(l.tile, slice), func() { s.llc.counterAccessFromL2(req, cb, slice) })
 }
@@ -196,6 +212,7 @@ func (l *l2Ctl) counterArrived(req *readReq, cb uint64) {
 	}
 	req.ctrKnown = true
 	req.ctrReady = t + s.mc.decodeLat
+	req.tr.Commit(obs.SegCtrFetch, req.ctrReady)
 	l.maybeStartAES(req)
 }
 
@@ -236,6 +253,9 @@ func (l *l2Ctl) maybeStartAES(req *readReq) {
 		}
 		req.aesKnown = true
 		req.aesDone = l.aes.Reserve(emcc.AESOpsPerRead, s.eng.Now())
+		issue := req.aesDone - l.aes.Latency()
+		req.tr.AddSpan(obs.SegAESQueue, s.eng.Now(), issue)
+		req.tr.AddSpan(obs.SegAESCompute, issue, req.aesDone)
 		l.maybeFinishCipher(req)
 	})
 }
@@ -278,6 +298,7 @@ func (l *l2Ctl) maybeFinishCipher(req *readReq) {
 		at = req.aesDone
 	}
 	l.s.st.Observe("tsim/crypto-exposure-l2-ns", (at - req.cipherAt).Nanoseconds())
+	req.tr.MarkDecrypt(obs.DecAtL2, req.cipherAt, at)
 	at += sim.NS(1)
 	l.s.st.Inc(emcc.MetricDecryptAtL2)
 	l.s.at(at, func() { l.finish(req, at) })

@@ -4,6 +4,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -36,32 +37,46 @@ func (g *llcCtl) dataAccess(req *readReq, slice noc.NodeID) {
 	s.st.Inc("tsim/llc-data-access")
 	if g.c.Lookup(req.block) {
 		// On-chip data is already decrypted and verified.
+		req.tr.AddSpan(obs.SegLLCProbe, t, t+g.tagLat+g.dataLat)
 		arr := t + g.tagLat + g.dataLat + s.oneway(slice, req.l2.tile)
+		req.tr.AddSpan(obs.SegNoCResp, t+g.tagLat+g.dataLat, arr)
 		s.at(arr, func() { req.l2.completePlain(req, false) })
 		return
 	}
 	s.st.Inc("tsim/llc-data-miss")
 	req.llcMissed = true
+	req.tr.MarkLLCMiss()
+	req.tr.AddSpan(obs.SegLLCProbe, t, t+g.tagLat)
 	if s.cfg.EMCC && s.secure() {
 		// This LLC miss proves the L2's counter copy useful (Fig 11).
 		req.l2.c.MarkUsed(s.mc.home.CounterBlockOf(req.block))
 	}
 	mcTile := s.mesh.MCTile(s.mesh.MCOf(req.block))
+	req.tr.AddSpan(obs.SegNoCToMC, t+g.tagLat, t+g.tagLat+s.oneway(slice, mcTile))
 	s.at(t+g.tagLat+s.oneway(slice, mcTile), func() { s.mc.dataRead(req, true) })
 }
 
 // counterAccessFromL2 serves EMCC's speculative parallel counter fetch.
+// Beyond the aggregate tsim/ctr-llc-* counters (shared with the MC path
+// below), the probe keeps its own tsim/ctr-spec-llc-* classification: fsim's
+// speculative probe is the only LLC counter access its EMCC model performs,
+// so the differential harness compares it against this split, not the
+// aggregate.
 func (g *llcCtl) counterAccessFromL2(req *readReq, cb uint64, slice noc.NodeID) {
 	s := g.s
 	t := s.eng.Now()
 	s.st.Inc("tsim/ctr-llc-lookup")
+	s.st.Inc("tsim/ctr-spec-llc-lookup")
 	if g.c.Lookup(cb) {
 		s.st.Inc("tsim/ctr-llc-hit")
+		s.st.Inc("tsim/ctr-spec-llc-hit")
+		req.tr.MarkCtr(obs.CtrAtLLC)
 		arr := t + g.tagLat + g.dataLat + g.payloadPen + s.oneway(slice, req.l2.tile)
 		s.at(arr, func() { req.l2.counterArrived(req, cb) })
 		return
 	}
 	s.st.Inc("tsim/ctr-llc-miss")
+	s.st.Inc("tsim/ctr-spec-llc-miss")
 	mcTile := s.mesh.MCTile(s.mesh.MCOf(cb))
 	s.at(t+g.tagLat+s.oneway(slice, mcTile), func() { s.mc.counterMissFromL2(req, cb) })
 }

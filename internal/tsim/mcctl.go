@@ -6,6 +6,7 @@ import (
 	"repro/internal/emcc"
 	"repro/internal/inv"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -39,6 +40,18 @@ type mcDataPending struct {
 	dataHere   bool
 	dataAt     sim.Time
 	responded  bool
+}
+
+// obs reports the MSHR entry's trace context: the first traced requester.
+// MC-side work (DRAM fill, counter walk, AES) is attributed to it; merged
+// requesters keep only their own end-to-end latency.
+func (p *mcDataPending) obs() *obs.Req {
+	for _, r := range p.reqs {
+		if r.tr != nil {
+			return r.tr
+		}
+	}
+	return nil
 }
 
 type metaFetch struct {
@@ -92,6 +105,7 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 	// overflow is outstanding.
 	if m.ovf != nil && m.ovf.Blocked() {
 		m.s.st.Inc("tsim/mc-rejected-while-blocked")
+		req.tr.Begin(obs.SegMCQueue, m.s.eng.Now())
 		m.s.eng.After(sim.NS(200), func() { m.dataRead(req, confirmed) })
 		return
 	}
@@ -115,7 +129,7 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 	// One fill per MSHR entry: internal/check's conservation rule compares
 	// this against the DRAM model's issued data reads after drain.
 	m.s.st.Inc("tsim/mc-data-fill")
-	m.enqueueDRAM(req.block, false, dram.TrafficData, func(at sim.Time) {
+	m.enqueueDRAM(req.block, false, dram.TrafficData, req.tr, func(at sim.Time) {
 		p.dataHere, p.dataAt = true, at
 		m.maybeRespond(p)
 	})
@@ -155,8 +169,16 @@ func (m *mcCtl) startCounterPath(p *mcDataPending) {
 	}
 	p.ctrStarted = true
 	cb := m.home.CounterBlockOf(p.block)
+	ob := p.obs()
+	ob.MarkCtr(obs.CtrAtMC)
+	ob.Begin(obs.SegCtrFetch, m.s.eng.Now())
 	m.fetchMeta(cb, false, func(at sim.Time) {
-		p.aesDone = m.aes.Reserve(emcc.AESOpsPerRead, at+m.decodeLat)
+		ready := at + m.decodeLat
+		ob.Commit(obs.SegCtrFetch, ready)
+		p.aesDone = m.aes.Reserve(emcc.AESOpsPerRead, ready)
+		issue := p.aesDone - m.aes.Latency()
+		ob.AddSpan(obs.SegAESQueue, ready, issue)
+		ob.AddSpan(obs.SegAESCompute, issue, p.aesDone)
 		p.aesKnown = true
 		m.maybeRespond(p)
 	})
@@ -201,6 +223,9 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 			leave = p.aesDone
 		}
 		m.s.st.Observe("tsim/crypto-exposure-mc-ns", (leave - p.dataAt).Nanoseconds())
+		for _, r := range p.reqs {
+			r.tr.MarkDecrypt(obs.DecAtMC, p.dataAt, leave)
+		}
 		leave += sim.NS(1)
 		tagged = true
 	default:
@@ -213,6 +238,7 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(p.block))
 		slice := m.s.mesh.SliceOf(p.block)
 		arr := leave + m.s.oneway(mcTile, slice) + m.s.oneway(slice, r.l2.tile)
+		r.tr.AddSpan(obs.SegNoCResp, leave, arr)
 		isTagged := tagged
 		m.s.at(arr, func() {
 			switch {
@@ -233,6 +259,7 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 // counter block to the LLC and the requesting L2 (Sec. IV-D).
 func (m *mcCtl) counterMissFromL2(req *readReq, cb uint64) {
 	m.s.st.Inc("tsim/ctr-miss-onchip")
+	req.tr.MarkCtr(obs.CtrAtMC)
 	if p := m.pendData[req.block]; p != nil && !p.responded && !p.needCrypto {
 		// The counter request is real (not speculative): the MC can
 		// take the cryptography over right away.
@@ -289,7 +316,7 @@ func (m *mcCtl) fetchMeta(mb uint64, skipLLC bool, done func(at sim.Time)) {
 // fetchMetaFromDRAM reads a metadata block from memory and verifies it
 // against its parent (fetched recursively) before use.
 func (m *mcCtl) fetchMetaFromDRAM(mb uint64) {
-	m.enqueueDRAM(mb, false, dram.TrafficCounter, func(at sim.Time) {
+	m.enqueueDRAM(mb, false, dram.TrafficCounter, nil, func(at sim.Time) {
 		parent, ok := m.home.Space.ParentOf(mb)
 		if !ok {
 			// Tree root: verified against on-chip state.
@@ -362,7 +389,7 @@ func (m *mcCtl) writebackData(block uint64) {
 		m.aes.ReserveLow(emcc.AESOpsPerWrite, m.s.eng.Now())
 		m.bumpCounter(block, true)
 	}
-	m.enqueueDRAM(block, true, dram.TrafficData, nil)
+	m.enqueueDRAM(block, true, dram.TrafficData, nil, nil)
 }
 
 // writebackMeta handles a dirty metadata block reaching DRAM.
@@ -371,7 +398,7 @@ func (m *mcCtl) writebackMeta(mb uint64) {
 		m.s.warmBump(mb)
 		return
 	}
-	m.enqueueDRAM(mb, true, dram.TrafficCounter, nil)
+	m.enqueueDRAM(mb, true, dram.TrafficCounter, nil, nil)
 	m.bumpCounter(mb, false)
 }
 
@@ -413,12 +440,18 @@ func (m *mcCtl) invalidateL2Counters(cb uint64) {
 // ---- DRAM plumbing ----
 
 // enqueueDRAM submits a request, retrying while the target queue is full.
-func (m *mcCtl) enqueueDRAM(block uint64, write bool, kind dram.TrafficKind, done func(at sim.Time)) {
-	r := &dram.Request{Block: block, Write: write, Kind: kind, Done: done}
+// ob, when non-nil, is the traced request the access serves: queue-full
+// retry time is attributed to SegMCQueue and the DRAM model attributes
+// queue/service time itself.
+func (m *mcCtl) enqueueDRAM(block uint64, write bool, kind dram.TrafficKind, ob *obs.Req, done func(at sim.Time)) {
+	r := &dram.Request{Block: block, Write: write, Kind: kind, Done: done, Obs: ob}
 	if !m.s.dram.Enqueue(r) {
 		m.s.st.Inc("tsim/dram-queue-full-retry")
-		m.s.eng.After(sim.NS(100), func() { m.enqueueDRAM(block, write, kind, done) })
+		ob.Begin(obs.SegMCQueue, m.s.eng.Now())
+		m.s.eng.After(sim.NS(100), func() { m.enqueueDRAM(block, write, kind, ob, done) })
+		return
 	}
+	ob.Commit(obs.SegMCQueue, m.s.eng.Now())
 }
 
 // issueOverflow injects one overflow re-encryption access, charging the AES

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/emcc"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -76,6 +77,7 @@ type Sim struct {
 	l2s  []*l2Ctl
 	cpus []*core
 	pol  emcc.Policy
+	trc  *obs.Tracer // nil = tracing disabled (the common case)
 
 	warming bool // functional warmup in progress: no timing, no traffic
 }
@@ -135,6 +137,25 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 // Stats exposes collected metrics.
 func (s *Sim) Stats() *stats.Set { return s.st }
 
+// SetTracer attaches a per-request tracer (internal/obs). Call before Run;
+// a nil tracer (the default) keeps every instrumentation site on its
+// single-branch fast path. Warmup references are never traced.
+func (s *Sim) SetTracer(t *obs.Tracer) {
+	s.trc = t
+	for _, l2 := range s.l2s {
+		if l2.monitor != nil {
+			id := l2.id
+			l2.monitor.OnTransition = func(enabled bool) {
+				name := "emcc-off"
+				if enabled {
+					name = "emcc-on"
+				}
+				s.trc.Instant(name, id, s.eng.Now())
+			}
+		}
+	}
+}
+
 // Engine exposes the event engine (timeline tooling uses it).
 func (s *Sim) Engine() *sim.Engine { return s.eng }
 
@@ -144,6 +165,9 @@ func (s *Sim) Run() Result {
 	s.warm(s.opt.Warmup)
 	for _, c := range s.cpus {
 		c.start()
+	}
+	if period := s.trc.SamplePeriod(); period > 0 {
+		s.eng.Every(period, s.samplePoint)
 	}
 	// Hard ceiling guards against modelling bugs hanging the run.
 	const maxSteps = 2_000_000_000
@@ -179,6 +203,34 @@ func (s *Sim) Run() Result {
 		res.DecryptAtL2Frac = float64(atL2) / float64(atL2+atMC)
 	}
 	return res
+}
+
+// samplePoint records one time-series sample of the machine's occupancy
+// gauges: outstanding misses (MSHR occupancy), DRAM queue depths, and
+// AES-pool utilisation at the MC and (under EMCC) the L2 pools.
+func (s *Sim) samplePoint(now sim.Time) {
+	outstanding := 0
+	for _, c := range s.cpus {
+		outstanding += c.outstanding
+	}
+	s.trc.Sample("mshr-outstanding", now, float64(outstanding))
+	reads, writes := s.dram.QueueDepths()
+	s.trc.Sample("dram-read-queue", now, float64(reads))
+	s.trc.Sample("dram-write-queue", now, float64(writes))
+	if s.mc.aes != nil {
+		s.trc.Sample("aes-mc-util", now, s.mc.aes.Utilisation())
+	}
+	var l2Util float64
+	var l2Pools int
+	for _, l2 := range s.l2s {
+		if l2.aes != nil {
+			l2Util += l2.aes.Utilisation()
+			l2Pools++
+		}
+	}
+	if l2Pools > 0 {
+		s.trc.Sample("aes-l2-util", now, l2Util/float64(l2Pools))
+	}
 }
 
 // at schedules fn at the later of t and now (events cannot be scheduled in
