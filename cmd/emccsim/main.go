@@ -6,6 +6,7 @@
 //
 //	emccsim -mode functional -bench canneal -refs 2000000 -system emcc
 //	emccsim -mode timing -bench mcf -refs 300000 -system morphable
+//	emccsim -mode timing -bench mcf -cache .simcache   # reuse prior results
 package main
 
 import (
@@ -16,10 +17,9 @@ import (
 	"strings"
 
 	"repro/internal/config"
-	"repro/internal/fsim"
 	"repro/internal/prov"
+	"repro/internal/run"
 	"repro/internal/sim"
-	"repro/internal/tsim"
 	"repro/internal/workload"
 )
 
@@ -41,8 +41,9 @@ func main() {
 		l2ctrKB = flag.Int64("l2ctr-kb", 0, "override EMCC L2 counter cap KiB (0 = default 32)")
 		xpt     = flag.Bool("xpt", false, "enable XPT LLC-miss prediction")
 		pfDeg   = flag.Int("prefetch", 0, "L2 stride-prefetch degree (0 = off)")
-		dynOff  = flag.Bool("dynamic-off", false, "enable the Sec. IV-F intensity monitor (EMCC)")
-		asJSON  = flag.Bool("json", false, "emit results as JSON")
+		dynOff   = flag.Bool("dynamic-off", false, "enable the Sec. IV-F intensity monitor (EMCC)")
+		asJSON   = flag.Bool("json", false, "emit results as JSON")
+		cacheDir = flag.String("cache", "", "directory for the persistent result cache")
 	)
 	flag.Parse()
 
@@ -83,6 +84,38 @@ func main() {
 		scale = workload.TestScale()
 	}
 
+	var runMode run.Mode
+	switch *mode {
+	case "functional":
+		runMode = run.Functional
+	case "timing":
+		runMode = run.Timing
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	sc := run.Scenario{
+		Mode: runMode, Benchmark: *bench, Config: cfg,
+		Seed: *seed, Refs: *refs, Warmup: *warm, Scale: scale,
+		Label: *bench,
+	}
+
+	var cache *run.Cache
+	if *cacheDir != "" {
+		c, err := run.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache = c
+	}
+	o, executed, err := run.Resolve(&sc, cache)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The manifest describes this invocation, not the (possibly cached)
+	// execution, so it overwrites whatever provenance rode along in the
+	// cache entry.
 	manifest := prov.Manifest(&cfg, map[string]string{
 		"tool":      "emccsim",
 		"mode":      *mode,
@@ -90,33 +123,25 @@ func main() {
 		"seed":      fmt.Sprint(*seed),
 		"refs":      fmt.Sprint(*refs),
 		"warmup":    fmt.Sprint(*warm),
+		"scenario":  sc.Key(),
+		"cached":    fmt.Sprint(!executed),
 	})
+	o.Stats.Provenance = manifest
 
-	switch *mode {
-	case "functional":
-		s, err := fsim.New(&cfg, fsim.Options{Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm, Scale: scale})
-		if err != nil {
-			fatal(err)
-		}
-		s.Run()
-		s.Stats().SetProvenance(manifest)
+	switch runMode {
+	case run.Functional:
 		if *asJSON {
 			emitJSON(map[string]interface{}{
 				"mode": "functional", "system": cfg.SystemName(), "benchmark": *bench,
-				"refs": *refs, "stats": s.Stats().Snapshot(),
+				"refs": *refs, "stats": o.Stats,
 			})
 			return
 		}
 		fmt.Printf("# functional %s on %s, %d refs\n", cfg.SystemName(), *bench, *refs)
 		fmt.Printf("# %s\n", prov.Line(manifest))
-		fmt.Print(s.Stats().Dump())
-	case "timing":
-		s, err := tsim.New(&cfg, tsim.Options{Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm, Scale: scale})
-		if err != nil {
-			fatal(err)
-		}
-		res := s.Run()
-		s.Stats().SetProvenance(manifest)
+		fmt.Print(o.Stats.Dump())
+	case run.Timing:
+		res := o.Timing
 		if *asJSON {
 			util := map[string]float64{}
 			for k, v := range res.BusyFraction {
@@ -129,7 +154,7 @@ func main() {
 				"l2_miss_latency_ns": res.L2MissLatencyNS,
 				"decrypt_at_l2_frac": res.DecryptAtL2Frac,
 				"dram_util":          util,
-				"stats":              s.Stats().Snapshot(),
+				"stats":              o.Stats,
 			})
 			return
 		}
@@ -143,9 +168,7 @@ func main() {
 		for k, v := range res.BusyFraction {
 			fmt.Printf("dram-util/%-18s %.3f\n", k, v)
 		}
-		fmt.Print(s.Stats().Dump())
-	default:
-		fatal(fmt.Errorf("unknown -mode %q", *mode))
+		fmt.Print(o.Stats.Dump())
 	}
 }
 

@@ -7,7 +7,12 @@
 //	figures -fig fig16            # one figure
 //	figures -all                  # everything (takes a while)
 //	figures -all -quick           # smoke-test sizes
+//	figures -all -j 8             # run scenarios on 8 workers
+//	figures -all -cache .figcache # reuse simulation results across runs
 //	figures -list                 # enumerate figure ids
+//
+// Tables are byte-identical at any -j; -cache keys entries by scenario
+// config hash and code revision, so stale results are never served.
 package main
 
 import (
@@ -17,17 +22,20 @@ import (
 	"strings"
 
 	"repro/internal/figures"
+	"repro/internal/run"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure id to regenerate (see -list)")
-		all   = flag.Bool("all", false, "regenerate every figure")
-		quick = flag.Bool("quick", false, "shrink run lengths (noisier shapes)")
-		list  = flag.Bool("list", false, "list figure ids and exit")
-		quiet = flag.Bool("quiet", false, "suppress progress logging")
-		asCSV = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		chart = flag.Bool("chart", false, "render percentage columns as ASCII bars")
+		fig      = flag.String("fig", "", "figure id to regenerate (see -list)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		quick    = flag.Bool("quick", false, "shrink run lengths (noisier shapes)")
+		list     = flag.Bool("list", false, "list figure ids and exit")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart    = flag.Bool("chart", false, "render percentage columns as ASCII bars")
+		workers  = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache", "", "directory for the persistent result cache")
 	)
 	flag.Parse()
 
@@ -36,6 +44,15 @@ func main() {
 		return
 	}
 	h := figures.NewHarness(*quick)
+	h.Workers = *workers
+	if *cacheDir != "" {
+		c, err := run.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: cache: %v\n", err)
+			os.Exit(1)
+		}
+		h.Cache = c
+	}
 	if !*quiet {
 		h.Log = os.Stderr
 	}

@@ -22,8 +22,8 @@ import (
 	"repro/internal/config"
 	"repro/internal/obs"
 	"repro/internal/prov"
+	"repro/internal/run"
 	"repro/internal/sim"
-	"repro/internal/tsim"
 	"repro/internal/workload"
 )
 
@@ -52,6 +52,14 @@ func main() {
 		scale = workload.TestScale()
 	}
 
+	// The scenario is the canonical run description; its key names the
+	// simulation this trace came from, so a trace can be matched to the
+	// figure/report runs (and cache entries) built from the same scenario.
+	sc := run.Scenario{
+		Mode: run.Timing, Benchmark: *bench, Config: cfg,
+		Seed: *seed, Refs: *refs, Warmup: *warm, Cores: *cores, Scale: scale,
+		Label: *bench,
+	}
 	manifest := prov.Manifest(&cfg, map[string]string{
 		"tool":      "trace",
 		"benchmark": *bench,
@@ -59,13 +67,11 @@ func main() {
 		"refs":      fmt.Sprint(*refs),
 		"warmup":    fmt.Sprint(*warm),
 		"sample":    fmt.Sprint(*sample),
+		"scenario":  sc.Key(),
 		"out":       *out,
 	})
 
-	s, err := tsim.New(&cfg, tsim.Options{
-		Benchmark: *bench, Seed: *seed, Refs: *refs, Warmup: *warm,
-		Cores: *cores, Scale: scale,
-	})
+	s, err := sc.NewTiming()
 	if err != nil {
 		fatal(err)
 	}

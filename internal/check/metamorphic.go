@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/dram"
 	"repro/internal/figures"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tsim"
 )
 
@@ -29,6 +31,7 @@ func metamorphicUnits(opt Options) []func() []Result {
 		func() []Result { return TimelineProperties() },
 		func() []Result { return []Result{AESMonotonicity(opt)} },
 		func() []Result { return []Result{ChannelQueueing(opt)} },
+		func() []Result { return []Result{ChannelQueueingDominance(opt)} },
 	}
 }
 
@@ -222,4 +225,72 @@ func ChannelQueueing(opt Options) Result {
 	}
 	return passf(PillarMetamorphic, "tsim-channel-qdelay",
 		"mean data-read qdelay %.3f ns (1 ch) → %.3f ns (4 ch)", delays[0], delays[1])
+}
+
+// ChannelQueueingDominance strengthens ChannelQueueing from a mean
+// comparison to first-order stochastic dominance over the per-request
+// data-read queuing-delay distribution: at every histogram bucket boundary
+// the 4-channel CDF must sit at or above the 1-channel CDF (minus a small
+// probability-mass slack for FR-FCFS reordering discreteness). Unlike the
+// mean property, dominance binds at any load — at light load both CDFs
+// saturate near 1 immediately and the comparison is trivially tight, while
+// a mean of near-zero delays could hide a heavy tail.
+func ChannelQueueingDominance(opt Options) Result {
+	const name = "tsim-channel-qdelay-dominance"
+	opt = opt.withDefaults()
+	tr, err := recordTrace(opt)
+	if err != nil {
+		return failf(PillarMetamorphic, name, "%v", err)
+	}
+	cdfs := make([][]float64, 2)
+	totals := make([]int64, 2)
+	for i, channels := range []int{1, 4} {
+		cfg := config.Default()
+		cfg.Channels = channels
+		gens, err := tr.Generators()
+		if err != nil {
+			return failf(PillarMetamorphic, name, "%v", err)
+		}
+		s, err := tsim.New(&cfg, tsim.Options{
+			Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+		})
+		if err != nil {
+			return failf(PillarMetamorphic, name, "%v", err)
+		}
+		s.Run()
+		h := s.Stats().Hist("dram/qdelay/data/read",
+			dram.QDelayHistLo, dram.QDelayHistWidth, dram.QDelayHistBuckets)
+		totals[i] = h.Total()
+		cdfs[i] = histCDF(h)
+	}
+	if totals[0] == 0 || totals[1] == 0 {
+		return failf(PillarMetamorphic, name,
+			"no data-read qdelay samples recorded (%d @ 1 ch, %d @ 4 ch)", totals[0], totals[1])
+	}
+	// P(delay rounds below the first boundary) at light load is ~1 for both
+	// configurations; slack only matters when queues actually form.
+	const slack = 0.01
+	for i := range cdfs[0] {
+		if cdfs[1][i] < cdfs[0][i]-slack {
+			bound := dram.QDelayHistLo + float64(i+1)*dram.QDelayHistWidth
+			return failf(PillarMetamorphic, name,
+				"4-channel qdelay CDF falls below 1-channel at %.0f ns: P(≤)=%.4f vs %.4f (n=%d/%d)",
+				bound, cdfs[1][i], cdfs[0][i], totals[1], totals[0])
+		}
+	}
+	return passf(PillarMetamorphic, name,
+		"4-channel data-read qdelay CDF dominates 1-channel at all %d bucket boundaries (n=%d/%d)",
+		len(cdfs[0]), totals[1], totals[0])
+}
+
+// histCDF returns P(sample < bucket upper bound) for every bucket,
+// including underflow mass; the final entry excludes only overflow.
+func histCDF(h *stats.Histogram) []float64 {
+	out := make([]float64, len(h.Buckets))
+	cum := h.Under
+	for i, c := range h.Buckets {
+		cum += c
+		out[i] = float64(cum) / float64(h.Total())
+	}
+	return out
 }

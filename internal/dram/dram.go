@@ -48,6 +48,15 @@ func (k TrafficKind) String() string {
 	return fmt.Sprintf("TrafficKind(%d)", int(k))
 }
 
+// Queuing-delay histogram geometry, shared between the recording site in
+// issue() and the readers in internal/check so both sides agree on bucket
+// boundaries: 64 × 5 ns buckets covering [0, 320 ns) plus overflow.
+const (
+	QDelayHistLo      = 0.0
+	QDelayHistWidth   = 5.0
+	QDelayHistBuckets = 64
+)
+
 // Request is one 64 B DRAM access.
 type Request struct {
 	Block uint64
@@ -389,7 +398,12 @@ func (ch *channel) issue(r *Request) {
 	if r.Write {
 		rw = "write"
 	}
-	ch.d.st.Observe(fmt.Sprintf("dram/qdelay/%s/%s", r.Kind, rw), (start - r.enqueued).Nanoseconds())
+	qname := fmt.Sprintf("dram/qdelay/%s/%s", r.Kind, rw)
+	qdelay := (start - r.enqueued).Nanoseconds()
+	ch.d.st.Observe(qname, qdelay)
+	// Per-request delay distribution for the stochastic-dominance check
+	// (internal/check): means can mask tail regressions, the CDF cannot.
+	ch.d.st.Hist(qname, QDelayHistLo, QDelayHistWidth, QDelayHistBuckets).Observe(qdelay)
 	ch.d.st.Inc(fmt.Sprintf("dram/access/%s/%s", r.Kind, rw))
 	r.Obs.AddSpan(obs.SegDRAMQueue, r.enqueued, start)
 	r.Obs.AddSpan(obs.SegDRAMService, start, finish)

@@ -34,12 +34,7 @@ func (h *Harness) Ablation() *Table {
 		mo := h.timing(b, "morphable", "base", nil)
 		row := []string{b}
 		for _, v := range variants {
-			var em tsimRun
-			if v.mut == nil {
-				em = h.timing(b, "emcc", "base", nil)
-			} else {
-				em = h.timing(b, "emcc", "abl-"+v.name, v.mut)
-			}
+			em := h.timing(b, "emcc", v.name, v.mut)
 			g := float64(mo.res.SimulatedTime)/float64(em.res.SimulatedTime) - 1
 			row = append(row, pct(g))
 		}

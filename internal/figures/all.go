@@ -1,78 +1,72 @@
 package figures
 
-// All enumerates every reproducible figure/table in paper order.
-func (h *Harness) All() []*Table {
-	return []*Table{
-		h.Table1(),
-		h.Fig2(), h.Fig3(), h.Fig4(), h.Fig5(), h.Fig6(), h.Fig7(),
-		h.Fig8(), h.Fig10(), h.Fig11(), h.Fig12(), h.Fig13(), h.Fig14(),
-		h.Fig15(), h.Fig16(), h.Fig17(), h.Fig18(), h.Fig19(), h.Fig20(),
-		h.Fig21(), h.Fig22(), h.Fig23(), h.Fig24(), h.Ablation(),
-	}
+// specs is the single registry of reproducible figures/tables, in paper
+// order. IDs(), All() and ByID() all derive from it, so an entry added
+// here is automatically enumerable, resolvable and planned.
+var specs = []struct {
+	id    string
+	build func(*Harness) *Table
+}{
+	{"table1", (*Harness).Table1},
+	{"fig2", (*Harness).Fig2},
+	{"fig3", (*Harness).Fig3},
+	{"fig4", (*Harness).Fig4},
+	{"fig5", (*Harness).Fig5},
+	{"fig6", (*Harness).Fig6},
+	{"fig7", (*Harness).Fig7},
+	{"fig8", (*Harness).Fig8},
+	{"fig10", (*Harness).Fig10},
+	{"fig11", (*Harness).Fig11},
+	{"fig12", (*Harness).Fig12},
+	{"fig13", (*Harness).Fig13},
+	{"fig14", (*Harness).Fig14},
+	{"fig15", (*Harness).Fig15},
+	{"fig16", (*Harness).Fig16},
+	{"fig17", (*Harness).Fig17},
+	{"fig18", (*Harness).Fig18},
+	{"fig19", (*Harness).Fig19},
+	{"fig20", (*Harness).Fig20},
+	{"fig21", (*Harness).Fig21},
+	{"fig22", (*Harness).Fig22},
+	{"fig23", (*Harness).Fig23},
+	{"fig24", (*Harness).Fig24},
+	{"ablation", (*Harness).Ablation},
 }
 
-// ByID resolves a figure by its identifier ("fig16", "table1", ...);
-// ok=false for unknown ids.
+// All regenerates every figure/table in paper order: one planning pass
+// over all builders, one executor pass over the deduplicated scenario
+// union, then every table built from the collected outcomes.
+func (h *Harness) All() []*Table {
+	builds := make([]func(*Harness) *Table, len(specs))
+	for i, s := range specs {
+		builds[i] = s.build
+	}
+	h.prepare(builds...)
+	out := make([]*Table, len(specs))
+	for i, s := range specs {
+		out[i] = s.build(h)
+	}
+	return out
+}
+
+// ByID resolves a figure by its identifier ("fig16", "table1", ...),
+// planning and executing only that figure's scenarios; ok=false for
+// unknown ids.
 func (h *Harness) ByID(id string) (*Table, bool) {
-	switch id {
-	case "table1":
-		return h.Table1(), true
-	case "fig2":
-		return h.Fig2(), true
-	case "fig3":
-		return h.Fig3(), true
-	case "fig4":
-		return h.Fig4(), true
-	case "fig5":
-		return h.Fig5(), true
-	case "fig6":
-		return h.Fig6(), true
-	case "fig7":
-		return h.Fig7(), true
-	case "fig8":
-		return h.Fig8(), true
-	case "fig10":
-		return h.Fig10(), true
-	case "fig11":
-		return h.Fig11(), true
-	case "fig12":
-		return h.Fig12(), true
-	case "fig13":
-		return h.Fig13(), true
-	case "fig14":
-		return h.Fig14(), true
-	case "fig15":
-		return h.Fig15(), true
-	case "fig16":
-		return h.Fig16(), true
-	case "fig17":
-		return h.Fig17(), true
-	case "fig18":
-		return h.Fig18(), true
-	case "fig19":
-		return h.Fig19(), true
-	case "fig20":
-		return h.Fig20(), true
-	case "fig21":
-		return h.Fig21(), true
-	case "fig22":
-		return h.Fig22(), true
-	case "fig23":
-		return h.Fig23(), true
-	case "fig24":
-		return h.Fig24(), true
-	case "ablation":
-		return h.Ablation(), true
+	for _, s := range specs {
+		if s.id == id {
+			h.prepare(s.build)
+			return s.build(h), true
+		}
 	}
 	return nil, false
 }
 
 // IDs lists every known figure identifier in paper order.
 func IDs() []string {
-	return []string{
-		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-		"fig24", "ablation",
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.id
 	}
+	return ids
 }

@@ -1,11 +1,19 @@
 // Package figures regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md's per-experiment index). Each FigN function
-// runs the simulations it needs — functional (Pintool-style) runs for the
-// counting figures, timing (gem5-style) runs for the performance figures —
-// and returns a printable Table with the same rows/series the paper plots.
+// declares the simulations it needs — functional (Pintool-style) runs for
+// the counting figures, timing (gem5-style) runs for the performance
+// figures — and returns a printable Table with the same rows/series the
+// paper plots.
 //
-// Runs are memoised per Harness so figures that share configurations
-// (16/17/15, 21/22, …) reuse each other's simulations.
+// The harness works in two phases (DESIGN.md §9). A *planning* pass runs
+// each figure builder with a no-op scenario store so every simulation the
+// builder touches is declared up front as an internal/run Scenario, keyed
+// by its content hash — figures that share configurations (16/17/15,
+// 21/22, …) deduplicate by construction. The *execute* phase then runs the
+// deduplicated scenario set across a worker pool (Workers), optionally
+// backed by a persistent result cache (Cache), before the builders run
+// again for real against the collected outcomes. Tables are byte-identical
+// at any worker count.
 package figures
 
 import (
@@ -19,6 +27,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/emcc"
 	"repro/internal/fsim"
+	"repro/internal/run"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tsim"
@@ -70,7 +79,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// Harness owns run sizing and the memoised results.
+// Harness owns run sizing, the scenario plan and the collected outcomes.
 type Harness struct {
 	// Quick shrinks run lengths for smoke testing; shapes get noisier.
 	Quick bool
@@ -81,31 +90,39 @@ type Harness struct {
 	// sizing entirely (unit tests run figures at miniature scale).
 	ScaleOverride *workload.Scale
 	RefsOverride  int64
+	// Workers is the executor pool width (cmd flag -j): 0 = GOMAXPROCS,
+	// 1 = serial in declaration order. Tables are byte-identical at any
+	// value; only wall-clock time changes.
+	Workers int
+	// Cache, when non-nil, persists scenario outcomes on disk (cmd flag
+	// -cache) so an unchanged scenario is never simulated twice across
+	// processes.
+	Cache *run.Cache
 
-	fruns map[string]*fsim.Sim
-	truns map[string]tsimRun
+	planning bool
+	plan     *run.Plan
+	outcomes map[string]*run.Outcome
+	report   run.Report
 }
 
+// tsimRun is a timing outcome as the figure builders consume it.
 type tsimRun struct {
 	res tsim.Result
-	st  *stats.Set
+	st  stats.Snapshot
 }
 
 // NewHarness builds a harness.
 func NewHarness(quick bool) *Harness {
 	return &Harness{
-		Quick: quick,
-		Seed:  1,
-		fruns: make(map[string]*fsim.Sim),
-		truns: make(map[string]tsimRun),
+		Quick:    quick,
+		Seed:     1,
+		outcomes: make(map[string]*run.Outcome),
 	}
 }
 
-func (h *Harness) logf(format string, args ...interface{}) {
-	if h.Log != nil {
-		fmt.Fprintf(h.Log, format+"\n", args...)
-	}
-}
+// Report summarises all executor activity on behalf of this harness:
+// simulations executed vs outcomes served from the persistent cache.
+func (h *Harness) Report() run.Report { return h.report }
 
 func (h *Harness) frefs() (warm, refs int64) {
 	if h.RefsOverride > 0 {
@@ -151,69 +168,100 @@ func applySystem(cfg *config.Config, system string) {
 	}
 }
 
-// functional runs a memoised functional simulation.
-func (h *Harness) functional(bench, system string, mutate func(*config.Config)) *fsim.Sim {
-	key := fmt.Sprintf("f/%s/%s/%v", bench, system, mutate == nil)
-	if mutate != nil {
-		// Mutating callers must uniquify their key themselves via
-		// keyed wrappers below; this generic path handles nil only.
-		panic("figures: use a keyed functional variant for mutations")
-	}
-	if s := h.fruns[key]; s != nil {
-		return s
-	}
-	return h.functionalKeyed(key, bench, system, nil)
-}
-
-// functionalKeyed runs a memoised functional simulation under an explicit
-// cache key (for callers that mutate the config).
-func (h *Harness) functionalKeyed(key, bench, system string, mutate func(*config.Config)) *fsim.Sim {
-	if s := h.fruns[key]; s != nil {
-		return s
-	}
+// scenario resolves one simulation description into a content-keyed
+// run.Scenario: the system and any sweep mutation are applied to the
+// default configuration here, so the scenario hashes (and executes) as
+// pure data. variant is a log label only — it never keys anything.
+func (h *Harness) scenario(mode run.Mode, bench, system, variant string, mutate func(*config.Config)) run.Scenario {
 	cfg := config.Default()
 	applySystem(&cfg, system)
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	warm, refs := h.frefs()
-	h.logf("functional %-14s %-16s (%dM refs)", bench, system, refs/1e6)
-	s, err := fsim.New(&cfg, fsim.Options{
-		Benchmark: bench, Seed: h.Seed, Refs: refs, Warmup: warm,
-		Scale: h.scale(),
-	})
+	var warm, refs int64
+	if mode == run.Functional {
+		warm, refs = h.frefs()
+	} else {
+		warm, refs = h.trefs()
+	}
+	label := system
+	if variant != "" && variant != "base" {
+		label += "/" + variant
+	}
+	return run.Scenario{
+		Mode: mode, Benchmark: bench, Config: cfg,
+		Seed: h.Seed, Refs: refs, Warmup: warm, Scale: h.scale(),
+		Label: fmt.Sprintf("%-14s %s", bench, label),
+	}
+}
+
+// outcome is the single scenario store. In the planning pass it declares
+// the scenario into the plan and returns a placeholder (builders' tables
+// are discarded); in the build pass it returns the executed outcome. A
+// scenario the planning pass somehow missed is resolved inline — a
+// correctness backstop, not an expected path.
+func (h *Harness) outcome(sc run.Scenario) *run.Outcome {
+	key := sc.Key()
+	if h.planning {
+		if _, ok := h.outcomes[key]; !ok {
+			h.plan.Add(sc)
+		}
+		return &run.Outcome{Timing: &tsim.Result{}}
+	}
+	if o := h.outcomes[key]; o != nil {
+		return o
+	}
+	o, executed, err := run.Resolve(&sc, h.Cache)
 	if err != nil {
 		panic(fmt.Sprintf("figures: %v", err))
 	}
-	s.Run()
-	h.fruns[key] = s
-	return s
+	if executed {
+		h.report.Executed++
+	} else {
+		h.report.Cached++
+	}
+	h.outcomes[key] = o
+	return o
 }
 
-// timing runs a memoised timing simulation.
+// functional declares or fetches a functional simulation, identified
+// purely by its content hash — call sites that resolve to the same
+// configuration share one run, mutation or not.
+func (h *Harness) functional(bench, system string, mutate func(*config.Config)) stats.Snapshot {
+	return h.outcome(h.scenario(run.Functional, bench, system, "", mutate)).Stats
+}
+
+// timing declares or fetches a timing simulation. variant labels the sweep
+// point in progress logs.
 func (h *Harness) timing(bench, system, variant string, mutate func(*config.Config)) tsimRun {
-	key := fmt.Sprintf("t/%s/%s/%s", bench, system, variant)
-	if r, ok := h.truns[key]; ok {
-		return r
+	o := h.outcome(h.scenario(run.Timing, bench, system, variant, mutate))
+	return tsimRun{res: *o.Timing, st: o.Stats}
+}
+
+// prepare runs the given figure builders in planning mode to collect their
+// scenario declarations, then executes the deduplicated set across the
+// worker pool and stores the outcomes for the real build pass.
+func (h *Harness) prepare(builds ...func(*Harness) *Table) {
+	h.planning = true
+	h.plan = run.NewPlan()
+	for _, b := range builds {
+		b(h)
 	}
-	cfg := config.Default()
-	applySystem(&cfg, system)
-	if mutate != nil {
-		mutate(&cfg)
+	h.planning = false
+	if h.plan.Len() == 0 {
+		return
 	}
-	warm, refs := h.trefs()
-	h.logf("timing     %-14s %-16s %-12s (%dk refs)", bench, system, variant, refs/1e3)
-	s, err := tsim.New(&cfg, tsim.Options{
-		Benchmark: bench, Seed: h.Seed, Refs: refs, Warmup: warm,
-		Scale: h.scale(),
+	outs, rep, err := run.Execute(h.plan, run.Options{
+		Workers: h.Workers, Cache: h.Cache, Log: h.Log,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("figures: %v", err))
 	}
-	res := s.Run()
-	r := tsimRun{res: res, st: s.Stats()}
-	h.truns[key] = r
-	return r
+	for k, o := range outs {
+		h.outcomes[k] = o
+	}
+	h.report.Executed += rep.Executed
+	h.report.Cached += rep.Cached
 }
 
 func (h *Harness) scale() workload.Scale {
@@ -259,8 +307,7 @@ func (h *Harness) Fig2() *Table {
 		row := []string{b}
 		var totals [2]float64
 		for i, system := range []string{"morphable+nollc", "morphable"} {
-			s := h.functional(b, system, nil)
-			st := s.Stats()
+			st := h.functional(b, system, nil)
 			data := st.Counter(fsim.MetricDRAMDataRead) + st.Counter(fsim.MetricDRAMDataWrite)
 			ovf := st.Counter(fsim.MetricDRAMOvfL0) + st.Counter(fsim.MetricDRAMOvfHi)
 			rd := ratio(st.Counter(fsim.MetricDRAMCtrRead)+ovf/2, data)
@@ -285,9 +332,7 @@ func (h *Harness) counterMix(id, title string, llcBytes int64) *Table {
 	}
 	var mcs, hits, misses []float64
 	for _, b := range primary() {
-		key := fmt.Sprintf("f/%s/morphable/llc=%d", b, llcBytes)
-		s := h.functionalKeyed(key, b, "morphable", func(c *config.Config) { c.L3Bytes = llcBytes })
-		st := s.Stats()
+		st := h.functional(b, "morphable", func(c *config.Config) { c.L3Bytes = llcBytes })
 		reads := st.Counter(fsim.MetricDRAMDataRead)
 		mc := ratio(st.Counter(fsim.MetricCtrMCHit), reads)
 		hit := ratio(st.Counter(fsim.MetricCtrLLCHit), reads)
@@ -323,7 +368,7 @@ func (h *Harness) Fig11() *Table {
 	}
 	var vals []float64
 	for _, b := range primary() {
-		st := h.functional(b, "emcc", nil).Stats()
+		st := h.functional(b, "emcc", nil)
 		v := ratio(st.Counter(emcc.MetricUseless), st.Counter(fsim.MetricL2DataMiss))
 		vals = append(vals, v)
 		t.Rows = append(t.Rows, []string{b, pct(v)})
@@ -343,8 +388,8 @@ func (h *Harness) Fig12() *Table {
 	}
 	var base, em []float64
 	for _, b := range primary() {
-		bst := h.functional(b, "morphable", nil).Stats()
-		est := h.functional(b, "emcc", nil).Stats()
+		bst := h.functional(b, "morphable", nil)
+		est := h.functional(b, "emcc", nil)
 		bv := ratio(bst.Counter(fsim.MetricCtrLLCLookup), bst.Counter(fsim.MetricL2DataMiss))
 		ev := ratio(est.Counter(fsim.MetricCtrLLCLookup), est.Counter(fsim.MetricL2DataMiss))
 		base, em = append(base, bv), append(em, ev)
@@ -364,7 +409,7 @@ func (h *Harness) Fig23() *Table {
 	}
 	var vals []float64
 	for _, b := range primary() {
-		st := h.functional(b, "emcc", nil).Stats()
+		st := h.functional(b, "emcc", nil)
 		v := ratio(st.Counter(emcc.MetricInvalidations), st.Counter(emcc.MetricCtrInserted))
 		vals = append(vals, v)
 		t.Rows = append(t.Rows, []string{b, pct(v)})
@@ -383,7 +428,7 @@ func (h *Harness) Fig24() *Table {
 	}
 	var vals []float64
 	for _, b := range workload.RegularNames() {
-		st := h.functional(b, "emcc", nil).Stats()
+		st := h.functional(b, "emcc", nil)
 		v := ratio(st.Counter(emcc.MetricUseless), st.Counter(fsim.MetricL2DataMiss))
 		vals = append(vals, v)
 		t.Rows = append(t.Rows, []string{b, pct(v)})
@@ -482,16 +527,12 @@ func (h *Harness) Fig18() *Table {
 		row := []string{b}
 		for i, l := range lats {
 			lat := l
+			// 14 ns is the Table I default, so that sweep point hashes to
+			// the same scenario as the Fig 16/17 base runs and dedups.
 			variant := fmt.Sprintf("aes%d", int(l))
 			mut := func(c *config.Config) { c.AESLatency = sim.NS(lat) }
-			var mo, em tsimRun
-			if int(l) == 14 {
-				mo = h.timing(b, "morphable", "base", nil)
-				em = h.timing(b, "emcc", "base", nil)
-			} else {
-				mo = h.timing(b, "morphable", variant, mut)
-				em = h.timing(b, "emcc", variant, mut)
-			}
+			mo := h.timing(b, "morphable", variant, mut)
+			em := h.timing(b, "emcc", variant, mut)
 			g := float64(mo.res.SimulatedTime)/float64(em.res.SimulatedTime) - 1
 			means[i] += g / float64(len(primary()))
 			row = append(row, pct(g))
@@ -521,13 +562,8 @@ func (h *Harness) Fig19() *Table {
 		row := []string{b}
 		for i, f := range fracs {
 			frac := f
-			var r tsimRun
-			if f == 0.5 {
-				r = h.timing(b, "emcc", "base", nil)
-			} else {
-				r = h.timing(b, "emcc", fmt.Sprintf("frac%d", int(f*100)),
-					func(c *config.Config) { c.EMCCAESFraction = frac })
-			}
+			r := h.timing(b, "emcc", fmt.Sprintf("frac%d", int(f*100)),
+				func(c *config.Config) { c.EMCCAESFraction = frac })
 			means[i] += r.res.DecryptAtL2Frac / float64(len(primary()))
 			row = append(row, pct(r.res.DecryptAtL2Frac))
 		}
@@ -555,16 +591,10 @@ func (h *Harness) Fig20() *Table {
 		row := []string{b}
 		for i, szv := range sizes {
 			sz := szv
-			var mo, em tsimRun
-			if sz == 128<<10 {
-				mo = h.timing(b, "morphable", "base", nil)
-				em = h.timing(b, "emcc", "base", nil)
-			} else {
-				variant := fmt.Sprintf("ctr%dk", sz>>10)
-				mut := func(c *config.Config) { c.CtrCacheBytes = sz }
-				mo = h.timing(b, "morphable", variant, mut)
-				em = h.timing(b, "emcc", variant, mut)
-			}
+			variant := fmt.Sprintf("ctr%dk", sz>>10)
+			mut := func(c *config.Config) { c.CtrCacheBytes = sz }
+			mo := h.timing(b, "morphable", variant, mut)
+			em := h.timing(b, "emcc", variant, mut)
 			g := float64(mo.res.SimulatedTime)/float64(em.res.SimulatedTime) - 1
 			means[i] += g / float64(len(primary()))
 			row = append(row, pct(g))
@@ -615,16 +645,12 @@ func (h *Harness) Fig22() *Table {
 		chn := chv
 		var cr, dr, cw, dw []float64
 		for _, b := range primary() {
-			var r tsimRun
-			if chn == 1 {
-				r = h.timing(b, "emcc", "base", nil)
-			} else {
-				r = h.timing(b, "emcc", "ch8", func(c *config.Config) { c.Channels = 8 })
-			}
-			cr = append(cr, r.st.Accum("dram/qdelay/counter/read").Mean())
-			dr = append(dr, r.st.Accum("dram/qdelay/data/read").Mean())
-			cw = append(cw, r.st.Accum("dram/qdelay/counter/write").Mean())
-			dw = append(dw, r.st.Accum("dram/qdelay/data/write").Mean())
+			r := h.timing(b, "emcc", fmt.Sprintf("ch%d", chn),
+				func(c *config.Config) { c.Channels = chn })
+			cr = append(cr, r.st.AccumMean("dram/qdelay/counter/read"))
+			dr = append(dr, r.st.AccumMean("dram/qdelay/data/read"))
+			cw = append(cw, r.st.AccumMean("dram/qdelay/counter/write"))
+			dw = append(dw, r.st.AccumMean("dram/qdelay/data/write"))
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", chn),

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/run"
 	"repro/internal/workload"
 )
 
@@ -147,10 +148,10 @@ func TestFig11And23ShareRuns(t *testing.T) {
 	}
 	h := microHarness()
 	h.Fig11()
-	n := len(h.fruns)
+	n := h.Report().Executed
 	h.Fig23() // must reuse the same emcc functional runs
-	if len(h.fruns) != n {
-		t.Fatalf("fig23 re-ran functional sims: %d -> %d", n, len(h.fruns))
+	if got := h.Report().Executed; got != n {
+		t.Fatalf("fig23 re-ran functional sims: %d -> %d", n, got)
 	}
 }
 
@@ -161,5 +162,115 @@ func TestFig22Structure(t *testing.T) {
 	tab := microHarness().Fig22()
 	if len(tab.Rows) != 2 {
 		t.Fatalf("fig22 rows = %d, want 2 (1 and 8 channels)", len(tab.Rows))
+	}
+}
+
+// TestByIDAndIDsAgree pins the registry: every enumerated id resolves to a
+// table carrying that id, with no duplicates and no unreachable specs.
+func TestByIDAndIDsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	ids := IDs()
+	if len(ids) != len(specs) {
+		t.Fatalf("IDs() lists %d ids, registry has %d specs", len(ids), len(specs))
+	}
+	seen := map[string]bool{}
+	h := microHarness()
+	h.RefsOverride = 8_000 // every figure runs; keep each sim tiny
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		tab, ok := h.ByID(id)
+		if !ok {
+			t.Errorf("id %q enumerated but does not resolve", id)
+			continue
+		}
+		if tab.ID != id {
+			t.Errorf("ByID(%q) produced table %q", id, tab.ID)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("id %q produced an empty table", id)
+		}
+	}
+	for _, s := range specs {
+		if !seen[s.id] {
+			t.Errorf("spec %q not enumerated by IDs()", s.id)
+		}
+	}
+}
+
+// renderAll builds the given figures on h and renders them to one byte
+// stream.
+func renderAll(h *Harness, ids []string) string {
+	var buf bytes.Buffer
+	for _, id := range ids {
+		tab, ok := h.ByID(id)
+		if !ok {
+			panic("unknown id " + id)
+		}
+		tab.Fprint(&buf)
+	}
+	return buf.String()
+}
+
+// TestParallelTablesMatchSerial pins the acceptance claim: -j N tables are
+// byte-identical to -j 1.
+func TestParallelTablesMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	ids := []string{"fig12", "fig16", "fig22"}
+	serial := microHarness()
+	serial.Workers = 1
+	parallel := microHarness()
+	parallel.Workers = 8
+	a, b := renderAll(serial, ids), renderAll(parallel, ids)
+	if a != b {
+		t.Fatalf("serial and parallel tables differ:\n--- j=1\n%s\n--- j=8\n%s", a, b)
+	}
+	if serial.Report().Executed == 0 || serial.Report().Executed != parallel.Report().Executed {
+		t.Fatalf("executed counts differ: %d vs %d", serial.Report().Executed, parallel.Report().Executed)
+	}
+}
+
+// TestCacheSecondRunExecutesNothing pins the acceptance claim: a second
+// cached run re-simulates nothing and reproduces the tables byte for byte.
+func TestCacheSecondRunExecutesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	dir := t.TempDir()
+	ids := []string{"fig11", "fig16"}
+
+	cold, err := run.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := microHarness()
+	h1.Cache = cold
+	first := renderAll(h1, ids)
+	if h1.Report().Executed == 0 {
+		t.Fatal("cold run executed nothing")
+	}
+
+	warm, err := run.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := microHarness()
+	h2.Cache = warm
+	h2.Workers = 4
+	second := renderAll(h2, ids)
+	if n := h2.Report().Executed; n != 0 {
+		t.Fatalf("cached run executed %d simulations, want 0", n)
+	}
+	if h2.Report().Cached == 0 {
+		t.Fatal("cached run reports no cache hits")
+	}
+	if first != second {
+		t.Fatalf("cached tables differ from cold tables:\n--- cold\n%s\n--- cached\n%s", first, second)
 	}
 }

@@ -51,6 +51,35 @@ func ConfigHash(cfg *config.Config) string {
 	return hex.EncodeToString(sum[:8])
 }
 
+// ScenarioKey fingerprints one simulation scenario: the resolved
+// configuration plus the run framing (mode, benchmark, seed, reference
+// budgets, workload scale — whatever else determines the outcome). It is
+// the content-addressed identity the scenario runner (internal/run)
+// memoises and caches under: two scenarios with equal keys replay the same
+// simulation regardless of which code path declared them, so there is no
+// hand-written memo-key vocabulary to keep unique.
+func ScenarioKey(cfg *config.Config, framing map[string]string) string {
+	keys := make([]string, 0, len(framing))
+	for k := range framing {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	h.Write([]byte(ConfigHash(cfg)))
+	for _, k := range keys {
+		fmt.Fprintf(h, "|%s=%s", k, framing[k])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// CodeIdentity names the source revision baked into the running binary
+// ("<rev12>", "<rev12>-dirty" or "unknown"). It is the second half of a
+// persistent result-cache key: a cached outcome is only reused by the code
+// revision that produced it. Dirty builds share one identity per base
+// revision, so a result cache must be discarded while iterating
+// uncommitted simulator changes.
+func CodeIdentity() string { return vcsDescribe() }
+
 // vcsDescribe reports the source revision baked into the binary by the go
 // tool ("<rev12>" or "<rev12>-dirty"), or "unknown" for test binaries and
 // builds outside a repository.

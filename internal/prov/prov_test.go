@@ -42,6 +42,40 @@ func TestConfigHashSensitivity(t *testing.T) {
 	}
 }
 
+func TestScenarioKeySensitivity(t *testing.T) {
+	cfg := config.Default()
+	framing := map[string]string{"mode": "timing", "benchmark": "canneal", "seed": "1"}
+	base := ScenarioKey(&cfg, framing)
+	if base != ScenarioKey(&cfg, framing) {
+		t.Fatal("equal scenarios hash differently")
+	}
+	// Framing map order must not matter.
+	reordered := map[string]string{"seed": "1", "benchmark": "canneal", "mode": "timing"}
+	if base != ScenarioKey(&cfg, reordered) {
+		t.Fatal("framing map order changed the key")
+	}
+	// Any framing change changes the key.
+	for k, v := range map[string]string{"mode": "functional", "benchmark": "mcf", "seed": "2"} {
+		m := map[string]string{"mode": "timing", "benchmark": "canneal", "seed": "1"}
+		m[k] = v
+		if ScenarioKey(&cfg, m) == base {
+			t.Errorf("changing framing %q did not change the key", k)
+		}
+	}
+	// Any config change changes the key.
+	mut := config.Default()
+	mut.Channels = 8
+	if ScenarioKey(&mut, framing) == base {
+		t.Fatal("config mutation did not change the key")
+	}
+}
+
+func TestCodeIdentityNonEmpty(t *testing.T) {
+	if CodeIdentity() == "" {
+		t.Fatal("empty code identity")
+	}
+}
+
 func TestLineSortedAndStable(t *testing.T) {
 	m := map[string]string{"b": "2", "a": "1", "c": "3"}
 	if got := Line(m); got != "a=1 b=2 c=3" {

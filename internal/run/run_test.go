@@ -1,0 +1,238 @@
+package run
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// miniature returns a scenario cheap enough for unit tests.
+func miniature(mode Mode, bench string, mutate func(*config.Config)) Scenario {
+	cfg := config.Default()
+	cfg.Counter = config.CtrMorphable
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return Scenario{
+		Mode: mode, Benchmark: bench, Config: cfg,
+		Seed: 1, Refs: 20_000, Warmup: 10_000,
+		Scale: workload.TestScale(), Label: bench,
+	}
+}
+
+func TestScenarioKeyIgnoresLabel(t *testing.T) {
+	a := miniature(Functional, "canneal", nil)
+	b := a
+	b.Label = "something else entirely"
+	if a.Key() != b.Key() {
+		t.Fatal("label leaked into the scenario key")
+	}
+	c := a
+	c.Seed = 2
+	if a.Key() == c.Key() {
+		t.Fatal("seed change did not change the key")
+	}
+	d := miniature(Functional, "canneal", func(cfg *config.Config) { cfg.Channels = 8 })
+	if a.Key() == d.Key() {
+		t.Fatal("config mutation did not change the key")
+	}
+	e := a
+	e.Mode = Timing
+	if a.Key() == e.Key() {
+		t.Fatal("mode change did not change the key")
+	}
+}
+
+func TestPlanDeduplicates(t *testing.T) {
+	p := NewPlan()
+	k1 := p.Add(miniature(Functional, "canneal", nil))
+	k2 := p.Add(miniature(Functional, "canneal", nil))
+	k3 := p.Add(miniature(Functional, "mcf", nil))
+	if k1 != k2 {
+		t.Fatal("identical scenarios got different keys")
+	}
+	if k1 == k3 {
+		t.Fatal("distinct scenarios share a key")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("plan size = %d, want 2", p.Len())
+	}
+	if got := p.Scenarios(); got[0].Key() != k1 || got[1].Key() != k3 {
+		t.Fatal("declaration order lost")
+	}
+}
+
+// TestExecuteParallelMatchesSerial pins the core determinism claim: the
+// outcome map is identical at any worker count.
+func TestExecuteParallelMatchesSerial(t *testing.T) {
+	build := func() *Plan {
+		p := NewPlan()
+		p.Add(miniature(Functional, "canneal", nil))
+		p.Add(miniature(Functional, "mcf", nil))
+		p.Add(miniature(Timing, "canneal", nil))
+		p.Add(miniature(Timing, "canneal", func(c *config.Config) { c.Channels = 2 }))
+		return p
+	}
+	serial, repS, err := Execute(build(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, repP, err := Execute(build(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.Executed != 4 || repP.Executed != 4 {
+		t.Fatalf("executed %d / %d, want 4 / 4", repS.Executed, repP.Executed)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(serial), len(par))
+	}
+	for k, a := range serial {
+		b := par[k]
+		if b == nil {
+			t.Fatalf("parallel run missing outcome %s", k)
+		}
+		aj, err := a.Stats.StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.Stats.StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("outcome %s stats differ between serial and parallel", k)
+		}
+		if !reflect.DeepEqual(a.Timing, b.Timing) {
+			t.Errorf("outcome %s timing differs between serial and parallel", k)
+		}
+	}
+}
+
+func TestExecuteServesFromCache(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Plan {
+		p := NewPlan()
+		p.Add(miniature(Functional, "canneal", nil))
+		p.Add(miniature(Timing, "mcf", nil))
+		return p
+	}
+	first, rep, err := Execute(build(), Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 2 || rep.Cached != 0 {
+		t.Fatalf("first run: executed=%d cached=%d, want 2/0", rep.Executed, rep.Cached)
+	}
+	var log bytes.Buffer
+	second, rep, err := Execute(build(), Options{Workers: 2, Cache: cache, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 0 || rep.Cached != 2 {
+		t.Fatalf("second run: executed=%d cached=%d, want 0/2", rep.Executed, rep.Cached)
+	}
+	if !strings.Contains(log.String(), "(cached)") {
+		t.Fatalf("cache hits not logged: %q", log.String())
+	}
+	for k, a := range first {
+		b := second[k]
+		if b == nil {
+			t.Fatalf("cached run missing outcome %s", k)
+		}
+		aj, _ := a.Stats.StableJSON()
+		bj, _ := b.Stats.StableJSON()
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("outcome %s changed across the cache round trip", k)
+		}
+		if (a.Timing == nil) != (b.Timing == nil) {
+			t.Fatalf("outcome %s timing presence changed", k)
+		}
+		if a.Timing != nil && !reflect.DeepEqual(*a.Timing, *b.Timing) {
+			t.Errorf("outcome %s timing changed across the cache round trip:\n%+v\nvs\n%+v", k, *a.Timing, *b.Timing)
+		}
+	}
+}
+
+func TestCacheRejectsCorruptAndForeignEntries(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := miniature(Functional, "canneal", nil)
+	key := s.Key()
+	// Corrupt JSON is a miss.
+	if err := os.WriteFile(filepath.Join(cache.Dir(), key+".json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("corrupt entry served")
+	}
+	// Wrong schema is a miss.
+	if err := os.WriteFile(filepath.Join(cache.Dir(), key+".json"), []byte(`{"schema":99,"outcome":{"stats":{"counters":{},"accumulators":{}}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("foreign-schema entry served")
+	}
+	// A real Put repairs it.
+	o, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Put(key, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); !ok {
+		t.Fatal("valid entry missed")
+	}
+}
+
+func TestResolveExecutesThenHits(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := miniature(Timing, "canneal", nil)
+	_, executed, err := Resolve(&s, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !executed {
+		t.Fatal("first Resolve did not execute")
+	}
+	o, executed, err := Resolve(&s, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed {
+		t.Fatal("second Resolve re-executed")
+	}
+	if o.Timing == nil || o.Timing.SimulatedTime <= 0 {
+		t.Fatalf("cached timing outcome degenerate: %+v", o.Timing)
+	}
+}
+
+func TestExecuteSurfacesErrors(t *testing.T) {
+	p := NewPlan()
+	s := miniature(Functional, "no-such-benchmark", nil)
+	p.Add(s)
+	if _, _, err := Execute(p, Options{Workers: 2}); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+	bad := miniature(Timing, "canneal", func(c *config.Config) { c.MemoryBytes = -1 })
+	p2 := NewPlan()
+	p2.Add(bad)
+	if _, _, err := Execute(p2, Options{Workers: 1}); err == nil {
+		t.Fatal("invalid config did not error")
+	}
+}

@@ -97,20 +97,10 @@ func (s *Set) Names() []string {
 	return names
 }
 
-// Dump formats every metric for human inspection.
-func (s *Set) Dump() string {
-	var b strings.Builder
-	for _, n := range s.Names() {
-		switch {
-		case strings.HasPrefix(n, "counter/"):
-			fmt.Fprintf(&b, "%-52s %d\n", n, s.counters[strings.TrimPrefix(n, "counter/")])
-		case strings.HasPrefix(n, "accum/"):
-			a := s.accums[strings.TrimPrefix(n, "accum/")]
-			fmt.Fprintf(&b, "%-52s mean=%.3f n=%d min=%.3f max=%.3f\n", n, a.Mean(), a.Count, a.Min, a.Max)
-		}
-	}
-	return b.String()
-}
+// Dump formats every metric for human inspection. It goes through
+// Snapshot, so a live Set and its round-tripped snapshot print
+// byte-identically (cached and fresh runs are indistinguishable in logs).
+func (s *Set) Dump() string { return s.Snapshot().Dump() }
 
 // Accumulator tracks count/sum/min/max of a stream of float64 samples.
 type Accumulator struct {
@@ -248,6 +238,39 @@ type AccumSummary struct {
 // the determinism tests and golden files rely on that.
 func (s Snapshot) StableJSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// Counter reports the named counter captured in the snapshot (zero if
+// never touched), mirroring Set.Counter so the figure harness can read
+// live and cached outcomes through one accessor.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// AccumMean reports the mean of the named accumulator captured in the
+// snapshot (zero if never observed), mirroring Set.Accum(name).Mean().
+func (s Snapshot) AccumMean(name string) float64 { return s.Accums[name].Mean }
+
+// Dump formats the snapshot for human inspection, one line per metric
+// sorted by prefixed name (the historical Set.Dump layout).
+func (s Snapshot) Dump() string {
+	names := make([]string, 0, len(s.Counters)+len(s.Accums))
+	for k := range s.Counters {
+		names = append(names, "counter/"+k)
+	}
+	for k := range s.Accums {
+		names = append(names, "accum/"+k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, "counter/"):
+			fmt.Fprintf(&b, "%-52s %d\n", n, s.Counters[strings.TrimPrefix(n, "counter/")])
+		case strings.HasPrefix(n, "accum/"):
+			a := s.Accums[strings.TrimPrefix(n, "accum/")]
+			fmt.Fprintf(&b, "%-52s mean=%.3f n=%d min=%.3f max=%.3f\n", n, a.Mean, a.Count, a.Min, a.Max)
+		}
+	}
+	return b.String()
 }
 
 // Snapshot captures the current metrics for serialization.

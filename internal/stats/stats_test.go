@@ -131,3 +131,46 @@ func TestSnapshotRoundTripsJSON(t *testing.T) {
 		t.Fatal("snapshot aliases live counters")
 	}
 }
+
+func TestSnapshotAccessorsMatchSet(t *testing.T) {
+	s := NewSet()
+	s.Add("hits", 41)
+	s.Observe("lat", 3)
+	s.Observe("lat", 5)
+	snap := s.Snapshot()
+	if snap.Counter("hits") != s.Counter("hits") {
+		t.Fatalf("Counter mismatch: %d vs %d", snap.Counter("hits"), s.Counter("hits"))
+	}
+	if snap.AccumMean("lat") != s.Accum("lat").Mean() {
+		t.Fatalf("AccumMean mismatch: %g vs %g", snap.AccumMean("lat"), s.Accum("lat").Mean())
+	}
+	if snap.Counter("absent") != 0 || snap.AccumMean("absent") != 0 {
+		t.Fatal("absent metrics not zero")
+	}
+	var zero Snapshot
+	if zero.Counter("x") != 0 || zero.AccumMean("x") != 0 {
+		t.Fatal("zero-value snapshot accessors not zero")
+	}
+}
+
+func TestSnapshotDumpSurvivesRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.Add("b/count", 3)
+	s.Add("a/count", 1)
+	s.Observe("c/lat", 7.5)
+	snap := s.Snapshot()
+	if s.Dump() != snap.Dump() {
+		t.Fatal("live and snapshot dumps differ")
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Dump() != snap.Dump() {
+		t.Fatalf("dump changed across JSON round trip:\n%s\nvs\n%s", snap.Dump(), back.Dump())
+	}
+}
