@@ -25,22 +25,22 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "functional", "functional (Pintool-style counting) or timing (gem5-style)")
-		bench   = flag.String("bench", "canneal", "benchmark name; -list to enumerate")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		system  = flag.String("system", "morphable", "non-secure | sc64 | morphable | emcc | mono | <any>+nollc")
-		refs    = flag.Int64("refs", 2_000_000, "memory references to replay")
-		warm    = flag.Int64("warmup", 0, "functional warmup references before measuring")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		small   = flag.Bool("small", false, "use the miniature test scale")
-		llcMB   = flag.Int64("llc-mb", 0, "override LLC size in MiB (0 = Table I)")
-		ctrKB   = flag.Int64("ctr-kb", 0, "override MC counter cache KiB (0 = Table I)")
-		aesNS   = flag.Float64("aes-ns", 0, "override AES latency in ns (0 = Table I)")
-		chans   = flag.Int("channels", 0, "override DRAM channel count (0 = Table I)")
-		aesFrac = flag.Float64("aes-frac", -1, "override fraction of AES units moved to L2 (EMCC)")
-		l2ctrKB = flag.Int64("l2ctr-kb", 0, "override EMCC L2 counter cap KiB (0 = default 32)")
-		xpt     = flag.Bool("xpt", false, "enable XPT LLC-miss prediction")
-		pfDeg   = flag.Int("prefetch", 0, "L2 stride-prefetch degree (0 = off)")
+		mode     = flag.String("mode", "functional", "functional (Pintool-style counting) or timing (gem5-style)")
+		bench    = flag.String("bench", "canneal", "benchmark name; -list to enumerate")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		system   = flag.String("system", "morphable", "non-secure | sc64 | morphable | emcc | mono | <any>+nollc")
+		refs     = flag.Int64("refs", 2_000_000, "memory references to replay")
+		warm     = flag.Int64("warmup", 0, "functional warmup references before measuring")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		small    = flag.Bool("small", false, "use the miniature test scale")
+		llcMB    = flag.Int64("llc-mb", 0, "override LLC size in MiB (0 = Table I)")
+		ctrKB    = flag.Int64("ctr-kb", 0, "override MC counter cache KiB (0 = Table I)")
+		aesNS    = flag.Float64("aes-ns", 0, "override AES latency in ns (0 = Table I)")
+		chans    = flag.Int("channels", 0, "override DRAM channel count (0 = Table I)")
+		aesFrac  = flag.Float64("aes-frac", -1, "override fraction of AES units moved to L2 (EMCC)")
+		l2ctrKB  = flag.Int64("l2ctr-kb", 0, "override EMCC L2 counter cap KiB (0 = default 32)")
+		xpt      = flag.Bool("xpt", false, "enable XPT LLC-miss prediction")
+		pfDeg    = flag.Int("prefetch", 0, "L2 stride-prefetch degree (0 = off)")
 		dynOff   = flag.Bool("dynamic-off", false, "enable the Sec. IV-F intensity monitor (EMCC)")
 		asJSON   = flag.Bool("json", false, "emit results as JSON")
 		cacheDir = flag.String("cache", "", "directory for the persistent result cache")

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestCleanTree runs the full suite in-process over the real module and
+// requires zero findings: the tree must stay lint-clean, and any new
+// convention violation fails here before it fails in CI.
+func TestCleanTree(t *testing.T) {
+	root, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Run(root, "./...")
+	if err != nil {
+		t.Fatalf("analysis.Run: %v", err)
+	}
+	if len(res.Findings) > 0 {
+		var lines []string
+		for _, f := range res.Findings {
+			lines = append(lines, f.String())
+		}
+		t.Errorf("lint findings on clean tree:\n  %s", strings.Join(lines, "\n  "))
+	}
+	if len(res.Keys) == 0 {
+		t.Error("no registered stats keys discovered; registry collection is broken")
+	}
+}
+
+// TestFindModuleRoot checks the go.mod walk from a package subdirectory.
+func TestFindModuleRoot(t *testing.T) {
+	root, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(root, "repo") && root == "" {
+		t.Errorf("unexpected module root %q", root)
+	}
+	if _, err := findModuleRoot("/"); err == nil {
+		t.Error("findModuleRoot(/) should fail outside any module")
+	}
+}

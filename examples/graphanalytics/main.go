@@ -10,7 +10,7 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/fsim"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -32,13 +32,14 @@ func main() {
 	}
 	fs.Run()
 	st := fs.Stats()
-	reads := st.Counter(fsim.MetricDRAMDataRead)
+	reads := st.Counter(stats.FsimDRAMDataRead)
 	fmt.Printf("%s counter placement per DRAM data read (%d reads):\n", bench, reads)
 	for _, m := range []struct{ label, metric string }{
-		{"MC counter-cache hit", fsim.MetricCtrMCHit},
-		{"LLC counter hit", fsim.MetricCtrLLCHit},
-		{"LLC counter miss", fsim.MetricCtrLLCMiss},
+		{"MC counter-cache hit", stats.FsimCtrMCHit},
+		{"LLC counter hit", stats.FsimCtrLLCHit},
+		{"LLC counter miss", stats.FsimCtrLLCMiss},
 	} {
+		//lint:dynamic-key table rows hold registry constants
 		fmt.Printf("  %-22s %5.1f%%\n", m.label, 100*float64(st.Counter(m.metric))/float64(reads))
 	}
 

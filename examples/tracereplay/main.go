@@ -11,7 +11,7 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/fsim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -51,9 +51,9 @@ func main() {
 		st := s.Stats()
 		fmt.Printf("%-10s L2 misses %7d   DRAM data reads %7d   DRAM counter reads %6d\n",
 			system,
-			st.Counter(fsim.MetricL2DataMiss),
-			st.Counter(fsim.MetricDRAMDataRead),
-			st.Counter(fsim.MetricDRAMCtrRead))
+			st.Counter(stats.FsimL2DataMiss),
+			st.Counter(stats.FsimDRAMDataRead),
+			st.Counter(stats.FsimDRAMCtrRead))
 	}
 	fmt.Println("\nidentical inputs -> the counter-traffic difference is the architecture's")
 }

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// invgate enforces the invariant-gating discipline of internal/inv: every
+// inv.Failf / inv.Fail call must be dominated by an inv.On() check, so a
+// production run pays exactly one predictable branch per check site and
+// never evaluates the format arguments. Accepted guards:
+//
+//	if inv.On() && cond { inv.Failf(...) }          // condition guard
+//	if inv.On() { ... inv.Failf(...) ... }          // block guard
+//	on := inv.On(); ...; if on && cond { ... }      // hoisted guard
+//	if !inv.On() { return }; ...; inv.Failf(...)    // early return
+//
+// inv.Check is exempt: it is documented as the ungated cold-path form.
+type invgate struct{}
+
+func (invgate) name() string { return "invgate" }
+
+func (invgate) run(ctx *context, pkg *Package) {
+	if pathIs(pkg.Path, "internal/inv") {
+		return
+	}
+	info := pkg.Info
+	guards := collectGuardVars(pkg)
+	walkStack(pkg, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := funcObj(info, call)
+		if fn == nil || fn.Pkg() == nil || !pathIs(fn.Pkg().Path(), "internal/inv") {
+			return
+		}
+		if fn.Name() != "Failf" && fn.Name() != "Fail" {
+			return
+		}
+		if guardedByOn(info, guards, stack) {
+			return
+		}
+		ctx.reportf("invgate", call.Pos(),
+			"inv.%s is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)", fn.Name())
+	})
+}
+
+// collectGuardVars finds local variables bound to an inv.On() result
+// ("on := inv.On()" or "on := inv.On() && …").
+func collectGuardVars(pkg *Package) map[types.Object]bool {
+	guards := make(map[types.Object]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if !assertsOn(pkg.Info, nil, assign.Rhs[i]) {
+					continue
+				}
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					guards[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					guards[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardedByOn reports whether the node at the top of stack is dominated
+// by an inv.On() check.
+func guardedByOn(info *types.Info, guards map[types.Object]bool, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if ok {
+			// Which branch holds the call?
+			var branch ast.Node
+			if i+1 < len(stack) {
+				branch = stack[i+1]
+			}
+			if branch == ifStmt.Body && assertsOn(info, guards, ifStmt.Cond) {
+				return true
+			}
+			if branch == ifStmt.Else && assertsOff(info, guards, ifStmt.Cond) {
+				return true
+			}
+		}
+		// Early-return dominance: a preceding `if !inv.On() { return }`
+		// sibling in any enclosing block.
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok || i+1 >= len(stack) {
+			continue
+		}
+		child := stack[i+1]
+		for _, stmt := range block.List {
+			if stmt == child {
+				break
+			}
+			bail, ok := stmt.(*ast.IfStmt)
+			if !ok || !assertsOff(info, guards, bail.Cond) {
+				continue
+			}
+			if blockDiverts(bail.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assertsOn reports whether cond being true implies inv.On() returned
+// true: the call itself, a guard variable, or an && chain containing
+// either. Under || neither operand is implied, so it does not count.
+func assertsOn(info *types.Info, guards map[types.Object]bool, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		fn := funcObj(info, e)
+		return fn != nil && fn.Name() == "On" && fn.Pkg() != nil && pathIs(fn.Pkg().Path(), "internal/inv")
+	case *ast.Ident:
+		return guards != nil && guards[info.Uses[e]]
+	case *ast.BinaryExpr:
+		if e.Op.String() == "&&" {
+			return assertsOn(info, guards, e.X) || assertsOn(info, guards, e.Y)
+		}
+	}
+	return false
+}
+
+// assertsOff reports whether cond being true implies inv.On() returned
+// false. Only the straightforward negation forms `!inv.On()` and
+// `!guard` qualify; composite conditions give no such guarantee.
+func assertsOff(info *types.Info, guards map[types.Object]bool, cond ast.Expr) bool {
+	e := ast.Unparen(cond)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "!" {
+		return assertsOn(info, guards, u.X)
+	}
+	return false
+}
+
+// blockDiverts reports whether the block unconditionally leaves the
+// enclosing function (return or panic as its final statement).
+func blockDiverts(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

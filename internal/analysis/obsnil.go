@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsnil enforces the nil-tracer discipline of internal/obs: a disabled
+// tracer is a nil *obs.Tracer, so instrumentation sites may only call the
+// methods documented nil-safe (the tracerNilSafe declaration in
+// internal/obs). A direct call to any other method would panic the first
+// time tracing is disabled — which is the default — so the pass flags it
+// at compile time instead.
+type obsnil struct{}
+
+func (obsnil) name() string { return "obsnil" }
+
+func (obsnil) run(ctx *context, pkg *Package) {
+	if pkg == ctx.obsPkg || ctx.obsPkg == nil {
+		// Inside obs the receiver is already proven non-nil by the
+		// public entry points; the discipline binds external callers.
+		return
+	}
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isTracerReceiver(info, sel) || ctx.nilSafe[sel.Sel.Name] {
+				return true
+			}
+			ctx.reportf("obsnil", call.Pos(),
+				"(*obs.Tracer).%s is outside the documented nil-safe set; a disabled (nil) tracer would panic here (guard the receiver or extend tracerNilSafe in internal/obs)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isTracerReceiver reports whether sel selects a method on obs.Tracer.
+func isTracerReceiver(info *types.Info, sel *ast.SelectorExpr) bool {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tracer" && obj.Pkg() != nil && pathIs(obj.Pkg().Path(), "internal/obs")
+}

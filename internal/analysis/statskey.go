@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// statskey enforces the stats-key registry contract: the name argument of
+// every stats.Set / stats.Snapshot metric method must be a compile-time
+// constant whose value is registered in internal/stats/keys.go. Keys
+// assembled at runtime must be annotated //lint:dynamic-key at the call
+// site. The registry is what keeps fsim, tsim, the figure harness and
+// the differential checks reading and writing one vocabulary — an
+// unregistered or typo'd key would make a comparison silently read zero.
+type statskey struct{}
+
+func (statskey) name() string { return "statskey" }
+
+// keyMethods are the metric methods whose first argument is a key, on
+// both *stats.Set and stats.Snapshot.
+var keyMethods = map[string]bool{
+	"Add":       true,
+	"Inc":       true,
+	"Observe":   true,
+	"Counter":   true,
+	"Accum":     true,
+	"AccumMean": true,
+	"Hist":      true,
+}
+
+func (statskey) run(ctx *context, pkg *Package) {
+	if pkg == ctx.statsPkg {
+		// The stats package's own method bodies pass key parameters
+		// through to each other; the contract binds its callers.
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !keyMethods[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			if !isStatsReceiver(pkg.Info, sel) {
+				return true
+			}
+			arg := call.Args[0]
+			tv := pkg.Info.Types[arg]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				if !ctx.dynamicKeyAllowed(arg.Pos()) {
+					ctx.reportf("statskey", arg.Pos(),
+						"stats key passed to %s does not resolve to a compile-time constant (register it in internal/stats/keys.go, or annotate the site //lint:dynamic-key if the family is dynamic by design)",
+						sel.Sel.Name)
+				}
+				return true
+			}
+			key := constant.StringVal(tv.Value)
+			if _, ok := ctx.registry[key]; !ok {
+				if !ctx.dynamicKeyAllowed(arg.Pos()) {
+					ctx.reportf("statskey", arg.Pos(),
+						"unregistered stats key %q (declare it in internal/stats/keys.go)", key)
+				}
+				return true
+			}
+			ctx.addKeyRef(key, arg.Pos())
+			return true
+		})
+	}
+}
+
+// isStatsReceiver reports whether sel selects a method on stats.Set or
+// stats.Snapshot (of this module's internal/stats, or a fixture's).
+func isStatsReceiver(info *types.Info, sel *ast.SelectorExpr) bool {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathIs(obj.Pkg().Path(), "internal/stats") {
+		return false
+	}
+	return obj.Name() == "Set" || obj.Name() == "Snapshot"
+}

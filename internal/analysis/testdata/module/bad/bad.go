@@ -1,0 +1,47 @@
+// Package bad pins the positive cases: each exported function below
+// yields exactly one diagnostic from the pass named in its comment
+// (Malformed yields two — see there).
+package bad
+
+import (
+	"fixture/internal/inv"
+	"fixture/internal/obs"
+	"fixture/internal/stats"
+)
+
+// Unregistered passes a constant key missing from the registry: one
+// statskey finding.
+func Unregistered(s *stats.Set) {
+	s.Inc("fixture/unregistered")
+}
+
+// Dynamic passes a runtime-assembled key with no annotation: one
+// statskey finding.
+func Dynamic(s *stats.Set, name string) {
+	s.Add("fixture/"+name, 1)
+}
+
+// Unguarded calls inv.Failf with no inv.On() dominator: one invgate
+// finding.
+func Unguarded(n int) {
+	inv.Failf("bad", "unguarded %d", n)
+}
+
+// UnguardedFail covers the non-formatting form: one invgate finding.
+func UnguardedFail() {
+	inv.Fail("bad", "unguarded")
+}
+
+// NotNilSafe calls a method outside the documented nil-safe set: one
+// obsnil finding.
+func NotNilSafe(t *obs.Tracer) {
+	t.Record()
+}
+
+// Malformed carries a suppression with no reason: the marker itself is
+// a "lint" finding, and because it suppresses nothing the statskey
+// finding below survives too.
+func Malformed(s *stats.Set) {
+	//lint:ignore statskey
+	s.Inc("fixture/also-unregistered")
+}

@@ -1,0 +1,79 @@
+// Package good pins the negative cases: nothing in this file may ever
+// produce a finding. Each function mirrors one accepted form.
+package good
+
+import (
+	"fixture/internal/inv"
+	"fixture/internal/obs"
+	"fixture/internal/stats"
+)
+
+// keyTable shows the registry-constant-table idiom the real module uses
+// in internal/dram and internal/obs.
+var keyTable = [...]string{stats.KeyTable, stats.KeyGood}
+
+// Registered uses a registry constant directly.
+func Registered(s *stats.Set) {
+	s.Inc(stats.KeyGood)
+}
+
+// AnnotatedDynamic selects from a table of registry constants and says
+// so.
+func AnnotatedDynamic(s *stats.Set, i int) {
+	//lint:dynamic-key selected from the registered keyTable
+	s.Add(keyTable[i], 1)
+}
+
+// Suppressed documents why an off-registry literal is acceptable here.
+func Suppressed(s *stats.Set) {
+	//lint:ignore statskey fixture pin for the suppression path
+	s.Inc("fixture/not-in-registry")
+}
+
+// BlockGuard wraps the failure in an inv.On() block.
+func BlockGuard(n int) {
+	if inv.On() {
+		if n < 0 {
+			inv.Failf("good", "negative %d", n)
+		}
+	}
+}
+
+// CondGuard folds the gate into an && chain.
+func CondGuard(n int) {
+	if inv.On() && n < 0 {
+		inv.Failf("good", "negative %d", n)
+	}
+}
+
+// HoistedGuard binds inv.On() to a local first.
+func HoistedGuard(n int) {
+	check := inv.On()
+	if check && n < 0 {
+		inv.Fail("good", "negative")
+	}
+}
+
+// EarlyReturn bails out of checking up front.
+func EarlyReturn(n int) {
+	if !inv.On() {
+		return
+	}
+	if n < 0 {
+		inv.Failf("good", "negative %d", n)
+	}
+}
+
+// NilSafe calls only documented nil-safe tracer methods.
+func NilSafe(t *obs.Tracer) bool {
+	return t.Enabled()
+}
+
+// GuardedTracer may call anything once non-nil is established — via the
+// obsnil suppression, since flow analysis is out of scope for the pass.
+func GuardedTracer(t *obs.Tracer) {
+	if t != nil {
+		//lint:ignore obsnil receiver proven non-nil by the guard above
+		t.Record()
+	}
+}

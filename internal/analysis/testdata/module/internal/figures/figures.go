@@ -1,0 +1,45 @@
+// Package figures exercises detlint: its module-relative path makes it
+// one of the deterministic-output packages.
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock: one detlint finding.
+func Stamp() string {
+	return time.Now().String()
+}
+
+// Jitter draws from the global math/rand source: one detlint finding.
+func Jitter() int {
+	return rand.Intn(3)
+}
+
+// DumpUnsorted emits output while ranging a map: one detlint finding.
+func DumpUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// DumpSorted is the blessed pattern — collect, sort, then emit. No
+// finding: the emitting loop ranges a slice, not the map.
+func DumpSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Roll uses a locally seeded generator, which is legal.
+func Roll(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

@@ -1,0 +1,13 @@
+// Package inv is the fixture's stand-in for the real internal/inv.
+package inv
+
+var enabled = true
+
+// On reports whether invariant checking is enabled.
+func On() bool { return enabled }
+
+// Failf reports an invariant violation.
+func Failf(component, format string, args ...any) {}
+
+// Fail reports an invariant violation with a fixed message.
+func Fail(component, message string) {}

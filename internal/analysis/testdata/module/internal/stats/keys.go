@@ -1,0 +1,13 @@
+// Package stats is the fixture's stand-in for the real internal/stats:
+// just enough surface for the analysis passes to latch onto. The string
+// constants in this file form the registry the statskey pass checks
+// against, exactly as in the real module.
+package stats
+
+// Registered keys.
+const (
+	KeyGood    = "fixture/good"
+	KeyTable   = "fixture/table"
+	KeyIgnored = "fixture/ignored"
+	KeyOrphan  = "fixture/orphan"
+)

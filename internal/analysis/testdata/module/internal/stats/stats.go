@@ -1,0 +1,21 @@
+package stats
+
+// Set mirrors the metric surface of the real stats.Set. The method
+// bodies pass key parameters through to each other; the statskey pass
+// skips this package for exactly that reason.
+type Set struct{ c map[string]int64 }
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{c: make(map[string]int64)} }
+
+// Add accumulates delta under name.
+func (s *Set) Add(name string, delta int64) { s.c[name] += delta }
+
+// Inc is Add(name, 1).
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Observe records one sample (fixture: counted only).
+func (s *Set) Observe(name string, v float64) { s.Inc(name) }
+
+// Counter reads an accumulated count.
+func (s *Set) Counter(name string) int64 { return s.c[name] }

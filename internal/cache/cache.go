@@ -188,6 +188,9 @@ func (c *Cache) Insert(block uint64, dirty bool, kind addr.Kind) (Victim, bool) 
 // resident in at most one way, LRU stamps never run ahead of the global
 // stamp, and counter occupancy respects the configured cap. O(ways), gated.
 func (c *Cache) checkSet(set []line, block uint64) {
+	if !inv.On() {
+		return
+	}
 	seen := 0
 	for i := range set {
 		if !set[i].valid {

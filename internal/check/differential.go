@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/crypto"
-	"repro/internal/emcc"
 	"repro/internal/fsim"
 	"repro/internal/mc"
 	"repro/internal/secmem"
@@ -54,14 +53,14 @@ func rulesFor(system string) []diffRule {
 	rules := []diffRule{
 		// Trace-driven totals: both simulators replay the identical
 		// stream, so these cannot legitimately diverge.
-		{name: "loads", f: fsim.MetricDataRead, t: "tsim/load"},
-		{name: "stores", f: fsim.MetricDataWrite, t: "tsim/store"},
+		{name: "loads", f: stats.FsimDataRead, t: stats.TsimLoad},
+		{name: "stores", f: stats.FsimDataWrite, t: stats.TsimStore},
 		// Hierarchy classification: timing-induced LRU drift allowed.
-		{name: "l2-data-miss", f: fsim.MetricL2DataMiss, t: "tsim/l2-data-miss", relTol: 0.02, absTol: 16},
-		{name: "llc-data-access", f: fsim.MetricLLCDataAccess, t: "tsim/llc-data-access", relTol: 0.02, absTol: 16},
-		{name: "llc-data-miss", f: fsim.MetricLLCDataMiss, t: "tsim/llc-data-miss", relTol: 0.03, absTol: 16},
-		{name: "dram-data-read", f: fsim.MetricDRAMDataRead, t: "dram/access/data/read", relTol: 0.03, absTol: 16},
-		{name: "dram-data-write", f: fsim.MetricDRAMDataWrite, t: "dram/access/data/write", relTol: 0.10, absTol: 32},
+		{name: "l2-data-miss", f: stats.FsimL2DataMiss, t: stats.TsimL2DataMiss, relTol: 0.02, absTol: 16},
+		{name: "llc-data-access", f: stats.FsimLLCDataAccess, t: stats.TsimLLCDataAccess, relTol: 0.02, absTol: 16},
+		{name: "llc-data-miss", f: stats.FsimLLCDataMiss, t: stats.TsimLLCDataMiss, relTol: 0.03, absTol: 16},
+		{name: "dram-data-read", f: stats.FsimDRAMDataRead, t: stats.DramAccessDataRead, relTol: 0.03, absTol: 16},
+		{name: "dram-data-write", f: stats.FsimDRAMDataWrite, t: stats.DramAccessDataWrite, relTol: 0.10, absTol: 32},
 	}
 	switch system {
 	case "non-secure":
@@ -80,22 +79,22 @@ func rulesFor(system string) []diffRule {
 		// secondary fetchMeta probes (recursion parents, writeback
 		// counter bumps) into the same lookup counter.
 		rules = append(rules,
-			diffRule{name: "l2-ctr-hit", f: emcc.MetricL2CtrHit, t: emcc.MetricL2CtrHit, relTol: 0.05, absTol: 32},
-			diffRule{name: "l2-ctr-miss", f: emcc.MetricL2CtrMiss, t: emcc.MetricL2CtrMiss, relTol: 0.05, absTol: 32},
-			diffRule{name: "l2-ctr-fetch", f: emcc.MetricSpecFetch, t: emcc.MetricSpecFetch, relTol: 0.05, absTol: 32},
-			diffRule{name: "ctr-llc-lookup", f: fsim.MetricCtrLLCLookup, t: "tsim/ctr-spec-llc-lookup", relTol: 0.10, absTol: 48},
-			diffRule{name: "ctr-llc-hit", f: fsim.MetricCtrLLCHit, t: "tsim/ctr-spec-llc-hit", relTol: 0.05, absTol: 48},
-			diffRule{name: "ctr-llc-miss", f: fsim.MetricCtrLLCMiss, t: "tsim/ctr-spec-llc-miss", relTol: 0.05, absTol: 48},
-			diffRule{name: "dram-counter-read", f: fsim.MetricDRAMCtrRead, t: "dram/access/counter/read", relTol: 0.10, absTol: 32},
+			diffRule{name: "l2-ctr-hit", f: stats.EmccL2CtrHit, t: stats.EmccL2CtrHit, relTol: 0.05, absTol: 32},
+			diffRule{name: "l2-ctr-miss", f: stats.EmccL2CtrMiss, t: stats.EmccL2CtrMiss, relTol: 0.05, absTol: 32},
+			diffRule{name: "l2-ctr-fetch", f: stats.EmccSpecFetch, t: stats.EmccSpecFetch, relTol: 0.05, absTol: 32},
+			diffRule{name: "ctr-llc-lookup", f: stats.FsimCtrLLCLookup, t: stats.TsimCtrSpecLLCLookup, relTol: 0.10, absTol: 48},
+			diffRule{name: "ctr-llc-hit", f: stats.FsimCtrLLCHit, t: stats.TsimCtrSpecLLCHit, relTol: 0.05, absTol: 48},
+			diffRule{name: "ctr-llc-miss", f: stats.FsimCtrLLCMiss, t: stats.TsimCtrSpecLLCMiss, relTol: 0.05, absTol: 48},
+			diffRule{name: "dram-counter-read", f: stats.FsimDRAMCtrRead, t: stats.DramAccessCtrRead, relTol: 0.10, absTol: 32},
 		)
 	default:
 		// Counter placement classification (Figs 6/7) and metadata
 		// traffic: these ride on eviction state, so wider tolerances.
 		rules = append(rules,
-			diffRule{name: "ctr-llc-lookup", f: fsim.MetricCtrLLCLookup, t: "tsim/ctr-llc-lookup", relTol: 0.10, absTol: 32},
-			diffRule{name: "ctr-llc-hit", f: fsim.MetricCtrLLCHit, t: "tsim/ctr-llc-hit", relTol: 0.10, absTol: 32},
-			diffRule{name: "ctr-llc-miss", f: fsim.MetricCtrLLCMiss, t: "tsim/ctr-llc-miss", relTol: 0.10, absTol: 32},
-			diffRule{name: "dram-counter-read", f: fsim.MetricDRAMCtrRead, t: "dram/access/counter/read", relTol: 0.10, absTol: 32},
+			diffRule{name: "ctr-llc-lookup", f: stats.FsimCtrLLCLookup, t: stats.TsimCtrLLCLookup, relTol: 0.10, absTol: 32},
+			diffRule{name: "ctr-llc-hit", f: stats.FsimCtrLLCHit, t: stats.TsimCtrLLCHit, relTol: 0.10, absTol: 32},
+			diffRule{name: "ctr-llc-miss", f: stats.FsimCtrLLCMiss, t: stats.TsimCtrLLCMiss, relTol: 0.10, absTol: 32},
+			diffRule{name: "dram-counter-read", f: stats.FsimDRAMCtrRead, t: stats.DramAccessCtrRead, relTol: 0.10, absTol: 32},
 		)
 	}
 	return rules
@@ -179,6 +178,7 @@ func CompareTraceRun(system string, cfgF, cfgT *config.Config, tr *trace.Trace, 
 
 // compareCounters applies one rule to two stat sets.
 func compareCounters(name string, fst, tst *stats.Set, r diffRule) Result {
+	//lint:dynamic-key rule-table fields hold registry constants (see diffRules)
 	fv, tv := fst.Counter(r.f), tst.Counter(r.t)
 	diff := fv - tv
 	if diff < 0 {

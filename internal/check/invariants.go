@@ -50,9 +50,9 @@ func InvariantRun(system string, cfg *config.Config, tr *trace.Trace, opt Option
 		return append(out, failf(PillarInvariant, name("fsim"), "%v", err))
 	}
 	out = append(out, conserve(name("fsim-refs"), "replayed refs",
-		fst.Counter(fsim.MetricDataRead)+fst.Counter(fsim.MetricDataWrite), expectRefs))
+		fst.Counter(stats.FsimDataRead)+fst.Counter(stats.FsimDataWrite), expectRefs))
 	out = append(out, conserve(name("fsim-fills"), "DRAM data reads vs LLC data misses",
-		fst.Counter(fsim.MetricDRAMDataRead), fst.Counter(fsim.MetricLLCDataMiss)))
+		fst.Counter(stats.FsimDRAMDataRead), fst.Counter(stats.FsimLLCDataMiss)))
 
 	// tsim under the recorder.
 	inv.Enable(true)
@@ -63,9 +63,9 @@ func InvariantRun(system string, cfg *config.Config, tr *trace.Trace, opt Option
 		return append(out, failf(PillarInvariant, name("tsim"), "%v", err))
 	}
 	out = append(out, conserve(name("tsim-refs"), "replayed refs",
-		tst.Counter("tsim/load")+tst.Counter("tsim/store"), expectRefs))
+		tst.Counter(stats.TsimLoad)+tst.Counter(stats.TsimStore), expectRefs))
 	out = append(out, conserve(name("tsim-fills"), "MSHR data fills vs DRAM data reads",
-		tst.Counter("tsim/mc-data-fill"), tst.Counter("dram/access/data/read")))
+		tst.Counter(stats.TsimMCDataFill), tst.Counter(stats.DramAccessDataRead)))
 	return out
 }
 

@@ -216,7 +216,7 @@ func ChannelQueueing(opt Options) Result {
 			return failf(PillarMetamorphic, "tsim-channel-qdelay", "%v", err)
 		}
 		s.Run()
-		delays[i] = s.Stats().Accum("dram/qdelay/data/read").Mean()
+		delays[i] = s.Stats().Accum(stats.DramQDelayDataRead).Mean()
 	}
 	const slackNS = 0.5
 	if delays[1] > delays[0]+slackNS {
@@ -258,7 +258,7 @@ func ChannelQueueingDominance(opt Options) Result {
 			return failf(PillarMetamorphic, name, "%v", err)
 		}
 		s.Run()
-		h := s.Stats().Hist("dram/qdelay/data/read",
+		h := s.Stats().Hist(stats.DramQDelayDataRead,
 			dram.QDelayHistLo, dram.QDelayHistWidth, dram.QDelayHistBuckets)
 		totals[i] = h.Total()
 		cdfs[i] = histCDF(h)

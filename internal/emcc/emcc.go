@@ -24,28 +24,9 @@ import (
 	"repro/internal/sim"
 )
 
-// Metric names shared by both simulators so figures read one vocabulary.
-const (
-	// MetricSpecFetch counts counter requests L2 issues to LLC.
-	MetricSpecFetch = "emcc/l2-counter-fetch-to-llc"
-	// MetricCtrInserted counts counter blocks inserted into L2.
-	MetricCtrInserted = "emcc/counter-inserted-l2"
-	// MetricUseless counts counter blocks evicted from (or invalidated
-	// in) L2 without ever serving a data miss in LLC (Fig 11).
-	MetricUseless = "emcc/useless-counter-access"
-	// MetricInvalidations counts counter blocks invalidated in L2 by MC
-	// counter updates (Fig 23).
-	MetricInvalidations = "emcc/counter-invalidations-l2"
-	// MetricDecryptAtL2 / MetricDecryptAtMC split where DRAM data
-	// accesses were decrypted and verified (Fig 19).
-	MetricDecryptAtL2 = "emcc/decrypt-at-l2"
-	MetricDecryptAtMC = "emcc/decrypt-at-mc"
-	// MetricOffloadQueue counts adaptive offloads due to AES pressure.
-	MetricOffloadQueue = "emcc/offload-aes-queue"
-	// MetricL2CtrHit / Miss classify the serial L2 counter lookup.
-	MetricL2CtrHit  = "emcc/l2-counter-hit"
-	MetricL2CtrMiss = "emcc/l2-counter-miss"
-)
+// The metric vocabulary both simulators share for EMCC events lives in
+// the central key registry (internal/stats/keys.go, the Emcc* constants)
+// so figures and the differential harness read one set of names.
 
 // Policy holds the tuned decision parameters.
 type Policy struct {

@@ -25,8 +25,6 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/dram"
-	"repro/internal/emcc"
-	"repro/internal/fsim"
 	"repro/internal/run"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -308,10 +306,10 @@ func (h *Harness) Fig2() *Table {
 		var totals [2]float64
 		for i, system := range []string{"morphable+nollc", "morphable"} {
 			st := h.functional(b, system, nil)
-			data := st.Counter(fsim.MetricDRAMDataRead) + st.Counter(fsim.MetricDRAMDataWrite)
-			ovf := st.Counter(fsim.MetricDRAMOvfL0) + st.Counter(fsim.MetricDRAMOvfHi)
-			rd := ratio(st.Counter(fsim.MetricDRAMCtrRead)+ovf/2, data)
-			wr := ratio(st.Counter(fsim.MetricDRAMCtrWrite)+ovf/2, data)
+			data := st.Counter(stats.FsimDRAMDataRead) + st.Counter(stats.FsimDRAMDataWrite)
+			ovf := st.Counter(stats.FsimDRAMOvfL0) + st.Counter(stats.FsimDRAMOvfHi)
+			rd := ratio(st.Counter(stats.FsimDRAMCtrRead)+ovf/2, data)
+			wr := ratio(st.Counter(stats.FsimDRAMCtrWrite)+ovf/2, data)
 			row = append(row, pct(rd), pct(wr), pct(rd+wr))
 			totals[i] = rd + wr
 		}
@@ -333,10 +331,10 @@ func (h *Harness) counterMix(id, title string, llcBytes int64) *Table {
 	var mcs, hits, misses []float64
 	for _, b := range primary() {
 		st := h.functional(b, "morphable", func(c *config.Config) { c.L3Bytes = llcBytes })
-		reads := st.Counter(fsim.MetricDRAMDataRead)
-		mc := ratio(st.Counter(fsim.MetricCtrMCHit), reads)
-		hit := ratio(st.Counter(fsim.MetricCtrLLCHit), reads)
-		miss := ratio(st.Counter(fsim.MetricCtrLLCMiss), reads)
+		reads := st.Counter(stats.FsimDRAMDataRead)
+		mc := ratio(st.Counter(stats.FsimCtrMCHit), reads)
+		hit := ratio(st.Counter(stats.FsimCtrLLCHit), reads)
+		miss := ratio(st.Counter(stats.FsimCtrLLCMiss), reads)
 		mcs, hits, misses = append(mcs, mc), append(hits, hit), append(misses, miss)
 		t.Rows = append(t.Rows, []string{b, pct(mc), pct(hit), pct(miss)})
 	}
@@ -369,7 +367,7 @@ func (h *Harness) Fig11() *Table {
 	var vals []float64
 	for _, b := range primary() {
 		st := h.functional(b, "emcc", nil)
-		v := ratio(st.Counter(emcc.MetricUseless), st.Counter(fsim.MetricL2DataMiss))
+		v := ratio(st.Counter(stats.EmccUseless), st.Counter(stats.FsimL2DataMiss))
 		vals = append(vals, v)
 		t.Rows = append(t.Rows, []string{b, pct(v)})
 	}
@@ -390,8 +388,8 @@ func (h *Harness) Fig12() *Table {
 	for _, b := range primary() {
 		bst := h.functional(b, "morphable", nil)
 		est := h.functional(b, "emcc", nil)
-		bv := ratio(bst.Counter(fsim.MetricCtrLLCLookup), bst.Counter(fsim.MetricL2DataMiss))
-		ev := ratio(est.Counter(fsim.MetricCtrLLCLookup), est.Counter(fsim.MetricL2DataMiss))
+		bv := ratio(bst.Counter(stats.FsimCtrLLCLookup), bst.Counter(stats.FsimL2DataMiss))
+		ev := ratio(est.Counter(stats.FsimCtrLLCLookup), est.Counter(stats.FsimL2DataMiss))
 		base, em = append(base, bv), append(em, ev)
 		t.Rows = append(t.Rows, []string{b, pct(bv), pct(ev)})
 	}
@@ -410,7 +408,7 @@ func (h *Harness) Fig23() *Table {
 	var vals []float64
 	for _, b := range primary() {
 		st := h.functional(b, "emcc", nil)
-		v := ratio(st.Counter(emcc.MetricInvalidations), st.Counter(emcc.MetricCtrInserted))
+		v := ratio(st.Counter(stats.EmccInvalidations), st.Counter(stats.EmccCtrInserted))
 		vals = append(vals, v)
 		t.Rows = append(t.Rows, []string{b, pct(v)})
 	}
@@ -429,7 +427,7 @@ func (h *Harness) Fig24() *Table {
 	var vals []float64
 	for _, b := range workload.RegularNames() {
 		st := h.functional(b, "emcc", nil)
-		v := ratio(st.Counter(emcc.MetricUseless), st.Counter(fsim.MetricL2DataMiss))
+		v := ratio(st.Counter(stats.EmccUseless), st.Counter(stats.FsimL2DataMiss))
 		vals = append(vals, v)
 		t.Rows = append(t.Rows, []string{b, pct(v)})
 	}
@@ -647,10 +645,10 @@ func (h *Harness) Fig22() *Table {
 		for _, b := range primary() {
 			r := h.timing(b, "emcc", fmt.Sprintf("ch%d", chn),
 				func(c *config.Config) { c.Channels = chn })
-			cr = append(cr, r.st.AccumMean("dram/qdelay/counter/read"))
-			dr = append(dr, r.st.AccumMean("dram/qdelay/data/read"))
-			cw = append(cw, r.st.AccumMean("dram/qdelay/counter/write"))
-			dw = append(dw, r.st.AccumMean("dram/qdelay/data/write"))
+			cr = append(cr, r.st.AccumMean(stats.DramQDelayCtrRead))
+			dr = append(dr, r.st.AccumMean(stats.DramQDelayDataRead))
+			cw = append(cw, r.st.AccumMean(stats.DramQDelayCtrWrite))
+			dw = append(dw, r.st.AccumMean(stats.DramQDelayDataWrite))
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", chn),

@@ -19,25 +19,6 @@ import (
 	"repro/internal/workload"
 )
 
-// Metric names produced by the functional simulator.
-const (
-	MetricDataRead      = "fsim/data-read"       // program loads
-	MetricDataWrite     = "fsim/data-write"      // program stores
-	MetricL2DataMiss    = "fsim/l2-data-miss"    // read+write misses at L2
-	MetricLLCDataMiss   = "fsim/llc-data-miss"   // data misses at LLC
-	MetricLLCDataAccess = "fsim/llc-data-access" // data lookups at LLC
-	MetricDRAMDataRead  = "fsim/dram-data-read"
-	MetricDRAMDataWrite = "fsim/dram-data-write"
-	MetricDRAMCtrRead   = "fsim/dram-counter-read"
-	MetricDRAMCtrWrite  = "fsim/dram-counter-write"
-	MetricDRAMOvfL0     = "fsim/dram-overflow-l0"
-	MetricDRAMOvfHi     = "fsim/dram-overflow-hi"
-	MetricCtrMCHit      = "fsim/counter-mc-hit"   // per DRAM data read
-	MetricCtrLLCHit     = "fsim/counter-llc-hit"  // per DRAM data read
-	MetricCtrLLCMiss    = "fsim/counter-llc-miss" // per DRAM data read
-	MetricCtrLLCLookup  = "fsim/counter-llc-lookup"
-)
-
 // Options selects the fsim configuration beyond config.Config.
 type Options struct {
 	Benchmark string
@@ -168,9 +149,9 @@ func (s *Sim) access(core int, a workload.Access) {
 		s.refsSeen++
 	}
 	if a.Write {
-		s.st.Inc(MetricDataWrite)
+		s.st.Inc(stats.FsimDataWrite)
 	} else {
-		s.st.Inc(MetricDataRead)
+		s.st.Inc(stats.FsimDataRead)
 	}
 
 	// L1.
@@ -186,13 +167,13 @@ func (s *Sim) access(core int, a workload.Access) {
 		return
 	}
 	// L2 data miss: this is where EMCC engages (Sec. IV-C).
-	s.st.Inc(MetricL2DataMiss)
+	s.st.Inc(stats.FsimL2DataMiss)
 	if s.cfg.EMCC {
 		s.emccCounterProbe(core, block)
 	}
 
 	// LLC.
-	s.st.Inc(MetricLLCDataAccess)
+	s.st.Inc(stats.FsimLLCDataAccess)
 	if s.llc.Lookup(block) {
 		if s.trc != nil && !s.warming {
 			s.trc.Flow(core, block, a.Write, false, s.refsSeen)
@@ -202,13 +183,13 @@ func (s *Sim) access(core int, a workload.Access) {
 		s.fillL1(core, block, a.Write)
 		return
 	}
-	s.st.Inc(MetricLLCDataMiss)
+	s.st.Inc(stats.FsimLLCDataMiss)
 	if s.trc != nil && !s.warming {
 		s.trc.Flow(core, block, a.Write, true, s.refsSeen)
 	}
 
 	// DRAM data read, with its counter access (secure designs).
-	s.st.Inc(MetricDRAMDataRead)
+	s.st.Inc(stats.FsimDRAMDataRead)
 	if s.home != nil {
 		s.counterForDataRead(core, block)
 	}
@@ -237,7 +218,7 @@ func (s *Sim) fillL2(core int, block uint64, dirty bool) {
 		// An EMCC-cached counter block leaves L2; if it never served
 		// an LLC data miss its speculative fetch was useless (Fig 11).
 		if !v.WasUsed {
-			s.st.Inc(emcc.MetricUseless)
+			s.st.Inc(stats.EmccUseless)
 		}
 		return // counters are clean in L2; LLC already has its copy path
 	}

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
-	"repro/internal/emcc"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -31,15 +31,15 @@ func TestNonSecureBaselineCounts(t *testing.T) {
 		c.CountersInLLC = false
 	}, "canneal", 200_000)
 	st := s.Stats()
-	reads := st.Counter(MetricDataRead)
-	writes := st.Counter(MetricDataWrite)
+	reads := st.Counter(stats.FsimDataRead)
+	writes := st.Counter(stats.FsimDataWrite)
 	if reads+writes != 200_000 {
 		t.Fatalf("replayed %d refs, want 200000", reads+writes)
 	}
-	if st.Counter(MetricDRAMDataRead) == 0 {
+	if st.Counter(stats.FsimDRAMDataRead) == 0 {
 		t.Fatal("canneal at test scale should miss to DRAM")
 	}
-	if st.Counter(MetricDRAMCtrRead) != 0 {
+	if st.Counter(stats.FsimDRAMCtrRead) != 0 {
 		t.Fatal("non-secure run must not generate counter traffic")
 	}
 }
@@ -47,8 +47,8 @@ func TestNonSecureBaselineCounts(t *testing.T) {
 func TestBaselineCounterClassificationAddsUp(t *testing.T) {
 	s := run(t, func(c *config.Config) {}, "canneal", 200_000)
 	st := s.Stats()
-	dramReads := st.Counter(MetricDRAMDataRead)
-	classified := st.Counter(MetricCtrMCHit) + st.Counter(MetricCtrLLCHit) + st.Counter(MetricCtrLLCMiss)
+	dramReads := st.Counter(stats.FsimDRAMDataRead)
+	classified := st.Counter(stats.FsimCtrMCHit) + st.Counter(stats.FsimCtrLLCHit) + st.Counter(stats.FsimCtrLLCMiss)
 	if dramReads == 0 {
 		t.Fatal("expected DRAM data reads")
 	}
@@ -60,11 +60,11 @@ func TestBaselineCounterClassificationAddsUp(t *testing.T) {
 func TestEMCCGeneratesCounterActivity(t *testing.T) {
 	s := run(t, func(c *config.Config) { c.EMCC = true }, "pageRank", 200_000)
 	st := s.Stats()
-	if st.Counter(emcc.MetricL2CtrHit)+st.Counter(emcc.MetricL2CtrMiss) != st.Counter(MetricL2DataMiss) {
+	if st.Counter(stats.EmccL2CtrHit)+st.Counter(stats.EmccL2CtrMiss) != st.Counter(stats.FsimL2DataMiss) {
 		t.Fatalf("every L2 data miss must probe the counter: hits %d + misses %d != L2 misses %d",
-			st.Counter(emcc.MetricL2CtrHit), st.Counter(emcc.MetricL2CtrMiss), st.Counter(MetricL2DataMiss))
+			st.Counter(stats.EmccL2CtrHit), st.Counter(stats.EmccL2CtrMiss), st.Counter(stats.FsimL2DataMiss))
 	}
-	if st.Counter(emcc.MetricCtrInserted) == 0 {
+	if st.Counter(stats.EmccCtrInserted) == 0 {
 		t.Fatal("EMCC should insert counters into L2")
 	}
 }

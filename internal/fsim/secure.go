@@ -2,7 +2,7 @@ package fsim
 
 import (
 	"repro/internal/addr"
-	"repro/internal/emcc"
+	"repro/internal/stats"
 )
 
 // This file is the secure-memory side of the functional simulator: counter
@@ -23,18 +23,18 @@ import (
 func (s *Sim) emccCounterProbe(core int, dataBlock uint64) {
 	cb := s.home.CounterBlockOf(dataBlock)
 	if s.l2[core].Lookup(cb) {
-		s.st.Inc(emcc.MetricL2CtrHit)
+		s.st.Inc(stats.EmccL2CtrHit)
 		return
 	}
-	s.st.Inc(emcc.MetricL2CtrMiss)
-	s.st.Inc(emcc.MetricSpecFetch)
-	s.st.Inc(MetricCtrLLCLookup)
+	s.st.Inc(stats.EmccL2CtrMiss)
+	s.st.Inc(stats.EmccSpecFetch)
+	s.st.Inc(stats.FsimCtrLLCLookup)
 	if s.llc.Lookup(cb) {
-		s.st.Inc(MetricCtrLLCHit)
+		s.st.Inc(stats.FsimCtrLLCHit)
 		s.insertCtrIntoL2(core, cb)
 		return
 	}
-	s.st.Inc(MetricCtrLLCMiss)
+	s.st.Inc(stats.FsimCtrLLCMiss)
 	// Counter missed on-chip: MC resolves it (possibly from its own
 	// cache, else DRAM + tree verification) and supplies LLC and L2.
 	s.fetchMeta(cb, true)
@@ -45,14 +45,14 @@ func (s *Sim) emccCounterProbe(core int, dataBlock uint64) {
 // insertCtrIntoL2 caches a counter block in L2 under the 32 KB cap,
 // accounting Fig 11's useless-fetch tracking on eviction.
 func (s *Sim) insertCtrIntoL2(core int, cb uint64) {
-	s.st.Inc(emcc.MetricCtrInserted)
+	s.st.Inc(stats.EmccCtrInserted)
 	v, ok := s.l2[core].Insert(cb, false, addr.KindCounter)
 	if !ok {
 		return
 	}
 	if v.Kind == addr.KindCounter {
 		if !v.WasUsed {
-			s.st.Inc(emcc.MetricUseless)
+			s.st.Inc(stats.EmccUseless)
 		}
 		return
 	}
@@ -72,17 +72,17 @@ func (s *Sim) counterForDataRead(core int, dataBlock uint64) {
 		return
 	}
 	if s.home.LookupMeta(cb) {
-		s.st.Inc(MetricCtrMCHit)
+		s.st.Inc(stats.FsimCtrMCHit)
 		return
 	}
 	if s.cfg.CountersInLLC {
-		s.st.Inc(MetricCtrLLCLookup)
+		s.st.Inc(stats.FsimCtrLLCLookup)
 		if s.llc.Lookup(cb) {
-			s.st.Inc(MetricCtrLLCHit)
+			s.st.Inc(stats.FsimCtrLLCHit)
 			s.moveMetaToMC(cb)
 			return
 		}
-		s.st.Inc(MetricCtrLLCMiss)
+		s.st.Inc(stats.FsimCtrLLCMiss)
 	}
 	// The probe (if any) just missed: go straight to DRAM + verification.
 	s.fetchMeta(cb, true)
@@ -102,13 +102,13 @@ func (s *Sim) fetchMeta(mb uint64, skipLLC bool) {
 		return
 	}
 	if s.cfg.CountersInLLC && !skipLLC {
-		s.st.Inc(MetricCtrLLCLookup)
+		s.st.Inc(stats.FsimCtrLLCLookup)
 		if s.llc.Lookup(mb) {
 			s.moveMetaToMC(mb)
 			return
 		}
 	}
-	s.st.Inc(MetricDRAMCtrRead)
+	s.st.Inc(stats.FsimDRAMCtrRead)
 	if p, ok := s.home.Space.ParentOf(mb); ok {
 		s.fetchMeta(p, false)
 	}
@@ -141,7 +141,7 @@ func (s *Sim) spillMetaVictim(mb uint64, dirty bool) {
 // writebackMeta is a metadata block reaching DRAM: one counter write plus
 // the write-counter update of the block itself (its parent counter).
 func (s *Sim) writebackMeta(mb uint64) {
-	s.st.Inc(MetricDRAMCtrWrite)
+	s.st.Inc(stats.FsimDRAMCtrWrite)
 	s.bumpCounter(mb)
 }
 
@@ -149,7 +149,7 @@ func (s *Sim) writebackMeta(mb uint64) {
 // block's counter update, and — under EMCC — invalidation of the counter
 // block's L2 copies (Sec. IV-C, Fig 23).
 func (s *Sim) writebackData(db uint64) {
-	s.st.Inc(MetricDRAMDataWrite)
+	s.st.Inc(stats.FsimDRAMDataWrite)
 	if s.home == nil {
 		return
 	}
@@ -175,9 +175,9 @@ func (s *Sim) bumpCounter(block uint64) {
 	// Rebase re-encryption: each covered block is read and rewritten.
 	traffic := int64(2 * ov.ReencryptBlocks)
 	if ov.Level == 0 {
-		s.st.Add(MetricDRAMOvfL0, traffic)
+		s.st.Add(stats.FsimDRAMOvfL0, traffic)
 	} else {
-		s.st.Add(MetricDRAMOvfHi, traffic)
+		s.st.Add(stats.FsimDRAMOvfHi, traffic)
 	}
 	// The rebase changed every counter in the block: EMCC must
 	// invalidate stale L2 copies.
@@ -192,9 +192,9 @@ func (s *Sim) bumpCounter(block uint64) {
 func (s *Sim) invalidateL2Counters(cb uint64) {
 	for _, l2 := range s.l2 {
 		if v, ok := l2.Invalidate(cb); ok {
-			s.st.Inc(emcc.MetricInvalidations)
+			s.st.Inc(stats.EmccInvalidations)
 			if !v.WasUsed {
-				s.st.Inc(emcc.MetricUseless)
+				s.st.Inc(stats.EmccUseless)
 			}
 		}
 	}

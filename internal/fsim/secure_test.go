@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
-	"repro/internal/emcc"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -14,8 +14,8 @@ func TestCountersInLLCReducesDRAMCounterTraffic(t *testing.T) {
 	shrink := func(c *config.Config) { c.L3Bytes = 1 << 20; c.CtrCacheBytes = 8 << 10 }
 	with := run(t, shrink, "canneal", 400_000)
 	without := run(t, func(c *config.Config) { shrink(c); c.CountersInLLC = false }, "canneal", 400_000)
-	w := with.Stats().Counter(MetricDRAMCtrRead)
-	wo := without.Stats().Counter(MetricDRAMCtrRead)
+	w := with.Stats().Counter(stats.FsimDRAMCtrRead)
+	wo := without.Stats().Counter(stats.FsimDRAMCtrRead)
 	if w >= wo {
 		t.Fatalf("LLC counter caching did not reduce counter reads: %d vs %d", w, wo)
 	}
@@ -29,10 +29,10 @@ func TestWritebacksGenerateCounterWrites(t *testing.T) {
 		c.CtrCacheBytes = 8 << 10 // force dirty counters out to LLC and DRAM
 	}, "canneal", 800_000)
 	st := s.Stats()
-	if st.Counter(MetricDRAMDataWrite) == 0 {
+	if st.Counter(stats.FsimDRAMDataWrite) == 0 {
 		t.Fatal("no data writebacks reached DRAM")
 	}
-	if st.Counter(MetricDRAMCtrWrite) == 0 {
+	if st.Counter(stats.FsimDRAMCtrWrite) == 0 {
 		t.Fatal("no counter writebacks reached DRAM")
 	}
 }
@@ -43,8 +43,8 @@ func TestSC64OverflowsMoreThanMorphable(t *testing.T) {
 	small := func(c *config.Config) { c.L3Bytes = 512 << 10; c.L2Bytes = 128 << 10; c.L1Bytes = 16 << 10 }
 	sc := run(t, func(c *config.Config) { small(c); c.Counter = config.CtrSC64 }, "canneal", 600_000)
 	mo := run(t, small, "canneal", 600_000)
-	scOvf := sc.Stats().Counter(MetricDRAMOvfL0)
-	moOvf := mo.Stats().Counter(MetricDRAMOvfL0)
+	scOvf := sc.Stats().Counter(stats.FsimDRAMOvfL0)
+	moOvf := mo.Stats().Counter(stats.FsimDRAMOvfL0)
 	if scOvf == 0 {
 		t.Skip("no SC-64 overflow at this scale")
 	}
@@ -56,8 +56,8 @@ func TestSC64OverflowsMoreThanMorphable(t *testing.T) {
 func TestEMCCUselessRateIsSmall(t *testing.T) {
 	s := run(t, func(c *config.Config) { c.EMCC = true }, "pageRank", 600_000)
 	st := s.Stats()
-	useless := float64(st.Counter(emcc.MetricUseless))
-	misses := float64(st.Counter(MetricL2DataMiss))
+	useless := float64(st.Counter(stats.EmccUseless))
+	misses := float64(st.Counter(stats.FsimL2DataMiss))
 	if misses == 0 {
 		t.Fatal("no L2 misses")
 	}
@@ -69,14 +69,14 @@ func TestEMCCUselessRateIsSmall(t *testing.T) {
 func TestEMCCInvalidationsTracked(t *testing.T) {
 	s := run(t, func(c *config.Config) { c.EMCC = true }, "canneal", 600_000)
 	st := s.Stats()
-	if st.Counter(emcc.MetricCtrInserted) == 0 {
+	if st.Counter(stats.EmccCtrInserted) == 0 {
 		t.Fatal("no counters inserted into L2")
 	}
-	inval := st.Counter(emcc.MetricInvalidations)
+	inval := st.Counter(stats.EmccInvalidations)
 	if inval == 0 {
 		t.Skip("no invalidations at this scale")
 	}
-	if inval > st.Counter(emcc.MetricCtrInserted) {
+	if inval > st.Counter(stats.EmccCtrInserted) {
 		t.Fatal("more invalidations than insertions")
 	}
 }
@@ -91,7 +91,7 @@ func TestWarmupIsExcludedFromStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run()
-	reads := s.Stats().Counter(MetricDataRead) + s.Stats().Counter(MetricDataWrite)
+	reads := s.Stats().Counter(stats.FsimDataRead) + s.Stats().Counter(stats.FsimDataWrite)
 	if reads != 100_000 {
 		t.Fatalf("measured refs = %d, want exactly Refs (warmup excluded)", reads)
 	}
@@ -102,8 +102,8 @@ func TestRegularBenchmarksHaveLowMissRates(t *testing.T) {
 	// set, or the Fig 24 "useless ~1%" shape cannot hold.
 	reg := run(t, func(c *config.Config) {}, "exchange2_s", 300_000)
 	irr := run(t, func(c *config.Config) {}, "canneal", 300_000)
-	regMiss := float64(reg.Stats().Counter(MetricL2DataMiss)) / 300_000
-	irrMiss := float64(irr.Stats().Counter(MetricL2DataMiss)) / 300_000
+	regMiss := float64(reg.Stats().Counter(stats.FsimL2DataMiss)) / 300_000
+	irrMiss := float64(irr.Stats().Counter(stats.FsimL2DataMiss)) / 300_000
 	if regMiss >= irrMiss {
 		t.Fatalf("exchange2_s misses (%.3f) not below canneal (%.3f)", regMiss, irrMiss)
 	}
@@ -175,38 +175,38 @@ func TestInvariantsAcrossConfigs(t *testing.T) {
 		st := s.Stats()
 
 		// Accesses conserved.
-		if st.Counter(MetricDataRead)+st.Counter(MetricDataWrite) != 120_000 {
+		if st.Counter(stats.FsimDataRead)+st.Counter(stats.FsimDataWrite) != 120_000 {
 			t.Fatalf("case %d: refs not conserved", i)
 		}
 		// The miss funnel can only narrow.
-		l2 := st.Counter(MetricL2DataMiss)
-		llc := st.Counter(MetricLLCDataMiss)
-		dram := st.Counter(MetricDRAMDataRead)
+		l2 := st.Counter(stats.FsimL2DataMiss)
+		llc := st.Counter(stats.FsimLLCDataMiss)
+		dram := st.Counter(stats.FsimDRAMDataRead)
 		if llc > l2 || dram > llc {
 			t.Fatalf("case %d: funnel widened: l2=%d llc=%d dram=%d", i, l2, llc, dram)
 		}
 		// LLC lookups equal L2 misses.
-		if st.Counter(MetricLLCDataAccess) != l2 {
-			t.Fatalf("case %d: llc accesses %d != l2 misses %d", i, st.Counter(MetricLLCDataAccess), l2)
+		if st.Counter(stats.FsimLLCDataAccess) != l2 {
+			t.Fatalf("case %d: llc accesses %d != l2 misses %d", i, st.Counter(stats.FsimLLCDataAccess), l2)
 		}
 		switch {
 		case k.design == config.CtrNone:
-			if st.Counter(MetricDRAMCtrRead)+st.Counter(MetricDRAMCtrWrite) != 0 {
+			if st.Counter(stats.FsimDRAMCtrRead)+st.Counter(stats.FsimDRAMCtrWrite) != 0 {
 				t.Fatalf("case %d: non-secure counter traffic", i)
 			}
 		case !k.emcc:
 			// Classification must cover every DRAM data read.
-			sum := st.Counter(MetricCtrMCHit) + st.Counter(MetricCtrLLCHit) + st.Counter(MetricCtrLLCMiss)
+			sum := st.Counter(stats.FsimCtrMCHit) + st.Counter(stats.FsimCtrLLCHit) + st.Counter(stats.FsimCtrLLCMiss)
 			if k.inLLC && sum != dram {
 				t.Fatalf("case %d: classification %d != dram reads %d", i, sum, dram)
 			}
 		default:
 			// EMCC: every L2 miss probes exactly once.
-			probes := st.Counter(emcc.MetricL2CtrHit) + st.Counter(emcc.MetricL2CtrMiss)
+			probes := st.Counter(stats.EmccL2CtrHit) + st.Counter(stats.EmccL2CtrMiss)
 			if probes != l2 {
 				t.Fatalf("case %d: probes %d != l2 misses %d", i, probes, l2)
 			}
-			if st.Counter(emcc.MetricSpecFetch) != st.Counter(emcc.MetricL2CtrMiss) {
+			if st.Counter(stats.EmccSpecFetch) != st.Counter(stats.EmccL2CtrMiss) {
 				t.Fatalf("case %d: spec fetches != probe misses", i)
 			}
 		}

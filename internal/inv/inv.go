@@ -69,6 +69,17 @@ func Failf(component, format string, args ...interface{}) {
 	}
 }
 
+// Fail records an invariant violation with a fixed message. Like Failf it
+// never panics; use it when there is nothing to format.
+func Fail(component, message string) {
+	total.Add(1)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(vios) < maxRecorded {
+		vios = append(vios, Violation{Component: component, Message: message})
+	}
+}
+
 // Check records a violation when cond is false. Prefer the `if inv.On()`
 // form at hot sites; Check is for cold paths where brevity wins.
 func Check(cond bool, component, format string, args ...interface{}) {

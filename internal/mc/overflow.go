@@ -50,11 +50,11 @@ func NewOverflowEngine(eng *sim.Engine, st *stats.Set, maxLive, maxSlots int, is
 // Blocked() turns true until a live job retires.
 func (e *OverflowEngine) Start(first, n uint64, level int) {
 	job := &overflowJob{next: first, end: first + n, level: level, total: n}
-	e.st.Inc("overflow/events")
-	e.st.Add("overflow/blocks", int64(n))
+	e.st.Inc(stats.OverflowEvents)
+	e.st.Add(stats.OverflowBlocks, int64(n))
 	if len(e.live) >= e.maxLive {
 		e.waiting = append(e.waiting, job)
-		e.st.Inc("overflow/blocked-events")
+		e.st.Inc(stats.OverflowBlockedEvents)
 		return
 	}
 	e.live = append(e.live, job)

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/sim"
@@ -113,6 +114,30 @@ func TestNilSafety(t *testing.T) {
 	}
 	if tr.Enabled() || tr.SamplePeriod() != 0 || tr.Traced() != 0 || tr.TopRequests() != nil {
 		t.Fatal("nil tracer not inert")
+	}
+}
+
+// TestNilSafeSetMatchesMethods cross-checks the tracerNilSafe declaration
+// the obsnil lint pass reads: every listed name must be a real *Tracer
+// method (a typo'd entry would allow-list nothing), and every exported
+// *Tracer method must be listed — TestNilSafety above proves each one
+// no-ops on a nil receiver, so an unlisted newcomer either gets a nil
+// guard and an entry here, or stays unexported.
+func TestNilSafeSetMatchesMethods(t *testing.T) {
+	typ := reflect.TypeOf((*Tracer)(nil))
+	methods := make(map[string]bool, typ.NumMethod())
+	for i := 0; i < typ.NumMethod(); i++ {
+		methods[typ.Method(i).Name] = true
+	}
+	for name := range tracerNilSafe {
+		if !methods[name] {
+			t.Errorf("tracerNilSafe lists %q, which is not a method of *Tracer", name)
+		}
+	}
+	for name := range methods {
+		if !tracerNilSafe[name] {
+			t.Errorf("exported method (*Tracer).%s is not in tracerNilSafe; add a nil guard and list it, or unexport it", name)
+		}
 	}
 }
 

@@ -14,32 +14,32 @@ import (
 // counters. It is the text half of cmd/trace's output.
 func WriteSummary(w io.Writer, st *stats.Set) {
 	fmt.Fprintf(w, "traced requests: %d (%d stores, %d MSHR-merged, %d LLC misses, %d offloaded)\n",
-		st.Counter("obs/req-traced"), st.Counter("obs/req-store"),
-		st.Counter("obs/req-merged"), st.Counter("obs/req-llc-miss"),
-		st.Counter("obs/req-offload"))
-	lat := st.Accum("obs/req-latency-ns")
+		st.Counter(stats.ObsReqTraced), st.Counter(stats.ObsReqStore),
+		st.Counter(stats.ObsReqMerged), st.Counter(stats.ObsReqLLCMiss),
+		st.Counter(stats.ObsReqOffload))
+	lat := st.Accum(stats.ObsReqLatencyNS)
 	if lat.Count > 0 {
 		fmt.Fprintf(w, "request latency: mean %.1f ns  min %.1f  max %.1f\n", lat.Mean(), lat.Min, lat.Max)
 	}
 
 	fmt.Fprintf(w, "\n%-16s %10s %12s %12s\n", "segment", "spans", "mean ns", "max ns")
 	for _, seg := range Segments() {
-		a := st.Accum("obs/seg/" + seg.String() + "-ns")
+		a := st.Accum(segKeys[seg]) //lint:dynamic-key per-segment family obs/seg/<name>-ns
 		if a.Count == 0 {
 			continue
 		}
 		fmt.Fprintf(w, "%-16s %10d %12.2f %12.2f\n", seg.String(), a.Count, a.Mean(), a.Max)
 	}
 
-	exp := st.Accum("obs/exposed-decrypt-ns")
-	over := st.Accum("obs/overlapped-decrypt-ns")
+	exp := st.Accum(stats.ObsExposedDecryptNS)
+	over := st.Accum(stats.ObsOverlappedDecryptNS)
 	if exp.Count > 0 {
 		fmt.Fprintf(w, "\ndecrypt overlap (per decrypted fill):\n")
 		fmt.Fprintf(w, "  exposed    mean %8.2f ns  (n=%d)\n", exp.Mean(), exp.Count)
 		fmt.Fprintf(w, "  overlapped mean %8.2f ns  (n=%d)\n", over.Mean(), over.Count)
 		fmt.Fprintf(w, "  decrypt-at: l2=%d mc=%d   ctr-src: l2=%d llc=%d mc=%d\n",
-			st.Counter("obs/decrypt-at/l2"), st.Counter("obs/decrypt-at/mc"),
-			st.Counter("obs/ctr-src/l2"), st.Counter("obs/ctr-src/llc"), st.Counter("obs/ctr-src/mc"))
+			st.Counter(stats.ObsDecryptAtL2), st.Counter(stats.ObsDecryptAtMC),
+			st.Counter(stats.ObsCtrSrcL2), st.Counter(stats.ObsCtrSrcLLC), st.Counter(stats.ObsCtrSrcMC))
 	}
 }
 

@@ -35,7 +35,8 @@ func Manifest(cfg *config.Config, extra map[string]string) map[string]string {
 		"system":      cfg.SystemName(),
 		"go-version":  runtime.Version(),
 		"vcs":         vcsDescribe(),
-		"wall-time":   time.Now().UTC().Format(time.RFC3339),
+		//lint:ignore detlint wall-time is a deliberately volatile provenance field; consumers exclude it from comparisons
+		"wall-time": time.Now().UTC().Format(time.RFC3339),
 	}
 	for k, v := range extra {
 		m[k] = v

@@ -1,0 +1,67 @@
+package stats_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+)
+
+// TestKeyHygiene enforces the registry naming contract: every key is
+// lowercase, slash-separated into non-empty [a-z0-9-] segments, and
+// declared exactly once.
+func TestKeyHygiene(t *testing.T) {
+	keys := stats.Keys()
+	if len(keys) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Errorf("duplicate key %q", k)
+		}
+		seen[k] = true
+		for _, seg := range strings.Split(k, "/") {
+			if seg == "" {
+				t.Errorf("key %q has an empty segment", k)
+				continue
+			}
+			for _, r := range seg {
+				if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+					t.Errorf("key %q: segment %q has character %q outside [a-z0-9-]", k, seg, r)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestNoOrphanKeys cross-checks the registry against the linter's
+// reference index: every registered key must be used somewhere outside
+// the registry, or it is dead vocabulary that belongs deleted.
+func TestNoOrphanKeys(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Run(root, "./...")
+	if err != nil {
+		t.Fatalf("analysis.Run: %v", err)
+	}
+	indexed := make(map[string]bool, len(res.Keys))
+	for _, k := range res.Keys {
+		indexed[k] = true
+	}
+	for _, k := range stats.Keys() {
+		if !indexed[k] {
+			t.Errorf("key %q in stats.Keys() but not discovered by the linter registry scan", k)
+		}
+	}
+	for _, k := range res.Keys {
+		if len(res.KeyIndex[k]) == 0 {
+			t.Errorf("orphan key %q: registered but never referenced outside internal/stats", k)
+		}
+	}
+}

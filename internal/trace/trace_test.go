@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/fsim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -120,7 +121,7 @@ func TestTraceDrivesFunctionalSim(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run()
-	if s.Stats().Counter(fsim.MetricDataRead) == 0 {
+	if s.Stats().Counter(stats.FsimDataRead) == 0 {
 		t.Fatal("trace replay produced no accesses")
 	}
 
@@ -133,7 +134,7 @@ func TestTraceDrivesFunctionalSim(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct.Run()
-	for _, m := range []string{fsim.MetricL2DataMiss, fsim.MetricDRAMDataRead, fsim.MetricDRAMCtrRead} {
+	for _, m := range []string{stats.FsimL2DataMiss, stats.FsimDRAMDataRead, stats.FsimDRAMCtrRead} {
 		if a, b := s.Stats().Counter(m), direct.Stats().Counter(m); a != b {
 			t.Fatalf("%s: trace %d != synthetic %d", m, a, b)
 		}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -119,7 +120,7 @@ func (c *core) issueMem(a workload.Access) {
 	idx := c.instrs
 
 	if a.Write {
-		c.s.st.Inc("tsim/store")
+		c.s.st.Inc(stats.TsimStore)
 		done := t + c.l1Lat
 		c.retireAt(done)
 		c.lastMemDone, c.lastMemPend, c.lastMemIdx = done, false, idx
@@ -142,7 +143,7 @@ func (c *core) issueMem(a workload.Access) {
 		return
 	}
 
-	c.s.st.Inc("tsim/load")
+	c.s.st.Inc(stats.TsimLoad)
 	if c.l1.Lookup(block) {
 		done := t + c.l1Lat
 		c.retireAt(done)

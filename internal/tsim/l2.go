@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // readReq tracks one L2 miss through the hierarchy, including the EMCC
@@ -109,7 +110,7 @@ func (l *l2Ctl) read(block uint64, isStore bool, tr *obs.Req, done func(at sim.T
 	tr.AddSpan(obs.SegL2Lookup, t, tM)
 	req := &readReq{block: block, isStore: isStore, l2: l, missAt: tM, tr: tr}
 	l.pend[block] = &l2Mshr{req: req, waiters: []func(at sim.Time){done}}
-	l.s.st.Inc("tsim/l2-data-miss")
+	l.s.st.Inc(stats.TsimL2DataMiss)
 	l.s.at(tM, func() { l.missPath(req) })
 	// Demand misses train the stride prefetcher; candidates fetch in the
 	// background through the same secure-read machinery.
@@ -130,7 +131,7 @@ func (l *l2Ctl) prefetchInto(block uint64) {
 	tM := t + l.lat
 	req := &readReq{block: block, isStore: false, l2: l, missAt: tM}
 	l.pend[block] = &l2Mshr{req: req}
-	l.s.st.Inc("tsim/l2-prefetch")
+	l.s.st.Inc(stats.TsimL2Prefetch)
 	l.s.at(tM, func() { l.missPath(req) })
 }
 
@@ -146,14 +147,14 @@ func (l *l2Ctl) missPath(req *readReq) {
 		if l.aes == nil || s.pol.ShouldOffload(l.aes.QueueDelay()) {
 			req.offload = true
 			req.tr.MarkOffload()
-			s.st.Inc(emcc.MetricOffloadQueue)
+			s.st.Inc(stats.EmccOffloadQueue)
 		}
 		// Serial counter lookup in L2 during spare cycles ('J').
 		s.at(tM+s.pol.LookupDelay, func() { l.counterProbe(req) })
 	} else if s.cfg.EMCC && s.secure() {
 		// Dynamic EMCC-off (Sec. IV-F): all cryptography at the MC.
 		req.offload = true
-		s.st.Inc("emcc/dynamic-off-miss")
+		s.st.Inc(stats.EmccDynamicOffMiss)
 	}
 
 	// Data request to the block's LLC slice.
@@ -181,7 +182,7 @@ func (l *l2Ctl) counterProbe(req *readReq) {
 	req.tr.AddSpan(obs.SegCtrProbeL2, req.missAt, t)
 	cb := s.mc.home.CounterBlockOf(req.block)
 	if l.c.Lookup(cb) {
-		s.st.Inc(emcc.MetricL2CtrHit)
+		s.st.Inc(stats.EmccL2CtrHit)
 		req.ctrKnown = true
 		req.ctrReady = t + s.mc.decodeLat
 		req.tr.MarkCtr(obs.CtrAtL2)
@@ -189,8 +190,8 @@ func (l *l2Ctl) counterProbe(req *readReq) {
 		l.maybeStartAES(req)
 		return
 	}
-	s.st.Inc(emcc.MetricL2CtrMiss)
-	s.st.Inc(emcc.MetricSpecFetch)
+	s.st.Inc(stats.EmccL2CtrMiss)
+	s.st.Inc(stats.EmccSpecFetch)
 	req.tr.Begin(obs.SegCtrFetch, t)
 	slice := s.mesh.SliceOf(cb)
 	s.at(t+s.oneway(l.tile, slice), func() { s.llc.counterAccessFromL2(req, cb, slice) })
@@ -219,14 +220,14 @@ func (l *l2Ctl) counterArrived(req *readReq, cb uint64) {
 // insertCounter caches a counter block in L2 under the 32 KB cap with the
 // Fig 11 useless-fetch accounting.
 func (l *l2Ctl) insertCounter(cb uint64) {
-	l.s.st.Inc(emcc.MetricCtrInserted)
+	l.s.st.Inc(stats.EmccCtrInserted)
 	v, ok := l.c.Insert(cb, false, addr.KindCounter)
 	if !ok {
 		return
 	}
 	if v.Kind == addr.KindCounter {
 		if !v.WasUsed {
-			l.s.st.Inc(emcc.MetricUseless)
+			l.s.st.Inc(stats.EmccUseless)
 		}
 		return
 	}
@@ -267,7 +268,7 @@ func (l *l2Ctl) completePlain(req *readReq, fromMC bool) {
 		return
 	}
 	if fromMC {
-		l.s.st.Inc(emcc.MetricDecryptAtMC)
+		l.s.st.Inc(stats.EmccDecryptAtMC)
 		if l.monitor != nil {
 			l.monitor.OnDRAMFill()
 		}
@@ -297,10 +298,10 @@ func (l *l2Ctl) maybeFinishCipher(req *readReq) {
 	if req.aesDone > at {
 		at = req.aesDone
 	}
-	l.s.st.Observe("tsim/crypto-exposure-l2-ns", (at - req.cipherAt).Nanoseconds())
+	l.s.st.Observe(stats.TsimCryptoExposureL2NS, (at - req.cipherAt).Nanoseconds())
 	req.tr.MarkDecrypt(obs.DecAtL2, req.cipherAt, at)
 	at += sim.NS(1)
-	l.s.st.Inc(emcc.MetricDecryptAtL2)
+	l.s.st.Inc(stats.EmccDecryptAtL2)
 	l.s.at(at, func() { l.finish(req, at) })
 }
 
@@ -317,7 +318,7 @@ func (l *l2Ctl) finish(req *readReq, at sim.Time) {
 		return
 	}
 	if !req.isStore && len(m.waiters) > 0 {
-		l.s.st.Observe("tsim/l2-read-miss-latency-ns", (at - req.missAt).Nanoseconds())
+		l.s.st.Observe(stats.TsimL2ReadMissLatencyNS, (at - req.missAt).Nanoseconds())
 	}
 	for _, w := range m.waiters {
 		w(at)
@@ -338,7 +339,7 @@ func (l *l2Ctl) fill(block uint64, dirty bool, at sim.Time) {
 func (l *l2Ctl) spillVictim(v cache.Victim) {
 	if v.Kind == addr.KindCounter {
 		if !v.WasUsed {
-			l.s.st.Inc(emcc.MetricUseless)
+			l.s.st.Inc(stats.EmccUseless)
 		}
 		return
 	}
@@ -348,9 +349,9 @@ func (l *l2Ctl) spillVictim(v cache.Victim) {
 // invalidateCounter handles an MC counter-update invalidation (Fig 23).
 func (l *l2Ctl) invalidateCounter(cb uint64) {
 	if v, ok := l.c.Invalidate(cb); ok {
-		l.s.st.Inc(emcc.MetricInvalidations)
+		l.s.st.Inc(stats.EmccInvalidations)
 		if !v.WasUsed {
-			l.s.st.Inc(emcc.MetricUseless)
+			l.s.st.Inc(stats.EmccUseless)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // llcCtl models the sliced last-level cache. State is one functional cache
@@ -34,7 +35,7 @@ func newLLCCtl(s *Sim) *llcCtl {
 func (g *llcCtl) dataAccess(req *readReq, slice noc.NodeID) {
 	s := g.s
 	t := s.eng.Now()
-	s.st.Inc("tsim/llc-data-access")
+	s.st.Inc(stats.TsimLLCDataAccess)
 	if g.c.Lookup(req.block) {
 		// On-chip data is already decrypted and verified.
 		req.tr.AddSpan(obs.SegLLCProbe, t, t+g.tagLat+g.dataLat)
@@ -43,7 +44,7 @@ func (g *llcCtl) dataAccess(req *readReq, slice noc.NodeID) {
 		s.at(arr, func() { req.l2.completePlain(req, false) })
 		return
 	}
-	s.st.Inc("tsim/llc-data-miss")
+	s.st.Inc(stats.TsimLLCDataMiss)
 	req.llcMissed = true
 	req.tr.MarkLLCMiss()
 	req.tr.AddSpan(obs.SegLLCProbe, t, t+g.tagLat)
@@ -65,18 +66,18 @@ func (g *llcCtl) dataAccess(req *readReq, slice noc.NodeID) {
 func (g *llcCtl) counterAccessFromL2(req *readReq, cb uint64, slice noc.NodeID) {
 	s := g.s
 	t := s.eng.Now()
-	s.st.Inc("tsim/ctr-llc-lookup")
-	s.st.Inc("tsim/ctr-spec-llc-lookup")
+	s.st.Inc(stats.TsimCtrLLCLookup)
+	s.st.Inc(stats.TsimCtrSpecLLCLookup)
 	if g.c.Lookup(cb) {
-		s.st.Inc("tsim/ctr-llc-hit")
-		s.st.Inc("tsim/ctr-spec-llc-hit")
+		s.st.Inc(stats.TsimCtrLLCHit)
+		s.st.Inc(stats.TsimCtrSpecLLCHit)
 		req.tr.MarkCtr(obs.CtrAtLLC)
 		arr := t + g.tagLat + g.dataLat + g.payloadPen + s.oneway(slice, req.l2.tile)
 		s.at(arr, func() { req.l2.counterArrived(req, cb) })
 		return
 	}
-	s.st.Inc("tsim/ctr-llc-miss")
-	s.st.Inc("tsim/ctr-spec-llc-miss")
+	s.st.Inc(stats.TsimCtrLLCMiss)
+	s.st.Inc(stats.TsimCtrSpecLLCMiss)
 	mcTile := s.mesh.MCTile(s.mesh.MCOf(cb))
 	s.at(t+g.tagLat+s.oneway(slice, mcTile), func() { s.mc.counterMissFromL2(req, cb) })
 }
@@ -87,15 +88,15 @@ func (g *llcCtl) counterAccessFromL2(req *readReq, cb uint64, slice noc.NodeID) 
 func (g *llcCtl) metaAccessFromMC(mb uint64, mcTile noc.NodeID, done func(hit bool, at sim.Time)) {
 	s := g.s
 	t := s.eng.Now()
-	s.st.Inc("tsim/ctr-llc-lookup")
+	s.st.Inc(stats.TsimCtrLLCLookup)
 	slice := s.mesh.SliceOf(mb)
 	if g.c.Lookup(mb) {
-		s.st.Inc("tsim/ctr-llc-hit")
+		s.st.Inc(stats.TsimCtrLLCHit)
 		arr := t + g.tagLat + g.dataLat + g.payloadPen + s.oneway(slice, mcTile)
 		s.at(arr, func() { done(true, arr) })
 		return
 	}
-	s.st.Inc("tsim/ctr-llc-miss")
+	s.st.Inc(stats.TsimCtrLLCMiss)
 	arr := t + g.tagLat + s.oneway(slice, mcTile)
 	s.at(arr, func() { done(false, arr) })
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // mcCtl is the timing model of the secure memory controller: the private
@@ -104,7 +105,7 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 	// Sec. V: the MC rejects incoming LLC requests while a third
 	// overflow is outstanding.
 	if m.ovf != nil && m.ovf.Blocked() {
-		m.s.st.Inc("tsim/mc-rejected-while-blocked")
+		m.s.st.Inc(stats.TsimMCRejectedWhileBlocked)
 		req.tr.Begin(obs.SegMCQueue, m.s.eng.Now())
 		m.s.eng.After(sim.NS(200), func() { m.dataRead(req, confirmed) })
 		return
@@ -128,7 +129,7 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 	m.pendData[req.block] = p
 	// One fill per MSHR entry: internal/check's conservation rule compares
 	// this against the DRAM model's issued data reads after drain.
-	m.s.st.Inc("tsim/mc-data-fill")
+	m.s.st.Inc(stats.TsimMCDataFill)
 	m.enqueueDRAM(req.block, false, dram.TrafficData, req.tr, func(at sim.Time) {
 		p.dataHere, p.dataAt = true, at
 		m.maybeRespond(p)
@@ -222,7 +223,7 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		if p.aesDone > leave {
 			leave = p.aesDone
 		}
-		m.s.st.Observe("tsim/crypto-exposure-mc-ns", (leave - p.dataAt).Nanoseconds())
+		m.s.st.Observe(stats.TsimCryptoExposureMCNS, (leave - p.dataAt).Nanoseconds())
 		for _, r := range p.reqs {
 			r.tr.MarkDecrypt(obs.DecAtMC, p.dataAt, leave)
 		}
@@ -258,7 +259,7 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 // still can, and in any case resolves, verifies and distributes the
 // counter block to the LLC and the requesting L2 (Sec. IV-D).
 func (m *mcCtl) counterMissFromL2(req *readReq, cb uint64) {
-	m.s.st.Inc("tsim/ctr-miss-onchip")
+	m.s.st.Inc(stats.TsimCtrMissOnchip)
 	req.tr.MarkCtr(obs.CtrAtMC)
 	if p := m.pendData[req.block]; p != nil && !p.responded && !p.needCrypto {
 		// The counter request is real (not speculative): the MC can
@@ -446,7 +447,7 @@ func (m *mcCtl) invalidateL2Counters(cb uint64) {
 func (m *mcCtl) enqueueDRAM(block uint64, write bool, kind dram.TrafficKind, ob *obs.Req, done func(at sim.Time)) {
 	r := &dram.Request{Block: block, Write: write, Kind: kind, Done: done, Obs: ob}
 	if !m.s.dram.Enqueue(r) {
-		m.s.st.Inc("tsim/dram-queue-full-retry")
+		m.s.st.Inc(stats.TsimDRAMQueueFullRetry)
 		ob.Begin(obs.SegMCQueue, m.s.eng.Now())
 		m.s.eng.After(sim.NS(100), func() { m.enqueueDRAM(block, write, kind, ob, done) })
 		return

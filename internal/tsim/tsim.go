@@ -195,10 +195,10 @@ func (s *Sim) Run() Result {
 		cycles := float64(res.SimulatedTime) / float64(s.cfg.CoreCycle())
 		res.IPC = float64(res.Instructions) / cycles
 	}
-	res.L2MissLatencyNS = s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	res.L2MissLatencyNS = s.st.Accum(stats.TsimL2ReadMissLatencyNS).Mean()
 	res.BusyFraction = s.dram.BusyFraction(0, res.SimulatedTime)
-	atL2 := s.st.Counter(emcc.MetricDecryptAtL2)
-	atMC := s.st.Counter(emcc.MetricDecryptAtMC)
+	atL2 := s.st.Counter(stats.EmccDecryptAtL2)
+	atMC := s.st.Counter(stats.EmccDecryptAtMC)
 	if atL2+atMC > 0 {
 		res.DecryptAtL2Frac = float64(atL2) / float64(atL2+atMC)
 	}

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
-	"repro/internal/emcc"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -58,11 +58,11 @@ func TestSecureSystemsAreSlower(t *testing.T) {
 func TestEMCCRunExercisesAllPaths(t *testing.T) {
 	s, res := run(t, func(c *config.Config) { c.EMCC = true }, "canneal", 150_000, 300_000)
 	st := s.Stats()
-	probes := st.Counter(emcc.MetricL2CtrHit) + st.Counter(emcc.MetricL2CtrMiss)
+	probes := st.Counter(stats.EmccL2CtrHit) + st.Counter(stats.EmccL2CtrMiss)
 	if probes != st.Counter("tsim/l2-data-miss") {
 		t.Fatalf("counter probes %d != L2 data misses %d", probes, st.Counter("tsim/l2-data-miss"))
 	}
-	if st.Counter(emcc.MetricDecryptAtL2) == 0 {
+	if st.Counter(stats.EmccDecryptAtL2) == 0 {
 		t.Fatal("EMCC never decrypted at L2")
 	}
 	if res.DecryptAtL2Frac <= 0 || res.DecryptAtL2Frac > 1 {
