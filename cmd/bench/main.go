@@ -1,0 +1,172 @@
+// Command bench runs the performance-critical benchmarks — the event-engine
+// micro-benchmarks (prebound vs closure vs the retired container/heap
+// baseline), the DRAM channel loop, and the tsim end-to-end throughput — and
+// emits one machine-readable JSON artifact. BENCH_5.json in the repo root is
+// a checked-in run recording the PR 5 engine-rewrite numbers; CI regenerates
+// the artifact on every push and uploads it for trend inspection.
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # JSON to stdout
+//	go run ./cmd/bench -out BENCH.json -count 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// suites lists the packages and benchmark selections that feed the
+// artifact. The sim suite carries the legacy baseline pair, so the derived
+// speedups can be computed from one run.
+var suites = []struct {
+	pkg     string
+	pattern string
+}{
+	{"./internal/sim", "^(BenchmarkEngineTickPrebound|BenchmarkEngineTickClosure|BenchmarkEngineMixedQueue|BenchmarkLegacyEngineTick|BenchmarkLegacyEngineMixedQueue)$"},
+	{".", "^(BenchmarkEventEngine|BenchmarkDRAMRandomReads|BenchmarkTimingSimThroughput)$"},
+}
+
+type benchResult struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type artifact struct {
+	Tool       string        `json:"tool"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Count      int           `json:"count"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	// Derived holds ratios the acceptance criteria gate on: the engine
+	// tick and mixed-queue speedups over the container/heap baseline.
+	Derived map[string]float64 `json:"derived"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON artifact here (default stdout)")
+	count := flag.Int("count", 1, "benchmark repetitions (-count for go test; the artifact keeps every run)")
+	flag.Parse()
+
+	art := artifact{
+		Tool:      "cmd/bench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Count:     *count,
+		Derived:   map[string]float64{},
+	}
+	for _, s := range suites {
+		res, err := runSuite(s.pkg, s.pattern, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", s.pkg, err)
+			os.Exit(1)
+		}
+		art.Benchmarks = append(art.Benchmarks, res...)
+	}
+	derive(&art)
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSuite executes one `go test -bench` invocation and parses its
+// standard output into results.
+func runSuite(pkg, pattern string, count int) ([]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run=^$", "-bench", pattern,
+		"-benchmem", "-count", strconv.Itoa(count), pkg)
+	outBuf, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test: %v\n%s", err, outBuf)
+	}
+	var res []benchResult
+	for _, line := range strings.Split(string(outBuf), "\n") {
+		r, ok := parseBenchLine(pkg, line)
+		if ok {
+			res = append(res, r)
+		}
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q\n%s", pattern, outBuf)
+	}
+	return res, nil
+}
+
+// parseBenchLine decodes one textual benchmark result, e.g.
+//
+//	BenchmarkEngineTickPrebound-8  18571428  63.03 ns/op  0 B/op  0 allocs/op
+func parseBenchLine(pkg, line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		name = name[:i] // strip the -GOMAXPROCS suffix
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Package: pkg, Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return r, true
+}
+
+// derive computes the engine speedups over the retired container/heap
+// baseline from whatever runs are present (means across -count repeats).
+func derive(art *artifact) {
+	mean := func(name string) float64 {
+		var sum float64
+		var n int
+		for _, b := range art.Benchmarks {
+			if b.Name == name {
+				sum += b.NsPerOp
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	if legacy, tick := mean("LegacyEngineTick"), mean("EngineTickPrebound"); legacy > 0 && tick > 0 {
+		art.Derived["engine_tick_speedup_vs_container_heap"] = legacy / tick
+	}
+	if legacy, mixed := mean("LegacyEngineMixedQueue"), mean("EngineMixedQueue"); legacy > 0 && mixed > 0 {
+		art.Derived["engine_mixed_speedup_vs_container_heap"] = legacy / mixed
+	}
+}

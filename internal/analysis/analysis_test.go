@@ -32,9 +32,12 @@ func TestFixtureFindings(t *testing.T) {
 		`bad/bad.go:38: [obsnil] (*obs.Tracer).Record is outside the documented nil-safe set; a disabled (nil) tracer would panic here (guard the receiver or extend tracerNilSafe in internal/obs)`,
 		`bad/bad.go:45: [lint] malformed suppression: want //lint:ignore <pass> <reason>`,
 		`bad/bad.go:46: [statskey] unregistered stats key "fixture/also-unregistered" (declare it in internal/stats/keys.go)`,
+		`bad/bad.go:52: [statskey] unregistered stats key "fixture/unregistered-ref" (declare it in internal/stats/keys.go)`,
 		`internal/figures/figures.go:14: [detlint] time.Now in a deterministic-output package (golden/compared output must not depend on wall time)`,
 		`internal/figures/figures.go:19: [detlint] package-level math/rand draws from the global source; use a locally seeded *rand.Rand`,
 		`internal/figures/figures.go:24: [detlint] iteration over a map reaches output (fmt.Println at line 25) without an intervening sort; collect and sort the keys first`,
+		`internal/figures/figures.go:51: [detlint] iteration over a map reaches output (fmt.Println at line 53) only through a nested map iteration; the outer order is nondeterministic too — sort the keys at every level`,
+		`internal/figures/figures.go:52: [detlint] iteration over a map reaches output (fmt.Println at line 53) without an intervening sort; collect and sort the keys first`,
 	}
 	res := fixtureRun(t)
 	var got []string
@@ -95,8 +98,8 @@ func TestFixturePatterns(t *testing.T) {
 			t.Errorf("pattern ./bad leaked finding in %s", f.File)
 		}
 	}
-	if res = fixtureRun(t, "./internal/..."); len(res.Findings) != 3 {
-		t.Errorf("./internal/... yielded %d findings, want the 3 figures ones", len(res.Findings))
+	if res = fixtureRun(t, "./internal/..."); len(res.Findings) != 5 {
+		t.Errorf("./internal/... yielded %d findings, want the 5 figures ones", len(res.Findings))
 	}
 }
 

@@ -77,6 +77,15 @@ func (detlint) run(ctx *context, pkg *Package) {
 					ctx.reportf("detlint", n.Pos(),
 						"iteration over a map reaches output (%s at line %d) without an intervening sort; collect and sort the keys first",
 						outputCallName(out), ctx.mod.Fset.Position(out.Pos()).Line)
+				} else if out := nestedMapRangeOutput(info, n.Body); out != nil {
+					// The body's only output sits inside a nested map
+					// range. That inner range gets its own finding, but
+					// the outer order leaks through it just the same —
+					// report both, so suppressing the inner one cannot
+					// silently bless the outer (ROADMAP refinement).
+					ctx.reportf("detlint", n.Pos(),
+						"iteration over a map reaches output (%s at line %d) only through a nested map iteration; the outer order is nondeterministic too — sort the keys at every level",
+						outputCallName(out), ctx.mod.Fset.Position(out.Pos()).Line)
 				}
 			}
 			return true
@@ -116,6 +125,39 @@ func firstOutputCall(info *types.Info, body *ast.BlockStmt) (found *ast.CallExpr
 			return true
 		}
 		if isOutputCall(info, call) {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nestedMapRangeOutput finds an output call that firstOutputCall skipped
+// because it sits inside a nested map range: the first such call under any
+// directly nested map iteration, however deep.
+func nestedMapRangeOutput(info *types.Info, body *ast.BlockStmt) (found *ast.CallExpr) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if r, ok := n.(*ast.RangeStmt); ok && isMapRange(info, r) {
+			found = anyOutputCall(info, r.Body)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// anyOutputCall finds the first output call anywhere in body, without the
+// nested-map-range exclusion of firstOutputCall.
+func anyOutputCall(info *types.Info, body *ast.BlockStmt) (found *ast.CallExpr) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isOutputCall(info, call) {
 			found = call
 			return false
 		}

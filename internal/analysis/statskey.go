@@ -20,13 +20,15 @@ func (statskey) name() string { return "statskey" }
 // keyMethods are the metric methods whose first argument is a key, on
 // both *stats.Set and stats.Snapshot.
 var keyMethods = map[string]bool{
-	"Add":       true,
-	"Inc":       true,
-	"Observe":   true,
-	"Counter":   true,
-	"Accum":     true,
-	"AccumMean": true,
-	"Hist":      true,
+	"Add":        true,
+	"Inc":        true,
+	"Observe":    true,
+	"Counter":    true,
+	"CounterRef": true,
+	"Accum":      true,
+	"AccumRef":   true,
+	"AccumMean":  true,
+	"Hist":       true,
 }
 
 func (statskey) run(ctx *context, pkg *Package) {

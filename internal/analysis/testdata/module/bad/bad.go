@@ -45,3 +45,9 @@ func Malformed(s *stats.Set) {
 	//lint:ignore statskey
 	s.Inc("fixture/also-unregistered")
 }
+
+// UnregisteredRef binds a cached cell under a key missing from the
+// registry: one statskey finding.
+func UnregisteredRef(s *stats.Set) *int64 {
+	return s.CounterRef("fixture/unregistered-ref")
+}

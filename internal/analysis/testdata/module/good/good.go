@@ -77,3 +77,9 @@ func GuardedTracer(t *obs.Tracer) {
 		t.Record()
 	}
 }
+
+// RegisteredRefs binds cached cells through the ref accessors with
+// registry constants — the hot-path idiom the real tsim/dram use.
+func RegisteredRefs(s *stats.Set) (*int64, *stats.Accum) {
+	return s.CounterRef(stats.KeyGood), s.AccumRef(stats.KeyTable)
+}

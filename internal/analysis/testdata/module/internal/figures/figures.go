@@ -43,3 +43,26 @@ func DumpSorted(m map[string]int) {
 func Roll(seed int64) int {
 	return rand.New(rand.NewSource(seed)).Intn(6)
 }
+
+// DumpNestedUnsorted reaches output only through a nested map range: two
+// detlint findings — the nested-iteration one on the outer range, and
+// the standard one on the inner.
+func DumpNestedUnsorted(m map[string]map[string]int) {
+	for k, inner := range m {
+		for k2, v := range inner {
+			fmt.Println(k, k2, v)
+		}
+	}
+}
+
+// SumNested only accumulates through the nested ranges — no output
+// anywhere, so no finding at either level.
+func SumNested(m map[string]map[string]int) int {
+	total := 0
+	for _, inner := range m {
+		for _, v := range inner {
+			total += v
+		}
+	}
+	return total
+}

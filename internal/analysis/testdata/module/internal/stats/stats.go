@@ -19,3 +19,15 @@ func (s *Set) Observe(name string, v float64) { s.Inc(name) }
 
 // Counter reads an accumulated count.
 func (s *Set) Counter(name string) int64 { return s.c[name] }
+
+// Accum is a minimal stand-in for the real accumulator cell.
+type Accum struct{ Count int64 }
+
+// CounterRef mirrors the real cached-cell accessor (fixture: a copy).
+func (s *Set) CounterRef(name string) *int64 {
+	v := s.c[name]
+	return &v
+}
+
+// AccumRef mirrors the real accumulator-cell accessor.
+func (s *Set) AccumRef(name string) *Accum { return &Accum{Count: s.c[name]} }

@@ -75,7 +75,9 @@ var (
 	}
 )
 
-// Request is one 64 B DRAM access.
+// Request is one 64 B DRAM access. Callers may build one directly, or —
+// on hot paths — obtain a pooled one from NewRequest, which the device
+// recycles after the access completes.
 type Request struct {
 	Block uint64
 	Write bool
@@ -88,6 +90,9 @@ type Request struct {
 	Obs *obs.Req
 
 	enqueued sim.Time
+	finishAt sim.Time // completion time carried into the done event
+	owner    *DRAM    // non-nil for pooled requests (NewRequest)
+	free     *Request // freelist link
 }
 
 // DRAM is the multi-channel memory device.
@@ -97,6 +102,10 @@ type DRAM struct {
 	mapper *addr.DRAMMapper
 	cfg    dramTiming
 	chans  []*channel
+	// freeReq pools Requests handed out by NewRequest. The device is
+	// single-threaded (one event engine), so a plain freelist suffices and
+	// stays deterministic.
+	freeReq *Request
 }
 
 type dramTiming struct {
@@ -138,6 +147,47 @@ func New(eng *sim.Engine, st *stats.Set, cfg *config.Config) *DRAM {
 
 // Mapper exposes the address-to-geometry mapping.
 func (d *DRAM) Mapper() *addr.DRAMMapper { return d.mapper }
+
+// NewRequest returns a pooled request. After a successful Enqueue the
+// device owns it and recycles it once the access completes (after Done
+// fires, or at issue when Done is nil). If Enqueue reports false the
+// caller keeps ownership: retry Enqueue with the same request, or return
+// it with Recycle.
+func (d *DRAM) NewRequest(block uint64, write bool, kind TrafficKind, done func(at sim.Time), ob *obs.Req) *Request {
+	r := d.freeReq
+	if r == nil {
+		r = &Request{owner: d}
+	} else {
+		d.freeReq = r.free
+		r.free = nil
+	}
+	r.Block, r.Write, r.Kind, r.Done, r.Obs = block, write, kind, done, ob
+	r.enqueued, r.finishAt = 0, 0
+	return r
+}
+
+// Recycle returns an un-enqueued pooled request to the freelist. Only for
+// requests from NewRequest whose Enqueue reported false and that the
+// caller abandons.
+func (d *DRAM) Recycle(r *Request) {
+	if r.owner != d {
+		return
+	}
+	r.Done, r.Obs = nil, nil
+	r.free = d.freeReq
+	d.freeReq = r
+}
+
+// requestDoneCB delivers a request's completion. Pooled requests recycle
+// before the callback runs, so Done may immediately re-enqueue.
+func requestDoneCB(x any) {
+	r := x.(*Request)
+	done, at := r.Done, r.finishAt
+	if d := r.owner; d != nil {
+		d.Recycle(r)
+	}
+	done(at)
+}
 
 // QueuePressure reports the read-queue fill fraction of the block's home
 // channel — the MC's overflow engine uses it to throttle re-encryption
@@ -214,6 +264,37 @@ type channel struct {
 	// pending marks whether a scheduler wakeup is already queued.
 	pending  bool
 	busyTime [numTrafficKinds]sim.Time
+	hs       chanStats
+}
+
+// chanStats caches the stats cells issue() records into, replacing five
+// map lookups per access with pointer bumps. Binding is lazy — at the
+// first issue after construction — because the owning simulation may
+// Reset the stats set at its warmup boundary (tsim does), which would
+// strand cells bound any earlier; no DRAM traffic is issued during a
+// functional warmup, so first-issue is always on the measured side.
+type chanStats struct {
+	bound                          bool
+	rowHit, rowClosed, rowConflict *int64
+	qdelay                         [numTrafficKinds][2]*stats.Accumulator
+	qdhist                         [numTrafficKinds][2]*stats.Histogram
+	access                         [numTrafficKinds][2]*int64
+}
+
+func (ch *channel) bindHot() {
+	st := ch.d.st
+	ch.hs.rowHit = st.CounterRef(stats.DramRowHit)
+	ch.hs.rowClosed = st.CounterRef(stats.DramRowClosed)
+	ch.hs.rowConflict = st.CounterRef(stats.DramRowConflict)
+	for k := 0; k < int(numTrafficKinds); k++ {
+		for dir := 0; dir < 2; dir++ {
+			qname := qdelayKeys[k][dir]
+			ch.hs.qdelay[k][dir] = st.AccumRef(qname)                                               //lint:dynamic-key selected from the registered qdelayKeys table
+			ch.hs.qdhist[k][dir] = st.Hist(qname, QDelayHistLo, QDelayHistWidth, QDelayHistBuckets) //lint:dynamic-key selected from the registered qdelayKeys table
+			ch.hs.access[k][dir] = st.CounterRef(accessKeys[k][dir])                                //lint:dynamic-key selected from the registered accessKeys table
+		}
+	}
+	ch.hs.bound = true
 }
 
 type bank struct {
@@ -244,8 +325,12 @@ func (ch *channel) kickAt(at sim.Time) {
 	if now := ch.d.eng.Now(); at < now {
 		at = now
 	}
-	ch.d.eng.At(at, ch.schedule)
+	ch.d.eng.AtCall(at, channelScheduleCB, ch)
 }
+
+// channelScheduleCB is the prebound form of channel.schedule: taking the
+// method value ch.schedule allocated once per wakeup.
+func channelScheduleCB(x any) { x.(*channel).schedule() }
 
 // schedule issues at most one request whose bank is ready, then re-arms.
 // Banks overlap their ACT/CAS latencies; only the data-bus bursts
@@ -356,6 +441,9 @@ func (ch *channel) rowHit(b *bank, row uint64, now sim.Time) bool {
 
 // issue performs the access timing for one request.
 func (ch *channel) issue(r *Request) {
+	if !ch.hs.bound {
+		ch.bindHot()
+	}
 	now := ch.d.eng.Now()
 	loc := ch.d.mapper.Map(r.Block)
 	bankID := ch.d.mapper.BankID(loc)
@@ -366,7 +454,7 @@ func (ch *channel) issue(r *Request) {
 	switch {
 	case ch.rowHit(b, loc.Row, now):
 		access = ch.d.cfg.tCL
-		ch.d.st.Inc(stats.DramRowHit)
+		*ch.hs.rowHit++
 		if ch.streakBank == bankID {
 			ch.rowStreak++
 		} else {
@@ -376,12 +464,12 @@ func (ch *channel) issue(r *Request) {
 		// Row closed by the timeout policy (or never opened):
 		// activate + CAS.
 		access = ch.d.cfg.tRCD + ch.d.cfg.tCL
-		ch.d.st.Inc(stats.DramRowClosed)
+		*ch.hs.rowClosed++
 		ch.streakBank, ch.rowStreak = bankID, 0
 	default:
 		// Row conflict: precharge + activate + CAS.
 		access = ch.d.cfg.tRP + ch.d.cfg.tRCD + ch.d.cfg.tCL
-		ch.d.st.Inc(stats.DramRowConflict)
+		*ch.hs.rowConflict++
 		ch.streakBank, ch.rowStreak = bankID, 0
 	}
 	dataAt := start + access
@@ -416,18 +504,19 @@ func (ch *channel) issue(r *Request) {
 	if r.Write {
 		dir = 1
 	}
-	qname := qdelayKeys[r.Kind][dir]
 	qdelay := (start - r.enqueued).Nanoseconds()
-	ch.d.st.Observe(qname, qdelay) //lint:dynamic-key selected from the registered qdelayKeys table
+	ch.hs.qdelay[r.Kind][dir].Observe(qdelay)
 	// Per-request delay distribution for the stochastic-dominance check
 	// (internal/check): means can mask tail regressions, the CDF cannot.
-	ch.d.st.Hist(qname, QDelayHistLo, QDelayHistWidth, QDelayHistBuckets).Observe(qdelay) //lint:dynamic-key selected from the registered qdelayKeys table
-	ch.d.st.Inc(accessKeys[r.Kind][dir])                                                  //lint:dynamic-key selected from the registered accessKeys table
+	ch.hs.qdhist[r.Kind][dir].Observe(qdelay)
+	*ch.hs.access[r.Kind][dir]++
 	r.Obs.AddSpan(obs.SegDRAMQueue, r.enqueued, start)
 	r.Obs.AddSpan(obs.SegDRAMService, start, finish)
 
 	if r.Done != nil {
-		done := r.Done
-		ch.d.eng.At(finish, func() { done(finish) })
+		r.finishAt = finish
+		ch.d.eng.AtCall(finish, requestDoneCB, r)
+	} else if r.owner != nil {
+		ch.d.Recycle(r)
 	}
 }

@@ -128,7 +128,7 @@ func TestOverflowEnginePacing(t *testing.T) {
 	inFlight, maxInFlight := 0, 0
 	completed := 0
 	var ovf *OverflowEngine
-	issue := func(block uint64, write bool, level int, done func()) bool {
+	issue := func(block uint64, write bool, level int, done func(at sim.Time)) bool {
 		inFlight++
 		if inFlight > maxInFlight {
 			maxInFlight = inFlight
@@ -139,7 +139,7 @@ func TestOverflowEnginePacing(t *testing.T) {
 				completed++
 			}
 			if done != nil {
-				done()
+				done(eng.Now())
 			}
 		})
 		return true
@@ -164,10 +164,10 @@ func TestOverflowEnginePacing(t *testing.T) {
 func TestOverflowEngineBlocksThird(t *testing.T) {
 	eng := sim.New()
 	st := stats.NewSet()
-	issue := func(block uint64, write bool, level int, done func()) bool {
+	issue := func(block uint64, write bool, level int, done func(at sim.Time)) bool {
 		eng.After(sim.NS(30), func() {
 			if done != nil {
-				done()
+				done(eng.Now())
 			}
 		})
 		return true
@@ -198,7 +198,7 @@ func TestOverflowEngineRetriesOnFullQueue(t *testing.T) {
 	st := stats.NewSet()
 	rejections := 3
 	completed := 0
-	issue := func(block uint64, write bool, level int, done func()) bool {
+	issue := func(block uint64, write bool, level int, done func(at sim.Time)) bool {
 		if rejections > 0 {
 			rejections--
 			return false
@@ -208,7 +208,7 @@ func TestOverflowEngineRetriesOnFullQueue(t *testing.T) {
 				completed++
 			}
 			if done != nil {
-				done()
+				done(eng.Now())
 			}
 		})
 		return true

@@ -8,8 +8,10 @@ import (
 
 // IssueFunc injects one 64 B overflow request toward DRAM. It reports false
 // when the target queue is full (the engine retries later). `done` fires
-// when the access completes.
-type IssueFunc func(block uint64, write bool, level int, done func()) bool
+// when the access completes, with the completion time — matching
+// dram.Request.Done so implementations can hand the callback straight to
+// the device without an adapter closure.
+type IssueFunc func(block uint64, write bool, level int, done func(at sim.Time)) bool
 
 // OverflowEngine paces split-counter overflow re-encryption per Sec. V: at
 // most `maxLive` overflows proceed concurrently (a writeback that would
@@ -78,8 +80,10 @@ func (e *OverflowEngine) Pump() {
 			return
 		}
 		blk := job.next
-		if !e.issue(blk, false, job.level, func() { e.readDone(job, blk) }) {
-			e.retry(e.Pump)
+		if !e.issue(blk, false, job.level, func(sim.Time) { e.readDone(job, blk) }) {
+			// Prebound retry: the pump re-arms itself without building a
+			// method-value closure each time the queues run hot.
+			e.eng.AfterCall(sim.NS(100), overflowPumpCB, e)
 			return
 		}
 		job.next++
@@ -98,7 +102,7 @@ func (e *OverflowEngine) Pump() {
 // readDone chains the write half for a re-encrypted block, keeping the
 // read's slot held until the write completes.
 func (e *OverflowEngine) readDone(job *overflowJob, blk uint64) {
-	if !e.issue(blk, true, job.level, func() { e.writeDone(job) }) {
+	if !e.issue(blk, true, job.level, func(sim.Time) { e.writeDone(job) }) {
 		e.retry(func() { e.readDone(job, blk) })
 		return
 	}
@@ -147,3 +151,6 @@ func (e *OverflowEngine) nextJob() *overflowJob {
 func (e *OverflowEngine) retry(fn func()) {
 	e.eng.After(sim.NS(100), fn)
 }
+
+// overflowPumpCB is the prebound form of OverflowEngine.Pump.
+func overflowPumpCB(x any) { x.(*OverflowEngine).Pump() }

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// legacyEngine replicates the pre-overhaul scheduler (container/heap over
+// interface{}-boxed events with closure callbacks) so the overhaul's
+// speedup is measurable inside one binary. cmd/bench records both sides
+// into BENCH_5.json.
+
+// legacyEv is the original event shape: timestamp, tie-break, closure.
+type legacyEv struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type legacyHeapFn []legacyEv
+
+func (h legacyHeapFn) Len() int { return len(h) }
+func (h legacyHeapFn) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h legacyHeapFn) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *legacyHeapFn) Push(x interface{}) { *h = append(*h, x.(legacyEv)) }
+func (h *legacyHeapFn) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type legacyEngine struct {
+	now    Time
+	seq    uint64
+	events legacyHeapFn
+}
+
+func (e *legacyEngine) At(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, legacyEv{at: t, seq: e.seq, fn: fn})
+}
+
+func (e *legacyEngine) step() {
+	ev := heap.Pop(&e.events).(legacyEv)
+	e.now = ev.at
+	ev.fn()
+}
+
+func (e *legacyEngine) run() {
+	for len(e.events) > 0 {
+		e.step()
+	}
+}
+
+// BenchmarkLegacyEngineTick is the pre-overhaul self-rescheduling tick.
+func BenchmarkLegacyEngineTick(b *testing.B) {
+	b.ReportAllocs()
+	e := &legacyEngine{}
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.At(e.now+100, tick)
+		}
+	}
+	e.At(100, tick)
+	e.run()
+}
+
+// BenchmarkLegacyEngineMixedQueue is the pre-overhaul equivalent of
+// BenchmarkEngineMixedQueue: a rolling 1024-deep queue.
+func BenchmarkLegacyEngineMixedQueue(b *testing.B) {
+	b.ReportAllocs()
+	e := &legacyEngine{}
+	fn := func() {}
+	r := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 1024; i++ {
+		r = r*6364136223846793005 + 1
+		e.At(Time(r%4096), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = r*6364136223846793005 + 1
+		e.At(e.now+Time(r%4096)+1, fn)
+		e.step()
+	}
+}

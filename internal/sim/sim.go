@@ -2,14 +2,14 @@
 // every timing model in this repository.
 //
 // The engine keeps a monotonically increasing clock in integer picoseconds
-// and a binary heap of pending events. Components schedule closures with
-// At/After; Run drains the heap in timestamp order (FIFO among equal
-// timestamps, which keeps simulations deterministic).
+// and a four-ary min-heap of pending events (queue.go). Components
+// schedule closures with At/After, or — on hot paths — prebound callbacks
+// with AtCall/AfterCall, which allocate nothing in steady state. Run
+// drains the heap in timestamp order (FIFO among equal timestamps, which
+// keeps simulations deterministic).
 package sim
 
 import (
-	"container/heap"
-
 	"repro/internal/inv"
 )
 
@@ -39,38 +39,13 @@ func NS(ns float64) Time {
 // Nanoseconds reports t as a float64 nanosecond count.
 func (t Time) Nanoseconds() float64 { return float64(t) / 1000 }
 
-type event struct {
-	at  Time
-	seq uint64 // tie-break so equal-time events run in schedule order
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	steps  uint64
+	now   Time
+	seq   uint64
+	q     eventQueue
+	steps uint64
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -84,25 +59,48 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending reports the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently reorder causality, which is always a modelling bug.
+//
+// The closure form allocates (the closure itself); recurring events on hot
+// paths should use AtCall/AfterCall with a prebound callback instead.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.q.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtCall schedules fn(arg) to run at absolute time t. With fn a
+// package-level function (or any func value that outlives the schedule)
+// and arg a pointer, the call allocates nothing: the event is written
+// directly into the queue's backing array and the pointer rides in the
+// interface word. This is the steady-state form for the simulators'
+// recurring events (core issue ticks, cache wakeups, DRAM scheduling).
+// Scheduling in the past panics, as with At.
+func (e *Engine) AtCall(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.q.push(event{at: t, seq: e.seq, call: fn, arg: arg})
 }
 
 // After schedules fn to run d picoseconds from now. Negative delays panic.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// AfterCall schedules fn(arg) to run d picoseconds from now; the
+// allocation-free companion of After (see AtCall). Negative delays panic.
+func (e *Engine) AfterCall(d Time, fn func(any), arg any) { e.AtCall(e.now+d, fn, arg) }
+
 // Every invokes fn(now) each period, starting one period from now, for as
-// long as other work remains scheduled. The tick re-arms only when the heap
-// still holds at least one other event after it pops, so a periodic sampler
-// never keeps Run from terminating once the simulation proper has drained.
+// long as other work remains scheduled. The tick re-arms only when the
+// engine still holds at least one other pending event after it pops, so a
+// periodic sampler never keeps Run from terminating once the simulation
+// proper has drained.
 func (e *Engine) Every(period Time, fn func(now Time)) {
 	if period <= 0 {
 		panic("sim: Every needs a positive period")
@@ -110,7 +108,7 @@ func (e *Engine) Every(period Time, fn func(now Time)) {
 	var tick func()
 	tick = func() {
 		fn(e.now)
-		if len(e.events) > 0 {
+		if e.Pending() > 0 {
 			e.After(period, tick)
 		}
 	}
@@ -119,7 +117,7 @@ func (e *Engine) Every(period Time, fn func(now Time)) {
 
 // Run executes events until none remain.
 func (e *Engine) Run() {
-	for len(e.events) > 0 {
+	for e.q.len() > 0 {
 		e.step()
 	}
 }
@@ -127,7 +125,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for e.q.len() > 0 && e.peek().at <= t {
 		e.step()
 	}
 	if e.now < t {
@@ -138,12 +136,21 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor executes events for d picoseconds of simulated time from now.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
+// peek is the single seam through which the run loops inspect the next
+// event; the queue implementation can change behind it. Callers must
+// check Pending() > 0 first.
+func (e *Engine) peek() *event { return e.q.peek() }
+
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(event)
+	ev := e.q.pop()
 	if inv.On() && ev.at < e.now {
 		inv.Failf("sim", "clock moved backwards: event at %d ps popped at now=%d ps", ev.at, e.now)
 	}
 	e.now = ev.at
 	e.steps++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.call(ev.arg)
+	}
 }

@@ -13,8 +13,15 @@ import (
 )
 
 // Set is a named bag of metrics. The zero value is not usable; call NewSet.
+//
+// Counters are stored as heap cells (map[string]*int64) so hot paths can
+// bind a cell once with CounterRef and bump it with a single pointer
+// dereference instead of a map lookup per event; AccumRef does the same
+// for accumulators. Cells bound by refs but never moved off zero are
+// invisible to Snapshot/Names/Dump, so eager binding never perturbs
+// golden output.
 type Set struct {
-	counters map[string]int64
+	counters map[string]*int64
 	accums   map[string]*Accumulator
 	hists    map[string]*Histogram
 	prov     map[string]string
@@ -23,7 +30,7 @@ type Set struct {
 // NewSet returns an empty metric set.
 func NewSet() *Set {
 	return &Set{
-		counters: make(map[string]int64),
+		counters: make(map[string]*int64),
 		accums:   make(map[string]*Accumulator),
 		hists:    make(map[string]*Histogram),
 	}
@@ -31,9 +38,11 @@ func NewSet() *Set {
 
 // Reset clears every metric while keeping the set's identity, so
 // components holding the pointer keep recording. Used at the
-// warmup-to-measurement boundary.
+// warmup-to-measurement boundary. Cells handed out by CounterRef/AccumRef
+// before a Reset go stale (they keep counting into the discarded
+// generation); components caching refs must re-bind after Reset.
 func (s *Set) Reset() {
-	s.counters = make(map[string]int64)
+	s.counters = make(map[string]*int64)
 	s.accums = make(map[string]*Accumulator)
 	s.hists = make(map[string]*Histogram)
 }
@@ -44,22 +53,45 @@ func (s *Set) Reset() {
 func (s *Set) SetProvenance(m map[string]string) { s.prov = m }
 
 // Add increments the named counter by delta.
-func (s *Set) Add(name string, delta int64) { s.counters[name] += delta }
+func (s *Set) Add(name string, delta int64) { *s.CounterRef(name) += delta }
 
 // Inc increments the named counter by one.
-func (s *Set) Inc(name string) { s.counters[name]++ }
+func (s *Set) Inc(name string) { *s.CounterRef(name)++ }
 
 // Counter reports the value of the named counter (zero if never touched).
-func (s *Set) Counter(name string) int64 { return s.counters[name] }
+func (s *Set) Counter(name string) int64 {
+	if c := s.counters[name]; c != nil {
+		return *c
+	}
+	return 0
+}
+
+// CounterRef returns the named counter's cell, creating it at zero. Hot
+// paths bind the cell once and bump through the pointer; the cell is valid
+// until the next Reset.
+func (s *Set) CounterRef(name string) *int64 {
+	c := s.counters[name]
+	if c == nil {
+		c = new(int64)
+		s.counters[name] = c
+	}
+	return c
+}
 
 // Observe records a sample into the named accumulator.
-func (s *Set) Observe(name string, v float64) {
+func (s *Set) Observe(name string, v float64) { s.AccumRef(name).Observe(v) }
+
+// AccumRef returns the named accumulator, creating an empty one. Hot paths
+// bind it once and Observe through the pointer; it is valid until the next
+// Reset. An accumulator that never receives a sample stays invisible to
+// Snapshot and Names.
+func (s *Set) AccumRef(name string) *Accumulator {
 	a := s.accums[name]
 	if a == nil {
 		a = &Accumulator{Min: math.Inf(1), Max: math.Inf(-1)}
 		s.accums[name] = a
 	}
-	a.Observe(v)
+	return a
 }
 
 // Accum returns the named accumulator, or an empty one if never observed.
@@ -82,16 +114,24 @@ func (s *Set) Hist(name string, lo, width float64, n int) *Histogram {
 }
 
 // Names reports every metric name present, sorted, for debug dumps.
+// Ref-bound cells that never recorded anything are omitted, matching
+// Snapshot.
 func (s *Set) Names() []string {
 	var names []string
-	for k := range s.counters {
-		names = append(names, "counter/"+k)
+	for k, c := range s.counters {
+		if *c != 0 {
+			names = append(names, "counter/"+k)
+		}
 	}
-	for k := range s.accums {
-		names = append(names, "accum/"+k)
+	for k, a := range s.accums {
+		if a.Count != 0 {
+			names = append(names, "accum/"+k)
+		}
 	}
-	for k := range s.hists {
-		names = append(names, "hist/"+k)
+	for k, h := range s.hists {
+		if h.total != 0 {
+			names = append(names, "hist/"+k)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -279,11 +319,19 @@ func (s *Set) Snapshot() Snapshot {
 		Counters: make(map[string]int64, len(s.counters)),
 		Accums:   make(map[string]AccumSummary, len(s.accums)),
 	}
+	// Zero-valued cells exist only through CounterRef/AccumRef binding;
+	// no recording path leaves a zero behind, so skipping them keeps
+	// snapshots byte-identical to the pre-ref world (and keeps the ±Inf
+	// sentinels of an unobserved accumulator out of the JSON).
 	for k, v := range s.counters {
-		snap.Counters[k] = v
+		if *v != 0 {
+			snap.Counters[k] = *v
+		}
 	}
 	for k, a := range s.accums {
-		snap.Accums[k] = AccumSummary{Count: a.Count, Mean: a.Mean(), Min: a.Min, Max: a.Max}
+		if a.Count != 0 {
+			snap.Accums[k] = AccumSummary{Count: a.Count, Mean: a.Mean(), Min: a.Min, Max: a.Max}
+		}
 	}
 	if s.prov != nil {
 		snap.Provenance = make(map[string]string, len(s.prov))

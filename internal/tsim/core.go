@@ -32,7 +32,8 @@ type core struct {
 
 	refsLeft int64
 	instrs   int64 // retired instructions (memory + non-memory)
-	stash    *workload.Access
+	stash    workload.Access
+	stashed  bool
 
 	clock       sim.Time // front-end dispatch clock
 	outstanding int      // misses in flight (loads + store fills)
@@ -46,6 +47,27 @@ type core struct {
 
 	cycle      sim.Time
 	issueWidth int64
+
+	// freeMiss is the coreMiss freelist: one entry per L1 miss rides the
+	// hierarchy and returns here on completion, so steady-state misses
+	// allocate nothing.
+	freeMiss *coreMiss
+
+	// Cached stats cells (bound after warmup reset; see Sim.bindHot).
+	cLoad, cStore *int64
+}
+
+// coreMiss carries one L1 miss (load or store fill) through the L2. It is
+// the scheduling argument for the L1->L2 handoff event and the waiter the
+// L2 completes, replacing the two closures the old path allocated per
+// miss.
+type coreMiss struct {
+	c     *core
+	block uint64
+	idx   int64 // instruction index (loads)
+	store bool
+	tr    *obs.Req
+	next  *coreMiss // freelist link
 }
 
 func newCore(s *Sim, id int, gen workload.Generator, refs int64) *core {
@@ -62,23 +84,69 @@ func newCore(s *Sim, id int, gen workload.Generator, refs int64) *core {
 	}
 }
 
-func (c *core) start() { c.s.eng.At(0, c.step) }
+func (c *core) bindHot() {
+	c.cLoad = c.s.st.CounterRef(stats.TsimLoad)
+	c.cStore = c.s.st.CounterRef(stats.TsimStore)
+}
+
+func (c *core) getMiss() *coreMiss {
+	m := c.freeMiss
+	if m == nil {
+		return &coreMiss{c: c}
+	}
+	c.freeMiss = m.next
+	m.next = nil
+	return m
+}
+
+func (c *core) putMiss(m *coreMiss) {
+	m.tr = nil
+	m.next = c.freeMiss
+	c.freeMiss = m
+}
+
+// coreStep re-enters the dispatch loop; the prebound form of c.step.
+func coreStep(x any) { x.(*core).step() }
+
+// coreMissEnter hands a stashed L1 miss to the core's L2 at the time the
+// L1 lookup completes.
+func coreMissEnter(x any) {
+	m := x.(*coreMiss)
+	m.c.s.l2s[m.c.id].read(m.block, m.store, m.tr, m)
+}
+
+// complete implements waiter: the block is decrypted, verified and
+// resident in L2.
+func (m *coreMiss) complete(at sim.Time) {
+	c := m.c
+	m.tr.Finish(at)
+	if m.store {
+		c.outstanding--
+		c.fillL1(m.block, true)
+		c.resume()
+	} else {
+		c.loadDone(m.idx, m.block, at)
+	}
+	c.putMiss(m)
+}
+
+func (c *core) start() { c.s.eng.AtCall(0, coreStep, c) }
 
 // step dispatches instructions until a structural stall (ROB, MSHR,
 // dependence) or the end of the stream. It re-arms from completion events.
 func (c *core) step() {
 	c.waiting = false
 	for {
-		if c.stash == nil {
+		if !c.stashed {
 			if c.refsLeft <= 0 {
 				c.done = true
 				return
 			}
-			a := c.gen.Next()
+			c.stash = c.gen.Next()
 			c.refsLeft--
-			c.stash = &a
+			c.stashed = true
 		}
-		a := *c.stash
+		a := c.stash
 		// Structural gates; any stall keeps the access stashed and
 		// waits for a completion to re-arm the loop.
 		if c.outstanding >= c.s.cfg.L1MSHRs {
@@ -97,7 +165,7 @@ func (c *core) step() {
 
 		// Commit dispatch. The memory instruction occupies a dispatch
 		// slot alongside its non-memory batch.
-		c.stash = nil
+		c.stashed = false
 		batchCycles := (int64(a.NonMem) + 1 + c.issueWidth - 1) / c.issueWidth
 		c.clock += sim.Time(batchCycles) * c.cycle
 		c.instrs = nextInstr
@@ -120,7 +188,7 @@ func (c *core) issueMem(a workload.Access) {
 	idx := c.instrs
 
 	if a.Write {
-		c.s.st.Inc(stats.TsimStore)
+		*c.cStore++
 		done := t + c.l1Lat
 		c.retireAt(done)
 		c.lastMemDone, c.lastMemPend, c.lastMemIdx = done, false, idx
@@ -132,18 +200,13 @@ func (c *core) issueMem(a workload.Access) {
 		c.outstanding++
 		rt := c.s.trc.StartReq(c.id, block, true, t)
 		rt.AddSpan(obs.SegL1, t, done)
-		c.s.at(done, func() {
-			c.s.l2s[c.id].read(block, true, rt, func(at sim.Time) {
-				rt.Finish(at)
-				c.outstanding--
-				c.fillL1(block, true)
-				c.resume()
-			})
-		})
+		m := c.getMiss()
+		m.block, m.idx, m.store, m.tr = block, idx, true, rt
+		c.s.atCall(done, coreMissEnter, m)
 		return
 	}
 
-	c.s.st.Inc(stats.TsimLoad)
+	*c.cLoad++
 	if c.l1.Lookup(block) {
 		done := t + c.l1Lat
 		c.retireAt(done)
@@ -156,12 +219,9 @@ func (c *core) issueMem(a workload.Access) {
 	c.lastMemPend, c.lastMemIdx = true, idx
 	rt := c.s.trc.StartReq(c.id, block, false, t)
 	rt.AddSpan(obs.SegL1, t, t+c.l1Lat)
-	c.s.at(t+c.l1Lat, func() {
-		c.s.l2s[c.id].read(block, false, rt, func(at sim.Time) {
-			rt.Finish(at)
-			c.loadDone(idx, block, at)
-		})
-	})
+	m := c.getMiss()
+	m.block, m.idx, m.store, m.tr = block, idx, false, rt
+	c.s.atCall(t+c.l1Lat, coreMissEnter, m)
 }
 
 // loadDone retires a returning load and releases stalled dispatch.
@@ -187,7 +247,7 @@ func (c *core) loadDone(instrIdx int64, block uint64, at sim.Time) {
 func (c *core) resume() {
 	if c.waiting {
 		c.waiting = false
-		c.s.eng.After(0, c.step)
+		c.s.eng.AfterCall(0, coreStep, c)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/emcc"
+	"repro/internal/inv"
 	"repro/internal/mc"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -14,16 +15,35 @@ import (
 	"repro/internal/stats"
 )
 
+// waiter is anything blocked on an L2 read: the L2 calls complete exactly
+// once, when the block is decrypted, verified and resident. Using an
+// interface instead of a `func(at)` keeps the handoff allocation-free —
+// the caller passes a pooled struct it already owns (e.g. coreMiss).
+type waiter interface {
+	complete(at sim.Time)
+}
+
 // readReq tracks one L2 miss through the hierarchy, including the EMCC
 // cryptography state of Sec. IV: where the counter was found, whether the
 // offload decision bit is set, and how the response (plaintext from LLC,
 // tagged-verified from MC, or ciphertext + MAC⊕dot to finish at L2) lands.
+// It doubles as the L2 MSHR entry: waiters holds every merged requester.
+//
+// readReqs are pooled per-l2Ctl. Every scheduled event or registry entry
+// that references the request counts as one hold (schedReq / holdReq);
+// release drops a hold, and the request returns to the freelist only once
+// it has completed and the last hold is gone — so stale events (which
+// no-op on the completed flag) can never observe a recycled request.
 type readReq struct {
 	block   uint64
 	isStore bool
 	l2      *l2Ctl
 	missAt  sim.Time // L2 miss detection time (Fig 17 latency origin)
 	tr      *obs.Req // trace context; nil when untraced (prefetches, tracing off)
+
+	waiters []waiter // requesters woken at finish; empty for prefetches
+	holds   int32    // outstanding event/registry references
+	free    *readReq // freelist link
 
 	offload   bool // decision bit: AES queue pressure at miss time
 	completed bool
@@ -38,6 +58,23 @@ type readReq struct {
 	aesDone    sim.Time
 	cipherHere bool // untagged ciphertext response arrived at L2
 	cipherAt   sim.Time
+	finishAt   sim.Time // scheduled completion time (cipher-finish path)
+}
+
+// holdReq takes one reference for an event or registry entry about to be
+// created; every hold is balanced by exactly one release.
+func (r *readReq) holdReq() { r.holds++ }
+
+// release drops one hold; the last release after completion recycles the
+// request.
+func (r *readReq) release() {
+	r.holds--
+	if inv.On() && r.holds < 0 {
+		inv.Failf("tsim", "readReq for block %#x over-released", r.block)
+	}
+	if r.holds == 0 && r.completed {
+		r.l2.putReq(r)
+	}
 }
 
 // l2Ctl is the per-core L2 cache controller. Under EMCC it also hosts a
@@ -49,17 +86,19 @@ type l2Ctl struct {
 	c    *cache.Cache
 	lat  sim.Time
 	aes  *mc.AESPool // nil unless EMCC moves AES bandwidth here
-	pend map[uint64]*l2Mshr
+	pend map[uint64]*readReq
+	// freeReq is the readReq freelist; see the readReq doc comment.
+	freeReq *readReq
 	// monitor, when non-nil, is the Sec. IV-F intensity monitor that
 	// dynamically turns EMCC off for non-memory-intensive phases.
 	monitor *emcc.IntensityMonitor
 	// pf, when non-nil, is the Table I constant-stride prefetcher.
 	pf *prefetch.Prefetcher
-}
 
-type l2Mshr struct {
-	req     *readReq
-	waiters []func(at sim.Time)
+	// Cached stats cells (bound after warmup reset; see Sim.bindHot).
+	cDataMiss *int64
+	cPrefetch *int64
+	aMissLat  *stats.Accumulator
 }
 
 func newL2Ctl(s *Sim, id int) *l2Ctl {
@@ -69,7 +108,7 @@ func newL2Ctl(s *Sim, id int) *l2Ctl {
 		tile: s.mesh.CoreTile(id),
 		c:    cache.New(fmt.Sprintf("l2.%d", id), s.cfg.L2Bytes, s.cfg.L2Ways),
 		lat:  s.cfg.L2Latency,
-		pend: make(map[uint64]*l2Mshr),
+		pend: make(map[uint64]*readReq),
 	}
 	if s.cfg.EMCC && s.cfg.EMCCAESFraction > 0 {
 		perL2 := s.cfg.AESPeakOpsPerSec * s.cfg.EMCCAESFraction / float64(s.opt.Cores)
@@ -85,33 +124,151 @@ func newL2Ctl(s *Sim, id int) *l2Ctl {
 	return l
 }
 
-// read serves an L1 miss (load or store fill). done fires when the block is
-// decrypted, verified and resident in L2. tr is the request's trace
-// context (nil when untraced).
-func (l *l2Ctl) read(block uint64, isStore bool, tr *obs.Req, done func(at sim.Time)) {
+func (l *l2Ctl) bindHot() {
+	l.cDataMiss = l.s.st.CounterRef(stats.TsimL2DataMiss)
+	l.cPrefetch = l.s.st.CounterRef(stats.TsimL2Prefetch)
+	l.aMissLat = l.s.st.AccumRef(stats.TsimL2ReadMissLatencyNS)
+}
+
+func (l *l2Ctl) getReq() *readReq {
+	r := l.freeReq
+	if r == nil {
+		return &readReq{l2: l}
+	}
+	l.freeReq = r.free
+	w := r.waiters[:0]
+	*r = readReq{l2: l, waiters: w}
+	return r
+}
+
+func (l *l2Ctl) putReq(r *readReq) {
+	for i := range r.waiters {
+		r.waiters[i] = nil
+	}
+	r.waiters = r.waiters[:0]
+	r.tr = nil
+	r.free = l.freeReq
+	l.freeReq = r
+}
+
+// ---- Prebound event callbacks (see sim.AtCall) ----
+//
+// Each callback re-derives any routing values (counter block, home slice,
+// MC tile) from the request: those are pure functions of the address, so
+// recomputing them at fire time is exact. Every callback ends by releasing
+// the hold its schedReq took.
+
+func missPathCB(x any) {
+	req := x.(*readReq)
+	req.l2.missPath(req)
+	req.release()
+}
+
+func counterProbeCB(x any) {
+	req := x.(*readReq)
+	req.l2.counterProbe(req)
+	req.release()
+}
+
+func llcDataAccessCB(x any) {
+	req := x.(*readReq)
+	s := req.l2.s
+	s.llc.dataAccess(req, s.mesh.SliceOf(req.block))
+	req.release()
+}
+
+func mcDataReadSpecCB(x any) {
+	req := x.(*readReq)
+	req.l2.s.mc.dataRead(req, false)
+	req.release()
+}
+
+func mcDataReadConfCB(x any) {
+	req := x.(*readReq)
+	req.l2.s.mc.dataRead(req, true)
+	req.release()
+}
+
+func llcCounterAccessCB(x any) {
+	req := x.(*readReq)
+	s := req.l2.s
+	cb := s.mc.home.CounterBlockOf(req.block)
+	s.llc.counterAccessFromL2(req, cb, s.mesh.SliceOf(cb))
+	req.release()
+}
+
+func counterArrivedCB(x any) {
+	req := x.(*readReq)
+	req.l2.counterArrived(req, req.l2.s.mc.home.CounterBlockOf(req.block))
+	req.release()
+}
+
+func counterMissCB(x any) {
+	req := x.(*readReq)
+	req.l2.s.mc.counterMissFromL2(req, req.l2.s.mc.home.CounterBlockOf(req.block))
+	req.release()
+}
+
+func aesStartCB(x any) {
+	req := x.(*readReq)
+	req.l2.aesStart(req)
+	req.release()
+}
+
+func finishCipherCB(x any) {
+	req := x.(*readReq)
+	req.l2.finish(req, req.finishAt)
+	req.release()
+}
+
+func completePlainLocalCB(x any) {
+	req := x.(*readReq)
+	req.l2.completePlain(req, false)
+	req.release()
+}
+
+func completePlainMCCB(x any) {
+	req := x.(*readReq)
+	req.l2.completePlain(req, true)
+	req.release()
+}
+
+func cipherArrivedCB(x any) {
+	req := x.(*readReq)
+	req.l2.cipherArrived(req)
+	req.release()
+}
+
+// read serves an L1 miss (load or store fill). w.complete fires when the
+// block is decrypted, verified and resident in L2. tr is the request's
+// trace context (nil when untraced).
+func (l *l2Ctl) read(block uint64, isStore bool, tr *obs.Req, w waiter) {
 	t := l.s.eng.Now()
 	if l.monitor != nil {
 		l.monitor.OnRequest()
 	}
 	if l.c.Lookup(block) {
 		tr.AddSpan(obs.SegL2Lookup, t, t+l.lat)
-		done(t + l.lat)
+		w.complete(t + l.lat)
 		return
 	}
-	if m := l.pend[block]; m != nil {
+	if r := l.pend[block]; r != nil {
 		// The merged request rides the primary miss: it keeps its own L1
 		// span and total latency, but the segment breakdown belongs to
 		// the miss that launched the path.
 		tr.MarkMerged()
-		m.waiters = append(m.waiters, done)
+		r.waiters = append(r.waiters, w)
 		return
 	}
 	tM := t + l.lat
 	tr.AddSpan(obs.SegL2Lookup, t, tM)
-	req := &readReq{block: block, isStore: isStore, l2: l, missAt: tM, tr: tr}
-	l.pend[block] = &l2Mshr{req: req, waiters: []func(at sim.Time){done}}
-	l.s.st.Inc(stats.TsimL2DataMiss)
-	l.s.at(tM, func() { l.missPath(req) })
+	req := l.getReq()
+	req.block, req.isStore, req.missAt, req.tr = block, isStore, tM, tr
+	req.waiters = append(req.waiters, w)
+	req.holdReq() // MSHR registration; released in finish
+	l.pend[block] = req
+	*l.cDataMiss++
+	l.s.schedReq(tM, missPathCB, req)
 	// Demand misses train the stride prefetcher; candidates fetch in the
 	// background through the same secure-read machinery.
 	if l.pf != nil {
@@ -129,10 +286,12 @@ func (l *l2Ctl) prefetchInto(block uint64) {
 	}
 	t := l.s.eng.Now()
 	tM := t + l.lat
-	req := &readReq{block: block, isStore: false, l2: l, missAt: tM}
-	l.pend[block] = &l2Mshr{req: req}
-	l.s.st.Inc(stats.TsimL2Prefetch)
-	l.s.at(tM, func() { l.missPath(req) })
+	req := l.getReq()
+	req.block, req.missAt = block, tM
+	req.holdReq() // MSHR registration; released in finish
+	l.pend[block] = req
+	*l.cPrefetch++
+	l.s.schedReq(tM, missPathCB, req)
 }
 
 // missPath launches the parallel data and (under EMCC) counter requests.
@@ -150,7 +309,7 @@ func (l *l2Ctl) missPath(req *readReq) {
 			s.st.Inc(stats.EmccOffloadQueue)
 		}
 		// Serial counter lookup in L2 during spare cycles ('J').
-		s.at(tM+s.pol.LookupDelay, func() { l.counterProbe(req) })
+		s.schedReq(tM+s.pol.LookupDelay, counterProbeCB, req)
 	} else if s.cfg.EMCC && s.secure() {
 		// Dynamic EMCC-off (Sec. IV-F): all cryptography at the MC.
 		req.offload = true
@@ -160,13 +319,13 @@ func (l *l2Ctl) missPath(req *readReq) {
 	// Data request to the block's LLC slice.
 	slice := s.mesh.SliceOf(req.block)
 	req.tr.AddSpan(obs.SegNoCReq, tM, tM+s.oneway(l.tile, slice))
-	s.at(tM+s.oneway(l.tile, slice), func() { s.llc.dataAccess(req, slice) })
+	s.schedReq(tM+s.oneway(l.tile, slice), llcDataAccessCB, req)
 
 	// XPT LLC-miss prediction: forward the miss straight to the MC in
 	// parallel (idealised: only when the block really misses in LLC).
 	if s.cfg.XPT && !s.llc.c.Peek(req.block) {
 		mcTile := s.mesh.MCTile(s.mesh.MCOf(req.block))
-		s.at(tM+s.oneway(l.tile, mcTile), func() { s.mc.dataRead(req, false) })
+		s.schedReq(tM+s.oneway(l.tile, mcTile), mcDataReadSpecCB, req)
 	}
 }
 
@@ -194,7 +353,7 @@ func (l *l2Ctl) counterProbe(req *readReq) {
 	s.st.Inc(stats.EmccSpecFetch)
 	req.tr.Begin(obs.SegCtrFetch, t)
 	slice := s.mesh.SliceOf(cb)
-	s.at(t+s.oneway(l.tile, slice), func() { s.llc.counterAccessFromL2(req, cb, slice) })
+	s.schedReq(t+s.oneway(l.tile, slice), llcCounterAccessCB, req)
 }
 
 // counterArrived delivers a verified counter block to L2 (from LLC or,
@@ -247,18 +406,22 @@ func (l *l2Ctl) maybeStartAES(req *readReq) {
 	if gate := req.missAt + s.pol.LLCHitWait; gate > start {
 		start = gate
 	}
-	s.at(start, func() {
-		if req.completed {
-			req.aesStarted = false // never reserved; nothing wasted
-			return
-		}
-		req.aesKnown = true
-		req.aesDone = l.aes.Reserve(emcc.AESOpsPerRead, s.eng.Now())
-		issue := req.aesDone - l.aes.Latency()
-		req.tr.AddSpan(obs.SegAESQueue, s.eng.Now(), issue)
-		req.tr.AddSpan(obs.SegAESCompute, issue, req.aesDone)
-		l.maybeFinishCipher(req)
-	})
+	s.schedReq(start, aesStartCB, req)
+}
+
+// aesStart reserves local AES bandwidth at the gated start time.
+func (l *l2Ctl) aesStart(req *readReq) {
+	s := l.s
+	if req.completed {
+		req.aesStarted = false // never reserved; nothing wasted
+		return
+	}
+	req.aesKnown = true
+	req.aesDone = l.aes.Reserve(emcc.AESOpsPerRead, s.eng.Now())
+	issue := req.aesDone - l.aes.Latency()
+	req.tr.AddSpan(obs.SegAESQueue, s.eng.Now(), issue)
+	req.tr.AddSpan(obs.SegAESCompute, issue, req.aesDone)
+	l.maybeFinishCipher(req)
 }
 
 // completePlain finishes a request whose data came decrypted: an LLC hit
@@ -302,7 +465,8 @@ func (l *l2Ctl) maybeFinishCipher(req *readReq) {
 	req.tr.MarkDecrypt(obs.DecAtL2, req.cipherAt, at)
 	at += sim.NS(1)
 	l.s.st.Inc(stats.EmccDecryptAtL2)
-	l.s.at(at, func() { l.finish(req, at) })
+	req.finishAt = at
+	l.s.schedReq(at, finishCipherCB, req)
 }
 
 // finish inserts the block, wakes waiters and retires the MSHR.
@@ -312,17 +476,16 @@ func (l *l2Ctl) finish(req *readReq, at sim.Time) {
 	}
 	req.completed = true
 	l.fill(req.block, false, at)
-	m := l.pend[req.block]
-	delete(l.pend, req.block)
-	if m == nil {
-		return
+	if l.pend[req.block] == req {
+		delete(l.pend, req.block)
 	}
-	if !req.isStore && len(m.waiters) > 0 {
-		l.s.st.Observe(stats.TsimL2ReadMissLatencyNS, (at - req.missAt).Nanoseconds())
+	if !req.isStore && len(req.waiters) > 0 {
+		l.aMissLat.Observe((at - req.missAt).Nanoseconds())
 	}
-	for _, w := range m.waiters {
-		w(at)
+	for _, w := range req.waiters {
+		w.complete(at)
 	}
+	req.release() // the MSHR registration hold
 }
 
 // fill inserts a data block into L2, spilling the victim into the LLC.

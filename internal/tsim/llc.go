@@ -41,7 +41,7 @@ func (g *llcCtl) dataAccess(req *readReq, slice noc.NodeID) {
 		req.tr.AddSpan(obs.SegLLCProbe, t, t+g.tagLat+g.dataLat)
 		arr := t + g.tagLat + g.dataLat + s.oneway(slice, req.l2.tile)
 		req.tr.AddSpan(obs.SegNoCResp, t+g.tagLat+g.dataLat, arr)
-		s.at(arr, func() { req.l2.completePlain(req, false) })
+		s.schedReq(arr, completePlainLocalCB, req)
 		return
 	}
 	s.st.Inc(stats.TsimLLCDataMiss)
@@ -54,7 +54,7 @@ func (g *llcCtl) dataAccess(req *readReq, slice noc.NodeID) {
 	}
 	mcTile := s.mesh.MCTile(s.mesh.MCOf(req.block))
 	req.tr.AddSpan(obs.SegNoCToMC, t+g.tagLat, t+g.tagLat+s.oneway(slice, mcTile))
-	s.at(t+g.tagLat+s.oneway(slice, mcTile), func() { s.mc.dataRead(req, true) })
+	s.schedReq(t+g.tagLat+s.oneway(slice, mcTile), mcDataReadConfCB, req)
 }
 
 // counterAccessFromL2 serves EMCC's speculative parallel counter fetch.
@@ -73,13 +73,13 @@ func (g *llcCtl) counterAccessFromL2(req *readReq, cb uint64, slice noc.NodeID) 
 		s.st.Inc(stats.TsimCtrSpecLLCHit)
 		req.tr.MarkCtr(obs.CtrAtLLC)
 		arr := t + g.tagLat + g.dataLat + g.payloadPen + s.oneway(slice, req.l2.tile)
-		s.at(arr, func() { req.l2.counterArrived(req, cb) })
+		s.schedReq(arr, counterArrivedCB, req)
 		return
 	}
 	s.st.Inc(stats.TsimCtrLLCMiss)
 	s.st.Inc(stats.TsimCtrSpecLLCMiss)
 	mcTile := s.mesh.MCTile(s.mesh.MCOf(cb))
-	s.at(t+g.tagLat+s.oneway(slice, mcTile), func() { s.mc.counterMissFromL2(req, cb) })
+	s.schedReq(t+g.tagLat+s.oneway(slice, mcTile), counterMissCB, req)
 }
 
 // metaAccessFromMC serves the baseline MC counter path: the MC, having

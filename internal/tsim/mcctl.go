@@ -107,12 +107,17 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 	if m.ovf != nil && m.ovf.Blocked() {
 		m.s.st.Inc(stats.TsimMCRejectedWhileBlocked)
 		req.tr.Begin(obs.SegMCQueue, m.s.eng.Now())
-		m.s.eng.After(sim.NS(200), func() { m.dataRead(req, confirmed) })
+		retry := mcDataReadSpecCB
+		if confirmed {
+			retry = mcDataReadConfCB
+		}
+		m.s.schedReq(m.s.eng.Now()+sim.NS(200), retry, req)
 		return
 	}
 	req.mcStarted = true
 
 	if p := m.pendData[req.block]; p != nil && !p.responded {
+		req.holdReq() // MSHR membership; the hold rides into the response event
 		p.reqs = append(p.reqs, req)
 		if m.reqNeedsMCCrypto(req) && !p.needCrypto {
 			p.needCrypto = true
@@ -124,6 +129,7 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 		}
 		return
 	}
+	req.holdReq() // MSHR membership; the hold rides into the response event
 	p := &mcDataPending{block: req.block, reqs: []*readReq{req}}
 	p.needCrypto = m.reqNeedsMCCrypto(req)
 	m.pendData[req.block] = p
@@ -234,23 +240,21 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		// and embed MAC⊕dot (Sec. IV-D).
 		leave = p.dataAt + sim.NS(1)
 	}
-	for _, req := range p.reqs {
-		r := req
+	// Each request's MSHR-membership hold transfers to its response
+	// arrival event, whose callback releases it.
+	arrival := cipherArrivedCB
+	switch {
+	case !m.s.secure():
+		arrival = completePlainLocalCB
+	case tagged:
+		arrival = completePlainMCCB
+	}
+	for _, r := range p.reqs {
 		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(p.block))
 		slice := m.s.mesh.SliceOf(p.block)
 		arr := leave + m.s.oneway(mcTile, slice) + m.s.oneway(slice, r.l2.tile)
 		r.tr.AddSpan(obs.SegNoCResp, leave, arr)
-		isTagged := tagged
-		m.s.at(arr, func() {
-			switch {
-			case !m.s.secure():
-				r.l2.completePlain(r, false)
-			case isTagged:
-				r.l2.completePlain(r, true)
-			default:
-				r.l2.cipherArrived(r)
-			}
-		})
+		m.s.atCall(arr, arrival, r)
 	}
 }
 
@@ -268,13 +272,16 @@ func (m *mcCtl) counterMissFromL2(req *readReq, cb uint64) {
 		m.startCounterPath(p)
 	}
 	// The request already missed in LLC on its way here; go straight to
-	// the counter cache and DRAM.
+	// the counter cache and DRAM. The metadata fetch's closure keeps a
+	// reference to req across an unbounded wait, so it takes a hold.
+	req.holdReq()
 	m.fetchMeta(cb, true, func(at sim.Time) {
 		m.s.llc.insert(cb, false, addr.KindCounter)
 		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(cb))
 		slice := m.s.mesh.SliceOf(cb)
 		arr := at + m.s.oneway(mcTile, slice) + m.s.oneway(slice, req.l2.tile)
-		m.s.at(arr, func() { req.l2.counterArrived(req, cb) })
+		m.s.schedReq(arr, counterArrivedCB, req)
+		req.release()
 	})
 }
 
@@ -445,28 +452,31 @@ func (m *mcCtl) invalidateL2Counters(cb uint64) {
 // retry time is attributed to SegMCQueue and the DRAM model attributes
 // queue/service time itself.
 func (m *mcCtl) enqueueDRAM(block uint64, write bool, kind dram.TrafficKind, ob *obs.Req, done func(at sim.Time)) {
-	r := &dram.Request{Block: block, Write: write, Kind: kind, Done: done, Obs: ob}
+	m.enqueueReq(m.s.dram.NewRequest(block, write, kind, done, ob))
+}
+
+// enqueueReq pushes one pooled request, re-using the same request across
+// queue-full retries.
+func (m *mcCtl) enqueueReq(r *dram.Request) {
 	if !m.s.dram.Enqueue(r) {
 		m.s.st.Inc(stats.TsimDRAMQueueFullRetry)
-		ob.Begin(obs.SegMCQueue, m.s.eng.Now())
-		m.s.eng.After(sim.NS(100), func() { m.enqueueDRAM(block, write, kind, ob, done) })
+		r.Obs.Begin(obs.SegMCQueue, m.s.eng.Now())
+		m.s.eng.After(sim.NS(100), func() { m.enqueueReq(r) })
 		return
 	}
-	ob.Commit(obs.SegMCQueue, m.s.eng.Now())
+	r.Obs.Commit(obs.SegMCQueue, m.s.eng.Now())
 }
 
 // issueOverflow injects one overflow re-encryption access, charging the AES
 // work for re-encrypting a block (decrypt 5 + encrypt 8) on its read.
-func (m *mcCtl) issueOverflow(block uint64, write bool, level int, done func()) bool {
+func (m *mcCtl) issueOverflow(block uint64, write bool, level int, done func(at sim.Time)) bool {
 	kind := dram.TrafficOverflowL0
 	if level > 0 {
 		kind = dram.TrafficOverflowHi
 	}
-	r := &dram.Request{Block: block, Write: write, Kind: kind}
-	if done != nil {
-		r.Done = func(at sim.Time) { done() }
-	}
+	r := m.s.dram.NewRequest(block, write, kind, done, nil)
 	if !m.s.dram.Enqueue(r) {
+		m.s.dram.Recycle(r)
 		return false
 	}
 	if !write {

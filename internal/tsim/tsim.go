@@ -131,7 +131,20 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 		s.l2s = append(s.l2s, l2)
 		s.cpus = append(s.cpus, newCore(s, c, gens[c], perCore))
 	}
+	s.bindHot()
 	return s, nil
+}
+
+// bindHot (re-)binds the cached stats cells the hot paths bump directly.
+// Called at construction (warmup's functional helpers share some keys) and
+// again after warm's stats Reset, which invalidates every cell.
+func (s *Sim) bindHot() {
+	for _, c := range s.cpus {
+		c.bindHot()
+	}
+	for _, l2 := range s.l2s {
+		l2.bindHot()
+	}
 }
 
 // Stats exposes collected metrics.
@@ -163,6 +176,9 @@ func (s *Sim) Engine() *sim.Engine { return s.eng }
 // summarises.
 func (s *Sim) Run() Result {
 	s.warm(s.opt.Warmup)
+	// warm resets the stats set at the measurement boundary, which strands
+	// every cached cell; re-bind before any timed event fires.
+	s.bindHot()
 	for _, c := range s.cpus {
 		c.start()
 	}
@@ -181,9 +197,9 @@ func (s *Sim) Run() Result {
 	var res Result
 	var lastRetire sim.Time
 	for _, c := range s.cpus {
-		if c.refsLeft > 0 || c.outstanding > 0 || c.stash != nil {
+		if c.refsLeft > 0 || c.outstanding > 0 || c.stashed {
 			panic(fmt.Sprintf("tsim: core %d stuck at drain (refsLeft=%d outstanding=%d stashed=%v) — lost completion",
-				c.id, c.refsLeft, c.outstanding, c.stash != nil))
+				c.id, c.refsLeft, c.outstanding, c.stashed))
 		}
 		res.Instructions += c.instrs
 		if c.lastRetire > lastRetire {
@@ -240,6 +256,21 @@ func (s *Sim) at(t sim.Time, fn func()) {
 		t = now
 	}
 	s.eng.At(t, fn)
+}
+
+// atCall is the allocation-free sibling of at for prebound callbacks.
+func (s *Sim) atCall(t sim.Time, fn func(any), arg any) {
+	if now := s.eng.Now(); t < now {
+		t = now
+	}
+	s.eng.AtCall(t, fn, arg)
+}
+
+// schedReq schedules a request-carrying event, taking the hold that the
+// callback's trailing release balances (see readReq).
+func (s *Sim) schedReq(t sim.Time, fn func(any), req *readReq) {
+	req.holdReq()
+	s.atCall(t, fn, req)
 }
 
 // secure reports whether a counter design is active.
