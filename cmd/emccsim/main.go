@@ -28,7 +28,7 @@ func main() {
 		mode     = flag.String("mode", "functional", "functional (Pintool-style counting) or timing (gem5-style)")
 		bench    = flag.String("bench", "canneal", "benchmark name; -list to enumerate")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
-		system   = flag.String("system", "morphable", "non-secure | sc64 | morphable | emcc | mono | <any>+nollc")
+		system   = flag.String("system", "morphable", "non-secure | sc64 | morphable | emcc | mono | bipbip | insram | <any>+nollc")
 		refs     = flag.Int64("refs", 2_000_000, "memory references to replay")
 		warm     = flag.Int64("warmup", 0, "functional warmup references before measuring")
 		seed     = flag.Uint64("seed", 1, "workload seed")

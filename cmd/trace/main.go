@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "emcc", "non-secure | sc64 | morphable | emcc | mono | <any>+nollc")
+		system   = flag.String("system", "emcc", "non-secure | sc64 | morphable | emcc | mono | bipbip | insram | <any>+nollc")
 		bench    = flag.String("bench", "canneal", "synthetic benchmark")
 		refs     = flag.Int64("refs", 200_000, "memory references to replay")
 		warm     = flag.Int64("warmup", 0, "warmup references before measuring")

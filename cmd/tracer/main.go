@@ -127,7 +127,7 @@ func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("in", "", "trace file (required)")
 	mode := fs.String("mode", "functional", "functional or timing")
-	system := fs.String("system", "morphable", "non-secure | sc64 | morphable | emcc")
+	system := fs.String("system", "morphable", "non-secure | sc64 | morphable | emcc | mono | bipbip | insram | <any>+nollc")
 	refs := fs.Int64("refs", 0, "references to replay (0 = one full pass)")
 	fs.Parse(args)
 	if *in == "" {
@@ -146,19 +146,8 @@ func replay(args []string) {
 	}
 
 	cfg := config.Default()
-	switch *system {
-	case "non-secure":
-		cfg.Counter = config.CtrNone
-		cfg.CountersInLLC = false
-	case "sc64":
-		cfg.Counter = config.CtrSC64
-	case "morphable":
-		cfg.Counter = config.CtrMorphable
-	case "emcc":
-		cfg.Counter = config.CtrMorphable
-		cfg.EMCC = true
-	default:
-		fatalf("replay: unknown system %q", *system)
+	if err := config.ApplySystem(&cfg, *system); err != nil {
+		fatalf("replay: %v", err)
 	}
 
 	switch *mode {

@@ -67,6 +67,18 @@ func TestMonotonicityDetectsRegression(t *testing.T) {
 	}
 }
 
+// TestBipBipInvarianceDetectsLiveKnob proves the knob-invariance check can
+// fail: the cipher latency is the one knob CtrBipBip genuinely depends on,
+// so perturbing it must break byte-identity.
+func TestBipBipInvarianceDetectsLiveKnob(t *testing.T) {
+	r := bipbipInvarianceOver(quickOpt, []knobPerturbation{
+		{"bipbip-latency-2x", func(c *config.Config) { c.BipBipLatency *= 2 }},
+	})
+	if r.Pass {
+		t.Fatalf("doubling the bipbip cipher latency not detected: %s", r.Detail)
+	}
+}
+
 // TestInvariantsPass runs both simulators under the recorder over every
 // system and requires zero violations plus exact conservation.
 func TestInvariantsPass(t *testing.T) {

@@ -15,7 +15,7 @@ import (
 )
 
 // systems under differential test, keyed the way Fig 16's legend names them.
-var diffSystems = []string{"non-secure", "morphable", "emcc"}
+var diffSystems = []string{"non-secure", "morphable", "emcc", "bipbip", "insram"}
 
 // systemConfig builds the configuration for one named system.
 func systemConfig(name string) (config.Config, error) {
@@ -28,6 +28,12 @@ func systemConfig(name string) (config.Config, error) {
 		// the default: morphable counters cached in LLC
 	case "emcc":
 		cfg.EMCC = true
+	case "bipbip":
+		cfg.Counter = config.CtrBipBip
+		cfg.CountersInLLC = false
+	case "insram":
+		cfg.Counter = config.CtrInSRAM
+		cfg.CountersInLLC = false
 	default:
 		return cfg, fmt.Errorf("check: unknown system %q", name)
 	}
@@ -64,6 +70,22 @@ func rulesFor(system string) []diffRule {
 	}
 	switch system {
 	case "non-secure":
+	case "bipbip", "insram":
+		// Counter-free direct-cipher designs. Counter traffic must be
+		// exactly zero on both sides — no tolerance: a single counter
+		// access would mean the design regrew metadata machinery. The
+		// cipher op counts ride one-to-one on DRAM data transfers, so
+		// they inherit the data-traffic tolerances.
+		dec, enc := stats.BipBipDecryptOps, stats.BipBipEncryptOps
+		if system == "insram" {
+			dec, enc = stats.InSRAMDecryptOps, stats.InSRAMEncryptOps
+		}
+		rules = append(rules,
+			diffRule{name: "ctr-llc-lookup-zero", f: stats.FsimCtrLLCLookup, t: stats.TsimCtrLLCLookup},
+			diffRule{name: "dram-counter-read-zero", f: stats.FsimDRAMCtrRead, t: stats.DramAccessCtrRead},
+			diffRule{name: "decrypt-ops", f: dec, t: dec, relTol: 0.03, absTol: 16},
+			diffRule{name: "encrypt-ops", f: enc, t: enc, relTol: 0.10, absTol: 32},
+		)
 	case "emcc":
 		// EMCC classifies counters at L2, via metric names shared by
 		// both simulators. The LLC-side split is comparable too since
@@ -134,6 +156,10 @@ func diffUnits(tr *trace.Trace, opt Options) []func() []Result {
 	for _, design := range []config.CounterDesign{config.CtrMono, config.CtrSC64, config.CtrMorphable} {
 		design := design
 		units = append(units, func() []Result { return secmemAgreementFor(design, opt) })
+	}
+	for _, system := range []string{"bipbip", "insram"} {
+		system := system
+		units = append(units, func() []Result { return counterFreeAcceptance(system, opt) })
 	}
 	return units
 }

@@ -32,7 +32,121 @@ func metamorphicUnits(opt Options) []func() []Result {
 		func() []Result { return []Result{AESMonotonicity(opt)} },
 		func() []Result { return []Result{ChannelQueueing(opt)} },
 		func() []Result { return []Result{ChannelQueueingDominance(opt)} },
+		func() []Result { return InSRAMBankMonotonicity(opt) },
+		func() []Result { return []Result{BipBipKnobInvariance(opt)} },
 	}
+}
+
+// InSRAMBankMonotonicity checks the Sealer-style geometry model both ways:
+// analytically, InSRAMAESLatency must be non-increasing and the provisioned
+// bandwidth strictly increasing in the bank count over a wide range; and in
+// the machine, tsim's simulated runtime must not increase when the in-SRAM
+// design gets more AES banks (more arrays can only help).
+func InSRAMBankMonotonicity(opt Options) []Result {
+	const nameLat = "insram-geometry-monotone"
+	const nameRun = "tsim-insram-banks-monotone"
+	opt = opt.withDefaults()
+
+	prevLat := sim.Time(0)
+	prevBW := 0.0
+	for i, banks := range []int{1, 2, 3, 4, 8, 16, 64, 256} {
+		cfg := config.Default()
+		cfg.Counter = config.CtrInSRAM
+		cfg.CountersInLLC = false
+		cfg.InSRAMBanks = banks
+		lat := config.InSRAMAESLatency(&cfg)
+		bw := config.InSRAMAESOpsPerSec(&cfg)
+		if i > 0 && lat > prevLat {
+			return []Result{failf(PillarMetamorphic, nameLat,
+				"latency rose to %v at %d banks (was %v)", lat, banks, prevLat)}
+		}
+		if i > 0 && bw <= prevBW {
+			return []Result{failf(PillarMetamorphic, nameLat,
+				"bandwidth did not grow at %d banks: %.3g ≤ %.3g ops/s", banks, bw, prevBW)}
+		}
+		prevLat, prevBW = lat, bw
+	}
+	out := []Result{passf(PillarMetamorphic, nameLat,
+		"latency non-increasing and bandwidth strictly increasing over 1…256 banks")}
+
+	// Machine-level: fewer banks = slower cipher, so runtime ordered by
+	// decreasing bank count must be non-decreasing.
+	banksDesc := []int{64, 4, 1}
+	times, err := tsimRuntimes(opt, func(cfg *config.Config, i int) {
+		cfg.Counter = config.CtrInSRAM
+		cfg.CountersInLLC = false
+		cfg.InSRAMBanks = banksDesc[i]
+	}, len(banksDesc))
+	if err != nil {
+		return append(out, failf(PillarMetamorphic, nameRun, "%v", err))
+	}
+	return append(out, assertNonDecreasing(nameRun, "in-SRAM banks 64→4→1", times))
+}
+
+// BipBipKnobInvariance pins CtrBipBip's independence from the counter-mode
+// machinery: the knobs that tune it — counter-cache size, the EMCC AES
+// split, the counter-mode AES latency — must be dead under the counter-free
+// design. Not merely "similar results": the perturbed runs must be
+// byte-identical in every recorded statistic and finish at the same tick.
+func BipBipKnobInvariance(opt Options) Result {
+	return bipbipInvarianceOver(opt, []knobPerturbation{
+		{"ctr-cache-4x", func(c *config.Config) { c.CtrCacheBytes = 512 << 10 }},
+		{"emcc-aes-frac-0.8", func(c *config.Config) { c.EMCCAESFraction = 0.8 }},
+		{"aes-latency-2x", func(c *config.Config) { c.AESLatency *= 2 }},
+	})
+}
+
+// knobPerturbation is one labelled config mutation for the invariance check.
+type knobPerturbation struct {
+	label  string
+	mutate func(*config.Config)
+}
+
+// bipbipInvarianceOver runs the invariance comparison against an arbitrary
+// perturbation list; tests pass a knob that genuinely matters (the cipher
+// latency itself) to prove divergence is detected.
+func bipbipInvarianceOver(opt Options, perturbations []knobPerturbation) Result {
+	const name = "tsim-bipbip-knob-invariance"
+	opt = opt.withDefaults()
+	tr, err := recordTrace(opt)
+	if err != nil {
+		return failf(PillarMetamorphic, name, "%v", err)
+	}
+	perturb := append([]knobPerturbation{{"baseline", func(*config.Config) {}}}, perturbations...)
+	var baseDump string
+	var baseTime sim.Time
+	for i, p := range perturb {
+		cfg := config.Default()
+		cfg.Counter = config.CtrBipBip
+		cfg.CountersInLLC = false
+		p.mutate(&cfg)
+		gens, err := tr.Generators()
+		if err != nil {
+			return failf(PillarMetamorphic, name, "%v", err)
+		}
+		s, err := tsim.New(&cfg, tsim.Options{
+			Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+		})
+		if err != nil {
+			return failf(PillarMetamorphic, name, "%s: %v", p.label, err)
+		}
+		res := s.Run()
+		dump := s.Stats().Dump()
+		if i == 0 {
+			baseDump, baseTime = dump, res.SimulatedTime
+			continue
+		}
+		if res.SimulatedTime != baseTime {
+			return failf(PillarMetamorphic, name,
+				"%s changed the runtime: %v vs baseline %v — a counter-mode knob leaked into the counter-free design", p.label, res.SimulatedTime, baseTime)
+		}
+		if dump != baseDump {
+			return failf(PillarMetamorphic, name,
+				"%s changed recorded statistics — a counter-mode knob leaked into the counter-free design", p.label)
+		}
+	}
+	return passf(PillarMetamorphic, name,
+		"%d counter-mode knob perturbations leave bipbip byte-identical", len(perturb)-1)
 }
 
 // TimelineProperties sweeps the analytic decrypt-timeline model (Figs 9/10)

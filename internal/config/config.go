@@ -27,6 +27,18 @@ const (
 	// CtrMorphable is Morphable Counters [MICRO'18]: 128 minor counters
 	// per block in a morphing format (covers 8 KB).
 	CtrMorphable
+	// CtrBipBip is BipBipCache [Hibler et al.]: a low-latency tweakable
+	// block cipher in the cache controller. Data blocks are encrypted
+	// directly under an address tweak — no counters, no counter cache,
+	// no MC AES pool; decryption is a fixed BipBipLatency charged at L2
+	// on fill, encryption is charged on writeback. Confidentiality-only.
+	CtrBipBip
+	// CtrInSRAM is Sealer/CryptoSRAM-style in-SRAM AES [Zhang et al.]:
+	// data blocks are encrypted directly (no counters) by AES arrays
+	// embedded in MC-side SRAM. Latency and bandwidth derive from the
+	// SRAM geometry (InSRAMBanks) via InSRAMAESLatency, replacing the
+	// fixed AESLatency unit. Confidentiality-only.
+	CtrInSRAM
 )
 
 // String implements fmt.Stringer.
@@ -40,8 +52,24 @@ func (d CounterDesign) String() string {
 		return "sc64"
 	case CtrMorphable:
 		return "morphable"
+	case CtrBipBip:
+		return "bipbip"
+	case CtrInSRAM:
+		return "insram"
 	}
 	return fmt.Sprintf("CounterDesign(%d)", int(d))
+}
+
+// HasCounters reports whether the design maintains per-block counter
+// metadata (counter caches, integrity tree, overflow handling). The
+// counter-free direct-cipher designs (CtrBipBip, CtrInSRAM) and the
+// non-secure baseline do not.
+func (d CounterDesign) HasCounters() bool {
+	switch d {
+	case CtrMono, CtrSC64, CtrMorphable:
+		return true
+	}
+	return false
 }
 
 // Coverage reports how many 64 B data blocks one 64 B counter block covers.
@@ -104,6 +132,14 @@ type Config struct {
 	// CountersInLLC lets LLC act as a second-level counter cache
 	// (prior-work baseline). EMCC implies CountersInLLC.
 	CountersInLLC bool
+	// BipBipLatency is the fixed tweakable-cipher latency charged per
+	// block in the cache controller under CtrBipBip (the cipher is
+	// engineered for single-digit-ns decryption; 3 ns default).
+	BipBipLatency sim.Time
+	// InSRAMBanks is the number of SRAM arrays provisioned with in-situ
+	// AES logic under CtrInSRAM. Latency and aggregate bandwidth derive
+	// from it via InSRAMAESLatency / InSRAMAESOpsPerSec.
+	InSRAMBanks int
 
 	// --- EMCC (the contribution; Sec. IV) ---
 	EMCC bool
@@ -200,6 +236,8 @@ func Default() Config {
 		AESLatency:       sim.NS(14),
 		AESPeakOpsPerSec: 2.6e9,
 		CountersInLLC:    true,
+		BipBipLatency:    sim.NS(3),
+		InSRAMBanks:      64,
 
 		EMCC:               false,
 		EMCCL2CounterBytes: 32 << 10,
@@ -245,14 +283,49 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: Channels must be a positive power of two, got %d", c.Channels)
 	case c.EMCC && !c.CountersInLLC:
 		return fmt.Errorf("config: EMCC requires CountersInLLC")
-	case c.EMCC && c.Counter == CtrNone:
-		return fmt.Errorf("config: EMCC requires a counter design")
+	case c.EMCC && !c.Counter.HasCounters():
+		return fmt.Errorf("config: EMCC requires a counter-backed design, got %s", c.Counter)
+	case !c.Counter.HasCounters() && c.CountersInLLC:
+		return fmt.Errorf("config: CountersInLLC set but %s has no counters to cache", c.Counter)
+	case c.Counter == CtrBipBip && c.BipBipLatency < 0:
+		return fmt.Errorf("config: BipBipLatency must be non-negative, got %v", c.BipBipLatency)
+	case c.Counter == CtrInSRAM && c.InSRAMBanks <= 0:
+		return fmt.Errorf("config: CtrInSRAM needs InSRAMBanks > 0, got %d", c.InSRAMBanks)
 	case c.EMCCAESFraction < 0 || c.EMCCAESFraction > 1:
 		return fmt.Errorf("config: EMCCAESFraction must be in [0,1], got %g", c.EMCCAESFraction)
 	case c.MemoryBytes <= 0:
 		return fmt.Errorf("config: MemoryBytes must be positive")
 	}
 	return nil
+}
+
+// In-SRAM AES geometry (CtrInSRAM). One AES array handles a 16 B lane per
+// pass; a pass is the full 10-round AES-128 schedule at insramRoundNS per
+// round. A 64 B block therefore splits into BlockSize/16 lanes that
+// InSRAMBanks arrays process in ceil(lanes/banks) waves — latency falls
+// with bank count until one wave covers the whole block, and aggregate
+// bandwidth grows linearly with the provisioned arrays.
+const (
+	insramRounds  = 10
+	insramRoundNS = 2
+)
+
+// InSRAMAESLatency derives the per-block cipher latency from the SRAM
+// geometry. It replaces the fixed AESLatency unit under CtrInSRAM.
+func InSRAMAESLatency(c *Config) sim.Time {
+	lanes := int(c.BlockSize / 16)
+	if lanes < 1 {
+		lanes = 1
+	}
+	waves := (lanes + c.InSRAMBanks - 1) / c.InSRAMBanks
+	return sim.Time(waves) * insramRounds * insramRoundNS * sim.Nanosecond
+}
+
+// InSRAMAESOpsPerSec is the aggregate 16 B-lane throughput of the
+// provisioned arrays: each bank completes one lane per full AES pass.
+func InSRAMAESOpsPerSec(c *Config) float64 {
+	passSeconds := float64(insramRounds*insramRoundNS) * 1e-9
+	return float64(c.InSRAMBanks) / passSeconds
 }
 
 // CoreCycle reports one core clock period.
@@ -292,6 +365,14 @@ func ApplySystem(cfg *Config, name string) error {
 	case "emcc":
 		cfg.Counter = CtrMorphable
 		cfg.EMCC = true
+	case "bipbip":
+		cfg.Counter = CtrBipBip
+		cfg.CountersInLLC = false
+		cfg.EMCC = false
+	case "insram":
+		cfg.Counter = CtrInSRAM
+		cfg.CountersInLLC = false
+		cfg.EMCC = false
 	default:
 		return fmt.Errorf("unknown system %q", name)
 	}

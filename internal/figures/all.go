@@ -30,6 +30,7 @@ var specs = []struct {
 	{"fig22", (*Harness).Fig22},
 	{"fig23", (*Harness).Fig23},
 	{"fig24", (*Harness).Fig24},
+	{"design5", (*Harness).Design5},
 	{"ablation", (*Harness).Ablation},
 }
 

@@ -161,6 +161,12 @@ func applySystem(cfg *config.Config, system string) {
 	case "emcc":
 		cfg.Counter = config.CtrMorphable
 		cfg.EMCC = true
+	case "bipbip":
+		cfg.Counter = config.CtrBipBip
+		cfg.CountersInLLC = false
+	case "insram":
+		cfg.Counter = config.CtrInSRAM
+		cfg.CountersInLLC = false
 	default:
 		panic("figures: unknown system " + system)
 	}
@@ -488,6 +494,41 @@ func (h *Harness) Fig16() *Table {
 		t.Rows = append(t.Rows, []string{b, pct(s), pct(m), pct(e), pct(g)})
 	}
 	t.Rows = append(t.Rows, []string{"mean", pct(stats.Mean(sc)), pct(stats.Mean(mo)), pct(stats.Mean(em)), pct(stats.Mean(gain))})
+	return t
+}
+
+// Design5 compares all five secure-memory designs — the paper's SC-64,
+// Morphable and EMCC plus the two counter-free alternatives from related
+// work (a BipBipCache-style tweakable block cipher in the cache controller
+// and a Sealer-style in-SRAM AES at the MC) — normalised to the non-secure
+// system. Not a paper figure, so it carries no expectations; it extends
+// Fig 16's comparison with the ROADMAP's alternative-design axis.
+func (h *Harness) Design5() *Table {
+	t := &Table{
+		ID:     "design5",
+		Title:  "Five secure-memory designs normalised to non-secure memory",
+		Header: []string{"benchmark", "sc64", "morphable", "emcc", "bipbip", "insram"},
+		Notes: []string{
+			"bipbip: counter-free tweakable cipher at L2, fixed latency per fill, zero counter traffic",
+			"insram: direct in-SRAM AES at the MC, latency from SRAM geometry, zero counter traffic",
+		},
+	}
+	systems := []string{"sc64", "morphable", "emcc", "bipbip", "insram"}
+	cols := make([][]float64, len(systems))
+	for _, b := range primary() {
+		row := []string{b}
+		for i, sys := range systems {
+			v := h.perfOf(b, sys, "base", nil)
+			cols[i] = append(cols[i], v)
+			row = append(row, pct(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"mean"}
+	for _, c := range cols {
+		mean = append(mean, pct(stats.Mean(c)))
+	}
+	t.Rows = append(t.Rows, mean)
 	return t
 }
 

@@ -142,6 +142,38 @@ func TestFig16StructureAtMicroScale(t *testing.T) {
 	}
 }
 
+func TestDesign5StructureAtMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	tab := microHarness().Design5()
+	if len(tab.Rows) != 12 { // 11 benchmarks + mean
+		t.Fatalf("design5 rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r) != 6 {
+			t.Fatalf("design5 row %v has %d cells", r, len(r))
+		}
+		for _, cell := range r[1:] {
+			if !strings.HasSuffix(cell, "%") {
+				t.Fatalf("design5 cell %q not a percentage", cell)
+			}
+		}
+	}
+	// Every secure design must cost something: normalised performance
+	// strictly below 100% on the mean row (determinism makes this exact).
+	mean := tab.Rows[len(tab.Rows)-1]
+	for i, cell := range mean[1:] {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("mean cell %q: %v", cell, err)
+		}
+		if v >= 100 {
+			t.Fatalf("%s mean normalised perf %.1f%% not below non-secure", tab.Header[i+1], v)
+		}
+	}
+}
+
 func TestFig11And23ShareRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed")

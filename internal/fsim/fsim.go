@@ -101,7 +101,10 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 		}
 		s.l2 = append(s.l2, l2)
 	}
-	if cfg.Counter != config.CtrNone {
+	// Only counter-backed designs build the metadata home; the counter-free
+	// direct-cipher designs (CtrBipBip, CtrInSRAM) have no counters, tree or
+	// metadata cache to model.
+	if cfg.Counter.HasCounters() {
 		s.home = mc.NewHome(cfg, dataBytes)
 	}
 	s.pol = emcc.Policy{L2CounterCap: cfg.EMCCL2CounterBytes}
@@ -188,10 +191,13 @@ func (s *Sim) access(core int, a workload.Access) {
 		s.trc.Flow(core, block, a.Write, true, s.refsSeen)
 	}
 
-	// DRAM data read, with its counter access (secure designs).
+	// DRAM data read, with its counter access (counter-backed designs) or
+	// a direct-cipher decryption (counter-free designs).
 	s.st.Inc(stats.FsimDRAMDataRead)
 	if s.home != nil {
 		s.counterForDataRead(core, block)
+	} else {
+		s.directDecrypt()
 	}
 	s.fillL2(core, block, false)
 	s.fillL1(core, block, a.Write)

@@ -2,6 +2,7 @@ package fsim
 
 import (
 	"repro/internal/addr"
+	"repro/internal/config"
 	"repro/internal/stats"
 )
 
@@ -145,12 +146,35 @@ func (s *Sim) writebackMeta(mb uint64) {
 	s.bumpCounter(mb)
 }
 
+// directDecrypt accounts one per-block cipher operation for the
+// counter-free designs on a DRAM data fill (no counter to resolve, no
+// metadata traffic — just the block cipher itself).
+func (s *Sim) directDecrypt() {
+	switch s.cfg.Counter {
+	case config.CtrBipBip:
+		s.st.Inc(stats.BipBipDecryptOps)
+	case config.CtrInSRAM:
+		s.st.Inc(stats.InSRAMDecryptOps)
+	}
+}
+
+// directEncrypt is directDecrypt's writeback counterpart.
+func (s *Sim) directEncrypt() {
+	switch s.cfg.Counter {
+	case config.CtrBipBip:
+		s.st.Inc(stats.BipBipEncryptOps)
+	case config.CtrInSRAM:
+		s.st.Inc(stats.InSRAMEncryptOps)
+	}
+}
+
 // writebackData is a dirty data block reaching DRAM: one data write, the
 // block's counter update, and — under EMCC — invalidation of the counter
 // block's L2 copies (Sec. IV-C, Fig 23).
 func (s *Sim) writebackData(db uint64) {
 	s.st.Inc(stats.FsimDRAMDataWrite)
 	if s.home == nil {
+		s.directEncrypt()
 		return
 	}
 	s.bumpCounter(db)

@@ -70,13 +70,20 @@ const (
 	// SegExposed is the decrypt/verify time left on the critical path
 	// after the ciphertext arrived — the cycles EMCC exists to hide.
 	SegExposed
+	// SegBipBipCipher is the fixed tweakable-cipher latency charged at the
+	// cache controller under CtrBipBip (counter-free, always exposed).
+	SegBipBipCipher
+	// SegInSRAMCipher is the in-SRAM AES pass at the MC under CtrInSRAM:
+	// queue plus geometry-derived compute, starting at ciphertext arrival.
+	SegInSRAMCipher
 	numSegments
 )
 
 var segNames = [numSegments]string{
 	"l1", "l2-lookup", "noc-req", "llc-probe", "noc-to-mc", "mc-queue",
 	"dram-queue", "dram-service", "noc-resp", "ctr-probe-l2", "ctr-fetch",
-	"aes-queue", "aes-compute", "exposed-decrypt",
+	"aes-queue", "aes-compute", "exposed-decrypt", "bipbip-cipher",
+	"insram-cipher",
 }
 
 // segKeys holds the per-segment accumulator names ("obs/seg/<name>-ns"),
@@ -89,6 +96,12 @@ var segKeys = func() (k [numSegments]string) {
 	}
 	return
 }()
+
+// SegStatKey reports the stats accumulator name a segment aggregates
+// under ("obs/seg/<name>-ns") — internal/check reads the per-segment
+// accounting through it to prove the counter lane stays silent for the
+// counter-free designs.
+func SegStatKey(s Segment) string { return segKeys[s] }
 
 // ctrSrcKeys and decryptKeys map the enum classifications to their
 // registered aggregate keys. CtrUnknown/DecNone never reach the sink:

@@ -1,0 +1,70 @@
+package secmem
+
+import (
+	"encoding/binary"
+
+	"repro/internal/crypto"
+)
+
+// directCipher is the functional model shared by the counter-free designs
+// (CtrBipBip, CtrInSRAM): an XEX-style tweakable block cipher over the
+// 16 B AES primitive. Each 16 B lane of a 64 B block is whitened with an
+// encrypted tweak derived from its byte address and lane index, so equal
+// plaintext at different addresses (or different lanes) produces different
+// ciphertext without any per-block counter state. There is no MAC and no
+// integrity tree: tampering garbles plaintext but is not detected.
+type directCipher struct {
+	data  *crypto.AES // bulk cipher
+	tweak *crypto.AES // tweak generator (independent derived key)
+}
+
+// newDirectCipher derives the two XEX keys from one 16-byte master key:
+// the bulk key is the master key itself; the tweak key is the master
+// cipher's encryption of a fixed domain-separation constant.
+func newDirectCipher(key []byte) *directCipher {
+	data := crypto.NewAES(key)
+	var derived [16]byte
+	data.Encrypt(derived[:], []byte("emcc/xex-tweak-k"))
+	return &directCipher{data: data, tweak: crypto.NewAES(derived[:])}
+}
+
+// tweakOf computes the encrypted whitening value for one lane.
+func (d *directCipher) tweakOf(byteAddr uint64, lane int, t *[16]byte) {
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[0:8], byteAddr)
+	binary.LittleEndian.PutUint64(in[8:16], uint64(lane))
+	d.tweak.Encrypt(t[:], in[:])
+}
+
+// encrypt maps a 64 B plaintext block to ciphertext: per lane,
+// C = E(P xor T) xor T.
+func (d *directCipher) encrypt(dst, src []byte, byteAddr uint64) {
+	var t, buf [16]byte
+	for lane := 0; lane < crypto.BlockBytes/16; lane++ {
+		d.tweakOf(byteAddr, lane, &t)
+		off := lane * 16
+		for i := 0; i < 16; i++ {
+			buf[i] = src[off+i] ^ t[i]
+		}
+		d.data.Encrypt(dst[off:off+16], buf[:])
+		for i := 0; i < 16; i++ {
+			dst[off+i] ^= t[i]
+		}
+	}
+}
+
+// decrypt inverts encrypt: P = D(C xor T) xor T.
+func (d *directCipher) decrypt(dst, src []byte, byteAddr uint64) {
+	var t, buf [16]byte
+	for lane := 0; lane < crypto.BlockBytes/16; lane++ {
+		d.tweakOf(byteAddr, lane, &t)
+		off := lane * 16
+		for i := 0; i < 16; i++ {
+			buf[i] = src[off+i] ^ t[i]
+		}
+		d.data.Decrypt(dst[off:off+16], buf[:])
+		for i := 0; i < 16; i++ {
+			dst[off+i] ^= t[i]
+		}
+	}
+}

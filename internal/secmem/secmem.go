@@ -40,6 +40,10 @@ type Memory struct {
 	eng   *crypto.Engine
 	tree  *itree.Tree
 	data  map[uint64]*block // data block index -> DRAM image
+	// direct, when non-nil, replaces the counter-mode machinery with a
+	// per-block tweakable cipher (CtrBipBip / CtrInSRAM): no counters,
+	// no MACs, no tree — confidentiality only.
+	direct *directCipher
 }
 
 // New builds a functional secure memory over dataBytes of protected space
@@ -47,6 +51,15 @@ type Memory struct {
 func New(dataBytes int64, design config.CounterDesign, key []byte) (*Memory, error) {
 	if design == config.CtrNone {
 		return nil, fmt.Errorf("secmem: %v has no cryptography to model", design)
+	}
+	if !design.HasCounters() {
+		// Counter-free direct-cipher designs: a data-only address space
+		// and an XEX tweakable cipher keyed off the same master key.
+		return &Memory{
+			space:  addr.NewSpace(dataBytes, 0),
+			direct: newDirectCipher(key),
+			data:   make(map[uint64]*block),
+		}, nil
 	}
 	org := ctr.New(design)
 	space := addr.NewSpace(dataBytes, org.Coverage())
@@ -89,6 +102,15 @@ func (m *Memory) Write(byteAddr uint64, plaintext []byte) ([]ctr.Overflow, error
 	}
 	if len(plaintext) != crypto.BlockBytes {
 		return nil, fmt.Errorf("secmem: plaintext must be %d bytes, got %d", crypto.BlockBytes, len(plaintext))
+	}
+	if m.direct != nil {
+		b := m.data[blk]
+		if b == nil {
+			b = &block{}
+			m.data[blk] = b
+		}
+		m.direct.encrypt(b.ciphertext[:], plaintext, byteAddr)
+		return nil, nil
 	}
 	var ovs []ctr.Overflow
 	if ov := m.tree.IncrementCounterOf(blk); ov.Happened {
@@ -148,6 +170,14 @@ func (m *Memory) Read(byteAddr uint64) ([]byte, error) {
 	if b == nil {
 		return make([]byte, crypto.BlockBytes), nil
 	}
+	if m.direct != nil {
+		// Direct-cipher designs carry no MAC: decryption always
+		// "succeeds"; tampered ciphertext yields garbled plaintext
+		// instead of ErrTampered (the confidentiality-only trade-off).
+		plain := make([]byte, crypto.BlockBytes)
+		m.direct.decrypt(plain, b.ciphertext[:], byteAddr)
+		return plain, nil
+	}
 	// Verify the counter path first (MC verifies counter blocks before
 	// handing counters to anyone, Sec. IV-C).
 	parent, _ := m.space.ParentOf(blk)
@@ -168,6 +198,9 @@ func (m *Memory) Read(byteAddr uint64) ([]byte, error) {
 // embedded value against its locally computed counter-only AES result and
 // then decrypts. It must accept and reject exactly the same blocks as Read.
 func (m *Memory) ReadViaEmbedded(byteAddr uint64) ([]byte, error) {
+	if m.direct != nil {
+		return nil, fmt.Errorf("secmem: embedded split read needs counter-mode cryptography")
+	}
 	blk, err := m.dataBlockOf(byteAddr)
 	if err != nil {
 		return nil, err
@@ -208,6 +241,9 @@ func (m *Memory) TamperData(byteAddr uint64) error {
 
 // TamperMAC flips a bit in a block's stored MAC.
 func (m *Memory) TamperMAC(byteAddr uint64) error {
+	if m.direct != nil {
+		return fmt.Errorf("secmem: direct-cipher designs store no MAC")
+	}
 	blk, err := m.dataBlockOf(byteAddr)
 	if err != nil {
 		return err
@@ -224,6 +260,9 @@ func (m *Memory) TamperMAC(byteAddr uint64) error {
 // plaintext under a *stale* counter (current-1) with a matching stale MAC,
 // the classic attack that per-write counters plus the tree defeat.
 func (m *Memory) ReplayOld(byteAddr uint64) error {
+	if m.direct != nil {
+		return fmt.Errorf("secmem: direct-cipher designs have no counters to replay against")
+	}
 	blk, err := m.dataBlockOf(byteAddr)
 	if err != nil {
 		return err

@@ -196,3 +196,90 @@ func TestNonSecureDesignRejected(t *testing.T) {
 		t.Fatal("CtrNone accepted")
 	}
 }
+
+func directDesigns() []config.CounterDesign {
+	return []config.CounterDesign{config.CtrBipBip, config.CtrInSRAM}
+}
+
+func TestDirectCipherRoundTrip(t *testing.T) {
+	for _, d := range directDesigns() {
+		m := testMem(t, d)
+		plain := bytes.Repeat([]byte{0x5a}, crypto.BlockBytes)
+		if _, err := m.Write(0x1000, plain); err != nil {
+			t.Fatalf("%v: write: %v", d, err)
+		}
+		got, err := m.Read(0x1000)
+		if err != nil {
+			t.Fatalf("%v: read: %v", d, err)
+		}
+		if !bytes.Equal(got, plain) {
+			t.Fatalf("%v: round trip mismatch", d)
+		}
+		// Unwritten blocks still read as zeros.
+		zero, err := m.Read(0x2000)
+		if err != nil || !bytes.Equal(zero, make([]byte, crypto.BlockBytes)) {
+			t.Fatalf("%v: unwritten block not zero (%v)", d, err)
+		}
+	}
+}
+
+// TestDirectCipherTweaksByAddress: the XEX tweak must separate equal
+// plaintext across addresses and actually hide the plaintext.
+func TestDirectCipherTweaksByAddress(t *testing.T) {
+	m := testMem(t, config.CtrBipBip)
+	plain := bytes.Repeat([]byte{0x77}, crypto.BlockBytes)
+	m.Write(0x40, plain)
+	m.Write(0x80, plain)
+	a := m.data[1].ciphertext
+	b := m.data[2].ciphertext
+	if bytes.Equal(a[:], b[:]) {
+		t.Fatal("equal plaintext at distinct addresses produced equal ciphertext")
+	}
+	if bytes.Equal(a[:], plain) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	// Lanes within one block must also diverge (per-lane tweak).
+	if bytes.Equal(a[0:16], a[16:32]) {
+		t.Fatal("equal plaintext lanes within a block produced equal ciphertext lanes")
+	}
+}
+
+// TestDirectCipherTamperGarbles pins the documented trade-off: counter-free
+// designs are confidentiality-only, so tampering is NOT detected — the read
+// succeeds but yields garbled plaintext.
+func TestDirectCipherTamperGarbles(t *testing.T) {
+	for _, d := range directDesigns() {
+		m := testMem(t, d)
+		plain := bytes.Repeat([]byte{7}, crypto.BlockBytes)
+		m.Write(0x40, plain)
+		if err := m.TamperData(0x40); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Read(0x40)
+		if err != nil {
+			t.Fatalf("%v: tampered read errored (%v); direct designs cannot detect", d, err)
+		}
+		if bytes.Equal(got, plain) {
+			t.Fatalf("%v: tampered ciphertext decrypted to the original plaintext", d)
+		}
+	}
+}
+
+// TestDirectCipherHasNoCounterMachinery: the counter-only operations must
+// refuse rather than touch nil organisation/tree state.
+func TestDirectCipherHasNoCounterMachinery(t *testing.T) {
+	m := testMem(t, config.CtrInSRAM)
+	m.Write(0x40, bytes.Repeat([]byte{1}, crypto.BlockBytes))
+	if err := m.TamperMAC(0x40); err == nil {
+		t.Fatal("TamperMAC succeeded without a MAC")
+	}
+	if err := m.ReplayOld(0x40); err == nil {
+		t.Fatal("ReplayOld succeeded without counters")
+	}
+	if _, err := m.ReadViaEmbedded(0x40); err == nil {
+		t.Fatal("embedded split read succeeded without counter-mode crypto")
+	}
+	if m.Tree() != nil {
+		t.Fatal("direct-cipher memory built an integrity tree")
+	}
+}

@@ -64,6 +64,16 @@ const (
 	EmccDynamicOffMiss = "emcc/dynamic-off-miss"
 )
 
+// Counter-free direct-cipher design keys (CtrBipBip / CtrInSRAM), recorded
+// by both simulators under the same names so the differential harness can
+// compare cipher-operation counts directly (the Emcc* pattern).
+const (
+	BipBipDecryptOps = "bipbip/decrypt-ops" // per DRAM data fill
+	BipBipEncryptOps = "bipbip/encrypt-ops" // per data writeback
+	InSRAMDecryptOps = "insram/decrypt-ops" // per DRAM data fill
+	InSRAMEncryptOps = "insram/encrypt-ops" // per data writeback
+)
+
 // Timing-simulator (tsim) keys.
 const (
 	TsimLoad       = "tsim/load"
@@ -168,6 +178,8 @@ var registry = []string{
 	EmccSpecFetch, EmccCtrInserted, EmccUseless, EmccInvalidations,
 	EmccDecryptAtL2, EmccDecryptAtMC, EmccOffloadQueue,
 	EmccL2CtrHit, EmccL2CtrMiss, EmccDynamicOffMiss,
+
+	BipBipDecryptOps, BipBipEncryptOps, InSRAMDecryptOps, InSRAMEncryptOps,
 
 	TsimLoad, TsimStore, TsimL2DataMiss, TsimL2Prefetch,
 	TsimLLCDataAccess, TsimLLCDataMiss,

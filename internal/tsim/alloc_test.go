@@ -1,0 +1,104 @@
+package tsim
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The allocation-free steady-state contract: once caches are warm and the
+// request pools have reached their high-water mark, dispatching events
+// through the prebound-callback machinery allocates nothing. The
+// counter-free designs ride that machinery (pooled readReq, prebound
+// bipbipArrivedCB/completePlainMCCB chains), so they must keep both pins.
+
+// steadyStateAllocs reaches steady state (warmup + 1 ms of timed
+// execution on a cache-resident working set) and measures allocations per
+// 10 µs event window.
+func steadyStateAllocs(t *testing.T, mutate func(*config.Config)) float64 {
+	t.Helper()
+	cfg := config.Default()
+	mutate(&cfg)
+	s, err := New(&cfg, Options{
+		Benchmark: "canneal", Cores: 2, Seed: 3, Refs: 50_000_000, Warmup: 200_000,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.warm(s.opt.Warmup)
+	s.bindHot()
+	for _, c := range s.cpus {
+		c.start()
+	}
+	s.eng.RunFor(sim.Millisecond)
+	return testing.AllocsPerRun(50, func() { s.eng.RunFor(sim.Microsecond * 10) })
+}
+
+// TestCounterFreeSteadyStateZeroAllocs pins AllocsPerRun == 0 for the new
+// designs' steady-state event loop, alongside the non-secure control.
+func TestCounterFreeSteadyStateZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*config.Config)
+	}{
+		{"non-secure", func(c *config.Config) { c.Counter = config.CtrNone; c.CountersInLLC = false }},
+		{"bipbip", bipbipCfg},
+		{"insram", insramCfg},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if allocs := steadyStateAllocs(t, tc.mutate); allocs != 0 {
+				t.Fatalf("steady-state loop allocated %.1f times per window, want 0", allocs)
+			}
+		})
+	}
+}
+
+// runMallocs counts every heap allocation of one complete timed run
+// (construction excluded). Mallocs is an exact counter, and the simulator
+// is deterministic, so the numbers are stable run to run.
+func runMallocs(t *testing.T, mutate func(*config.Config)) uint64 {
+	t.Helper()
+	cfg := config.Default()
+	mutate(&cfg)
+	s, err := New(&cfg, Options{
+		Benchmark: "canneal", Cores: 2, Seed: 3, Refs: 200_000, Warmup: 100_000,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	s.Run()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestCounterFreeModesAddNoAllocsOverBaseline: under a working set that
+// misses continuously (small LLC, so the cipher paths fire on every fill
+// and writeback), the counter-free designs may not allocate beyond the
+// non-secure baseline plus a small slack for extra in-flight events —
+// their entire per-access machinery is prebound and pooled. Morphable's
+// counter walk roughly doubles the baseline's count on this shape, so the
+// bound genuinely separates the designs.
+func TestCounterFreeModesAddNoAllocsOverBaseline(t *testing.T) {
+	ns := runMallocs(t, func(c *config.Config) { c.Counter = config.CtrNone; c.CountersInLLC = false; smallLLC(c) })
+	allow := ns + ns/50 // 2%
+	for _, tc := range []struct {
+		name   string
+		mutate func(*config.Config)
+	}{
+		{"bipbip", func(c *config.Config) { bipbipCfg(c); smallLLC(c) }},
+		{"insram", func(c *config.Config) { insramCfg(c); smallLLC(c) }},
+	} {
+		got := runMallocs(t, tc.mutate)
+		if got > allow {
+			t.Errorf("%s run allocated %d times vs non-secure %d (allowed %d)", tc.name, got, ns, allow)
+		}
+	}
+}

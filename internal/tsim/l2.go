@@ -239,6 +239,12 @@ func cipherArrivedCB(x any) {
 	req.release()
 }
 
+func bipbipArrivedCB(x any) {
+	req := x.(*readReq)
+	req.l2.bipbipArrived(req)
+	req.release()
+}
+
 // read serves an L1 miss (load or store fill). w.complete fires when the
 // block is decrypted, verified and resident in L2. tr is the request's
 // trace context (nil when untraced).
@@ -467,6 +473,26 @@ func (l *l2Ctl) maybeFinishCipher(req *readReq) {
 	l.s.st.Inc(stats.EmccDecryptAtL2)
 	req.finishAt = at
 	l.s.schedReq(at, finishCipherCB, req)
+}
+
+// bipbipArrived handles a ciphertext response under CtrBipBip: the cache
+// controller's tweakable cipher decrypts the block in a fixed BipBipLatency.
+// With no counter to pre-resolve and no OTP to precompute, the full cipher
+// pass sits on the critical path — the design's bet is that the pass is
+// short enough not to matter.
+func (l *l2Ctl) bipbipArrived(req *readReq) {
+	if req.completed {
+		return
+	}
+	s := l.s
+	at := s.eng.Now()
+	done := at + s.mc.bipbipLat
+	s.st.Inc(stats.BipBipDecryptOps)
+	s.st.Observe(stats.TsimCryptoExposureL2NS, (done - at).Nanoseconds())
+	req.tr.MarkDecrypt(obs.DecAtL2, at, done)
+	req.tr.AddSpan(obs.SegBipBipCipher, at, done)
+	req.finishAt = done
+	s.schedReq(done, finishCipherCB, req)
 }
 
 // finish inserts the block, wakes waiters and retires the MSHR.

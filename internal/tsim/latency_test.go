@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/config"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -65,6 +66,85 @@ func TestSingleColdMissLatencyNonSecure(t *testing.T) {
 	wantRecorded := (want - cfg.L1Latency - cfg.L2Latency).Nanoseconds()
 	if got != wantRecorded {
 		t.Fatalf("cold miss latency = %.3f ns, hand-computed %.3f ns", got, wantRecorded)
+	}
+}
+
+// nonSecureColdMiss reproduces TestSingleColdMissLatencyNonSecure's hand
+// computation: the recorded L2-miss latency (L1+L2 lookup already paid) of
+// one cold load in a machine with the given config's NoC/DRAM timings.
+func nonSecureColdMiss(s *Sim, target uint64) sim.Time {
+	cfg := s.cfg
+	block := addr.BlockOf(target)
+	coreTile := s.mesh.CoreTile(0)
+	slice := s.mesh.SliceOf(block)
+	mcTile := s.mesh.MCTile(s.mesh.MCOf(block))
+	return s.mesh.OneWay(coreTile, slice) +
+		cfg.L3TagLatency +
+		s.mesh.OneWay(slice, mcTile) +
+		cfg.TRCD + cfg.TCL + cfg.BurstLatency +
+		s.mesh.OneWay(mcTile, slice) +
+		s.mesh.OneWay(slice, coreTile)
+}
+
+// TestSingleColdMissLatencyBipBip: the counter-free tweakable cipher adds
+// exactly the MC forward tick plus the fixed cipher latency at L2 —
+// nothing else. No counter fetch, no AES queue, no tree walk.
+func TestSingleColdMissLatencyBipBip(t *testing.T) {
+	cfg := config.Default()
+	cfg.Counter = config.CtrBipBip
+	cfg.CountersInLLC = false
+	cfg.Cores = 1
+
+	const target = uint64(0x40000)
+	s, err := New(&cfg, Options{
+		Cores: 1, Refs: 2, Generators: []workload.Generator{&oneShot{target: target}}, DataBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	want := (nonSecureColdMiss(s, target) +
+		sim.NS(1) + // MC response tick (ciphertext forwarded as-is)
+		cfg.BipBipLatency). // tweakable cipher at the cache controller
+		Nanoseconds()
+	got := s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	if got != want {
+		t.Fatalf("bipbip cold miss = %.3f ns, hand-computed %.3f ns", got, want)
+	}
+}
+
+// TestSingleColdMissLatencyInSRAM: the direct cipher cannot start before
+// the ciphertext arrives, so a cold miss pays the full in-SRAM pass: the
+// pool serialises the block's four 16 B lanes at the geometry-derived op
+// interval, then one wave latency, then the response tick.
+func TestSingleColdMissLatencyInSRAM(t *testing.T) {
+	cfg := config.Default()
+	cfg.Counter = config.CtrInSRAM
+	cfg.CountersInLLC = false
+	cfg.Cores = 1
+
+	const target = uint64(0x40000)
+	s, err := New(&cfg, Options{
+		Cores: 1, Refs: 2, Generators: []workload.Generator{&oneShot{target: target}}, DataBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	// AESPool.Reserve(n, at) on an idle pool: last op issues at
+	// at + (n-1)*interval and completes after the pool latency.
+	lanes := int64(cfg.BlockSize / 16)
+	interval := sim.Time(float64(sim.Second)/config.InSRAMAESOpsPerSec(&cfg) + 0.5)
+	want := (nonSecureColdMiss(s, target) +
+		sim.Time(lanes-1)*interval + // lane serialisation on the SRAM arrays
+		config.InSRAMAESLatency(&cfg) + // one full AES pass
+		sim.NS(1)). // MC response tick
+		Nanoseconds()
+	got := s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	if got != want {
+		t.Fatalf("insram cold miss = %.3f ns, hand-computed %.3f ns", got, want)
 	}
 }
 

@@ -2,6 +2,7 @@ package tsim
 
 import (
 	"repro/internal/addr"
+	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/emcc"
 	"repro/internal/inv"
@@ -24,6 +25,11 @@ type mcCtl struct {
 
 	ctrCacheLat sim.Time
 	decodeLat   sim.Time
+
+	// Counter-free direct-cipher state (cached at construction so the hot
+	// paths never re-derive them).
+	bipbipLat sim.Time // CtrBipBip: fixed cipher latency charged at L2
+	insramOps int      // CtrInSRAM: 16 B lanes per block reserved per access
 
 	pendData map[uint64]*mcDataPending
 	pendMeta map[uint64]*metaFetch
@@ -67,6 +73,25 @@ func newMCCtl(s *Sim, dataBytes int64) *mcCtl {
 		pendMeta:    make(map[uint64]*metaFetch),
 	}
 	if !s.secure() {
+		return m
+	}
+	switch s.cfg.Counter {
+	case config.CtrBipBip:
+		// Counter-free cipher in the cache controller: no metadata home,
+		// no MC AES pool, no overflow engine. Decryption is charged at L2
+		// on fill (see l2Ctl.bipbipArrived); encryption on writeback is
+		// dedicated pipeline hardware, so only the op count is recorded.
+		m.bipbipLat = s.cfg.BipBipLatency
+		return m
+	case config.CtrInSRAM:
+		// Direct in-SRAM AES at the MC: the pool's latency and bandwidth
+		// derive from the SRAM geometry instead of the fixed AESLatency.
+		// No metadata home or overflow engine either.
+		m.insramOps = int(s.cfg.BlockSize / 16)
+		if m.insramOps < 1 {
+			m.insramOps = 1
+		}
+		m.aes = mc.NewAESPool(s.eng, config.InSRAMAESOpsPerSec(s.cfg), config.InSRAMAESLatency(s.cfg))
 		return m
 	}
 	m.home = mc.NewHome(s.cfg, dataBytes)
@@ -155,11 +180,14 @@ func (m *mcCtl) confirm(p *mcDataPending) {
 	m.maybeRespond(p)
 }
 
-// reqNeedsMCCrypto decides whether the MC must decrypt/verify this read:
-// always outside EMCC; under EMCC only when the miss request carries the
-// offload bit (counter-miss upgrades arrive via counterMissFromL2).
+// reqNeedsMCCrypto decides whether the MC must run the counter-mode
+// decrypt/verify path for this read: always for counter-backed designs
+// outside EMCC; under EMCC only when the miss request carries the offload
+// bit (counter-miss upgrades arrive via counterMissFromL2). The counter-free
+// designs never take it — CtrInSRAM's direct cipher is charged in
+// maybeRespond and CtrBipBip decrypts at L2.
 func (m *mcCtl) reqNeedsMCCrypto(req *readReq) bool {
-	if !m.s.secure() {
+	if !m.s.counters() {
 		return false
 	}
 	if !m.s.cfg.EMCC {
@@ -220,6 +248,7 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 
 	var leave sim.Time
 	tagged := false
+	bipbip := false
 	switch {
 	case !m.s.secure():
 		leave = p.dataAt
@@ -235,6 +264,24 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		}
 		leave += sim.NS(1)
 		tagged = true
+	case m.s.cfg.Counter == config.CtrInSRAM:
+		// Direct in-SRAM AES: unlike counter-mode OTPs, the cipher can
+		// only start once the ciphertext is on-chip, so the whole pass
+		// (queue + geometry-derived compute) is exposed by construction.
+		leave = m.aes.Reserve(m.insramOps, p.dataAt)
+		m.s.st.Inc(stats.InSRAMDecryptOps)
+		m.s.st.Observe(stats.TsimCryptoExposureMCNS, (leave - p.dataAt).Nanoseconds())
+		for _, r := range p.reqs {
+			r.tr.MarkDecrypt(obs.DecAtMC, p.dataAt, leave)
+			r.tr.AddSpan(obs.SegInSRAMCipher, p.dataAt, leave)
+		}
+		leave += sim.NS(1)
+		tagged = true
+	case m.s.cfg.Counter == config.CtrBipBip:
+		// Ciphertext is forwarded as-is; the cache controller's tweakable
+		// cipher decrypts on arrival at L2 (bipbipArrived).
+		leave = p.dataAt + sim.NS(1)
+		bipbip = true
 	default:
 		// EMCC untagged response: compute the ciphertext dot product
 		// and embed MAC⊕dot (Sec. IV-D).
@@ -248,6 +295,8 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		arrival = completePlainLocalCB
 	case tagged:
 		arrival = completePlainMCCB
+	case bipbip:
+		arrival = bipbipArrivedCB
 	}
 	for _, r := range p.reqs {
 		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(p.block))
@@ -383,7 +432,8 @@ func (m *mcCtl) spillMeta(mb uint64, dirty bool) {
 // (AES bandwidth), update its counter, invalidate EMCC L2 copies, write.
 func (m *mcCtl) writebackData(block uint64) {
 	if m.s.warming {
-		if m.s.secure() {
+		// Counter-free designs have no counter values to warm.
+		if m.s.counters() {
 			m.s.warmBump(block)
 			if m.s.cfg.EMCC {
 				for _, l2 := range m.s.l2s {
@@ -393,9 +443,18 @@ func (m *mcCtl) writebackData(block uint64) {
 		}
 		return
 	}
-	if m.s.secure() {
+	switch {
+	case m.s.counters():
 		m.aes.ReserveLow(emcc.AESOpsPerWrite, m.s.eng.Now())
 		m.bumpCounter(block, true)
+	case m.s.cfg.Counter == config.CtrBipBip:
+		// Dedicated cipher pipeline in the controller: off the critical
+		// path, no shared pool to queue on, no counter to advance.
+		m.s.st.Inc(stats.BipBipEncryptOps)
+	case m.s.cfg.Counter == config.CtrInSRAM:
+		// Background-priority encryption on the in-SRAM arrays.
+		m.aes.ReserveLow(m.insramOps, m.s.eng.Now())
+		m.s.st.Inc(stats.InSRAMEncryptOps)
 	}
 	m.enqueueDRAM(block, true, dram.TrafficData, nil, nil)
 }

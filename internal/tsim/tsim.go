@@ -273,8 +273,14 @@ func (s *Sim) schedReq(t sim.Time, fn func(any), req *readReq) {
 	s.atCall(t, fn, req)
 }
 
-// secure reports whether a counter design is active.
+// secure reports whether any secure-memory design is active (counter-backed
+// or counter-free direct cipher).
 func (s *Sim) secure() bool { return s.cfg.Counter != config.CtrNone }
+
+// counters reports whether the active design maintains counter metadata —
+// the machinery (counter caches, tree walks, overflow engine, warm counter
+// placement) the counter-free designs must never touch.
+func (s *Sim) counters() bool { return s.cfg.Counter.HasCounters() }
 
 // Convenience latencies.
 func (s *Sim) oneway(a, b noc.NodeID) sim.Time { return s.mesh.OneWay(a, b) }

@@ -52,8 +52,9 @@ func (s *Sim) warmAccess(c int, a workload.Access) {
 		cpu.fillL1(block, a.Write)
 		return
 	}
-	// DRAM fill; counter placement warms like the baseline path.
-	if s.secure() {
+	// DRAM fill; counter placement warms like the baseline path. The
+	// counter-free designs have no metadata to place.
+	if s.counters() {
 		cb := s.mc.home.CounterBlockOf(block)
 		if s.cfg.EMCC {
 			l2.c.MarkUsed(cb)
