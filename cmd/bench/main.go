@@ -1,9 +1,11 @@
 // Command bench runs the performance-critical benchmarks — the event-engine
 // micro-benchmarks (prebound vs closure vs the retired container/heap
-// baseline), the DRAM channel loop, and the tsim end-to-end throughput — and
-// emits one machine-readable JSON artifact. BENCH_5.json in the repo root is
-// a checked-in run recording the PR 5 engine-rewrite numbers; CI regenerates
-// the artifact on every push and uploads it for trend inspection.
+// baseline), the telemetry hot path (histogram record/merge/quantile and
+// the flight-recorder interval snapshot), the DRAM channel loop, and the
+// tsim end-to-end throughput — and emits one machine-readable JSON
+// artifact. BENCH_5.json in the repo root records the PR 5 engine-rewrite
+// numbers and BENCH_7.json the PR 7 telemetry numbers; CI regenerates the
+// artifact on every push and uploads it for trend inspection.
 //
 // Usage:
 //
@@ -30,6 +32,8 @@ var suites = []struct {
 	pattern string
 }{
 	{"./internal/sim", "^(BenchmarkEngineTickPrebound|BenchmarkEngineTickClosure|BenchmarkEngineMixedQueue|BenchmarkLegacyEngineTick|BenchmarkLegacyEngineMixedQueue)$"},
+	{"./internal/metrics", "^(BenchmarkHistObserve|BenchmarkHistMerge|BenchmarkHistQuantile|BenchmarkFlightRecord)$"},
+	{"./internal/stats", "^BenchmarkFlightRecordSet$"},
 	{".", "^(BenchmarkEventEngine|BenchmarkDRAMRandomReads|BenchmarkTimingSimThroughput)$"},
 }
 

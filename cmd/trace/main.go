@@ -7,6 +7,8 @@
 //
 //	trace -system emcc -bench canneal -refs 200000 -out trace.json
 //	trace -system morphable -bench mcf -refs 200000 -sample 16 -out m.json
+//	trace -flight flight.csv -flight-period-ns 10000   # interval time series
+//	trace -openmetrics metrics.prom                    # final-snapshot exposition
 //
 // Open the output at https://ui.perfetto.dev (or chrome://tracing): each
 // core is a process, each in-flight request a thread pair — the data lane
@@ -18,12 +20,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -40,6 +45,11 @@ func main() {
 		topN     = flag.Int("top", 10, "slowest requests to report")
 		sample   = flag.Uint64("sample", 1, "trace every Nth request (1 = all)")
 		periodNS = flag.Float64("sample-period-ns", 1000, "time-series sampling period in ns (0 = off)")
+
+		flight         = flag.String("flight", "", "flight-recorder output path (.json = JSON, else CSV; empty = off)")
+		flightPeriodNS = flag.Float64("flight-period-ns", 10_000, "flight-recorder interval in ns")
+		flightCap      = flag.Int("flight-cap", 1<<16, "flight-recorder ring capacity (oldest intervals drop)")
+		openmetrics    = flag.String("openmetrics", "", "OpenMetrics text-exposition output path (empty = off)")
 	)
 	flag.Parse()
 
@@ -93,6 +103,11 @@ func main() {
 		Meta:         prov.Masked(manifest),
 	})
 	s.SetTracer(tr)
+	var rec *metrics.Recorder
+	if *flight != "" {
+		rec = metrics.NewRecorder(s.Stats(), *flightCap)
+		s.SetFlightRecorder(rec, sim.NS(*flightPeriodNS))
+	}
 	res := s.Run()
 	if err := tr.Close(); err != nil {
 		fatal(err)
@@ -107,6 +122,16 @@ func main() {
 	if err := os.WriteFile(*out+".prov.json", sidecar, 0o644); err != nil {
 		fatal(err)
 	}
+	if rec != nil {
+		if err := writeFlight(*flight, rec); err != nil {
+			fatal(err)
+		}
+	}
+	if *openmetrics != "" {
+		if err := writeOpenMetrics(*openmetrics, s.Stats()); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Printf("# trace %s on %s, %d refs → %s\n", cfg.SystemName(), *bench, *refs, *out)
 	fmt.Printf("# %s\n", prov.Line(manifest))
@@ -115,6 +140,38 @@ func main() {
 	fmt.Println()
 	obs.WriteSummary(os.Stdout, s.Stats())
 	obs.WriteTopRequests(os.Stdout, tr.TopRequests())
+}
+
+// writeFlight dumps the recorder's interval series: JSON when the path
+// says so, CSV otherwise.
+func writeFlight(path string, rec *metrics.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = rec.WriteJSON(f)
+	} else {
+		err = rec.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeOpenMetrics dumps the final stats snapshot — counters, accumulators
+// and latency histograms — in OpenMetrics text exposition.
+func writeOpenMetrics(path string, st *stats.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = st.Snapshot().WriteOpenMetrics(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ var keyMethods = map[string]bool{
 	"AccumRef":   true,
 	"AccumMean":  true,
 	"Hist":       true,
+	"HistRef":    true,
 }
 
 func (statskey) run(ctx *context, pkg *Package) {

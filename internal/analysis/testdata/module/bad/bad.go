@@ -51,3 +51,9 @@ func Malformed(s *stats.Set) {
 func UnregisteredRef(s *stats.Set) *int64 {
 	return s.CounterRef("fixture/unregistered-ref")
 }
+
+// UnregisteredHistRef binds a histogram cell under a key missing from
+// the registry: one statskey finding.
+func UnregisteredHistRef(s *stats.Set) *stats.Hist {
+	return s.HistRef("fixture/unregistered-hist")
+}

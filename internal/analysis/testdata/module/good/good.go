@@ -83,3 +83,15 @@ func GuardedTracer(t *obs.Tracer) {
 func RegisteredRefs(s *stats.Set) (*int64, *stats.Accum) {
 	return s.CounterRef(stats.KeyGood), s.AccumRef(stats.KeyTable)
 }
+
+// histTable mirrors the per-segment histogram-key table idiom the real
+// internal/obs and internal/dram use for their dynamic families.
+var histTable = [...]string{stats.KeyTable, stats.KeyGood}
+
+// RegisteredHist binds and reads histogram cells with registry
+// constants, plus the annotated table selection.
+func RegisteredHist(s *stats.Set, i int) *stats.Hist {
+	_ = s.Hist(stats.KeyGood)
+	//lint:dynamic-key selected from the registered histTable
+	return s.HistRef(histTable[i])
+}

@@ -31,3 +31,12 @@ func (s *Set) CounterRef(name string) *int64 {
 
 // AccumRef mirrors the real accumulator-cell accessor.
 func (s *Set) AccumRef(name string) *Accum { return &Accum{Count: s.c[name]} }
+
+// Hist is a minimal stand-in for the real histogram cell.
+type Hist struct{ Count int64 }
+
+// HistRef mirrors the real cached histogram-cell accessor.
+func (s *Set) HistRef(name string) *Hist { return &Hist{Count: s.c[name]} }
+
+// Hist reads a histogram (fixture: count only).
+func (s *Set) Hist(name string) *Hist { return &Hist{Count: s.c[name]} }

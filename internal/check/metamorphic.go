@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/config"
-	"repro/internal/dram"
 	"repro/internal/figures"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tsim"
@@ -34,6 +34,7 @@ func metamorphicUnits(opt Options) []func() []Result {
 		func() []Result { return []Result{ChannelQueueingDominance(opt)} },
 		func() []Result { return InSRAMBankMonotonicity(opt) },
 		func() []Result { return []Result{BipBipKnobInvariance(opt)} },
+		func() []Result { return []Result{ExposedDecryptTail(opt)} },
 	}
 }
 
@@ -372,9 +373,8 @@ func ChannelQueueingDominance(opt Options) Result {
 			return failf(PillarMetamorphic, name, "%v", err)
 		}
 		s.Run()
-		h := s.Stats().Hist(stats.DramQDelayDataRead,
-			dram.QDelayHistLo, dram.QDelayHistWidth, dram.QDelayHistBuckets)
-		totals[i] = h.Total()
+		h := s.Stats().Hist(stats.DramQDelayDataRead)
+		totals[i] = h.Count()
 		cdfs[i] = histCDF(h)
 	}
 	if totals[0] == 0 || totals[1] == 0 {
@@ -386,10 +386,9 @@ func ChannelQueueingDominance(opt Options) Result {
 	const slack = 0.01
 	for i := range cdfs[0] {
 		if cdfs[1][i] < cdfs[0][i]-slack {
-			bound := dram.QDelayHistLo + float64(i+1)*dram.QDelayHistWidth
 			return failf(PillarMetamorphic, name,
-				"4-channel qdelay CDF falls below 1-channel at %.0f ns: P(≤)=%.4f vs %.4f (n=%d/%d)",
-				bound, cdfs[1][i], cdfs[0][i], totals[1], totals[0])
+				"4-channel qdelay CDF falls below 1-channel at %d ns: P(≤)=%.4f vs %.4f (n=%d/%d)",
+				metrics.BucketUpper(i), cdfs[1][i], cdfs[0][i], totals[1], totals[0])
 		}
 	}
 	return passf(PillarMetamorphic, name,
@@ -397,14 +396,18 @@ func ChannelQueueingDominance(opt Options) Result {
 		len(cdfs[0]), totals[1], totals[0])
 }
 
-// histCDF returns P(sample < bucket upper bound) for every bucket,
-// including underflow mass; the final entry excludes only overflow.
-func histCDF(h *stats.Histogram) []float64 {
-	out := make([]float64, len(h.Buckets))
-	cum := h.Under
-	for i, c := range h.Buckets {
-		cum += c
-		out[i] = float64(cum) / float64(h.Total())
+// histCDF returns P(sample < bucket upper bound) at every boundary of the
+// shared internal/metrics log-bucket geometry. Dominance is preserved
+// under any monotone bucketing, so re-routing the qdelay histograms from
+// the old 64×5 ns linear arrays onto the shared geometry keeps the
+// property's meaning; only the boundary set the CDF is evaluated at
+// changed (negative delays cannot occur, so there is no underflow mass).
+func histCDF(h *metrics.Hist) []float64 {
+	out := make([]float64, metrics.NumBuckets)
+	var cum int64
+	for i := range out {
+		cum += h.Bucket(i)
+		out[i] = float64(cum) / float64(h.Count())
 	}
 	return out
 }

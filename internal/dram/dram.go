@@ -12,6 +12,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/inv"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -47,15 +48,6 @@ func (k TrafficKind) String() string {
 	}
 	return fmt.Sprintf("TrafficKind(%d)", int(k))
 }
-
-// Queuing-delay histogram geometry, shared between the recording site in
-// issue() and the readers in internal/check so both sides agree on bucket
-// boundaries: 64 × 5 ns buckets covering [0, 320 ns) plus overflow.
-const (
-	QDelayHistLo      = 0.0
-	QDelayHistWidth   = 5.0
-	QDelayHistBuckets = 64
-)
 
 // qdelayKeys and accessKeys map (traffic kind, direction) to the
 // registered stats keys, so the hot path selects a key with two array
@@ -277,7 +269,7 @@ type chanStats struct {
 	bound                          bool
 	rowHit, rowClosed, rowConflict *int64
 	qdelay                         [numTrafficKinds][2]*stats.Accumulator
-	qdhist                         [numTrafficKinds][2]*stats.Histogram
+	qdhist                         [numTrafficKinds][2]*metrics.Hist
 	access                         [numTrafficKinds][2]*int64
 }
 
@@ -289,9 +281,9 @@ func (ch *channel) bindHot() {
 	for k := 0; k < int(numTrafficKinds); k++ {
 		for dir := 0; dir < 2; dir++ {
 			qname := qdelayKeys[k][dir]
-			ch.hs.qdelay[k][dir] = st.AccumRef(qname)                                               //lint:dynamic-key selected from the registered qdelayKeys table
-			ch.hs.qdhist[k][dir] = st.Hist(qname, QDelayHistLo, QDelayHistWidth, QDelayHistBuckets) //lint:dynamic-key selected from the registered qdelayKeys table
-			ch.hs.access[k][dir] = st.CounterRef(accessKeys[k][dir])                                //lint:dynamic-key selected from the registered accessKeys table
+			ch.hs.qdelay[k][dir] = st.AccumRef(qname)                //lint:dynamic-key selected from the registered qdelayKeys table
+			ch.hs.qdhist[k][dir] = st.HistRef(qname)                 //lint:dynamic-key selected from the registered qdelayKeys table
+			ch.hs.access[k][dir] = st.CounterRef(accessKeys[k][dir]) //lint:dynamic-key selected from the registered accessKeys table
 		}
 	}
 	ch.hs.bound = true
@@ -506,9 +498,10 @@ func (ch *channel) issue(r *Request) {
 	}
 	qdelay := (start - r.enqueued).Nanoseconds()
 	ch.hs.qdelay[r.Kind][dir].Observe(qdelay)
-	// Per-request delay distribution for the stochastic-dominance check
-	// (internal/check): means can mask tail regressions, the CDF cannot.
-	ch.hs.qdhist[r.Kind][dir].Observe(qdelay)
+	// Per-request delay distribution (shared internal/metrics geometry)
+	// for the stochastic-dominance check and the flight recorder: means
+	// can mask tail regressions, the CDF cannot.
+	ch.hs.qdhist[r.Kind][dir].Observe(int64(start-r.enqueued) / 1000)
 	*ch.hs.access[r.Kind][dir]++
 	r.Obs.AddSpan(obs.SegDRAMQueue, r.enqueued, start)
 	r.Obs.AddSpan(obs.SegDRAMService, start, finish)

@@ -31,6 +31,7 @@ var specs = []struct {
 	{"fig23", (*Harness).Fig23},
 	{"fig24", (*Harness).Fig24},
 	{"design5", (*Harness).Design5},
+	{"tails", (*Harness).TailLatency},
 	{"ablation", (*Harness).Ablation},
 }
 

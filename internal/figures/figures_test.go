@@ -306,3 +306,39 @@ func TestCacheSecondRunExecutesNothing(t *testing.T) {
 		t.Fatalf("cached tables differ from cold tables:\n--- cold\n%s\n--- cached\n%s", first, second)
 	}
 }
+
+// TestTailLatencyStructureAtMicroScale pins the percentile table's shape:
+// every one of the five systems reports an end-to-end "request" row with
+// monotone percentiles, plus at least one populated segment row.
+func TestTailLatencyStructureAtMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	tab := microHarness().TailLatency()
+	systems := map[string]struct{ request, segments int }{}
+	for _, r := range tab.Rows {
+		if len(r) != 7 {
+			t.Fatalf("tails row %v has %d cells", r, len(r))
+		}
+		e := systems[r[0]]
+		if r[1] == "request" {
+			e.request++
+			p50, _ := strconv.Atoi(r[3])
+			p95, _ := strconv.Atoi(r[4])
+			p99, _ := strconv.Atoi(r[5])
+			max, _ := strconv.Atoi(r[6])
+			if p50 > p95 || p95 > p99 || p99 > max || p50 <= 0 {
+				t.Fatalf("%s request percentiles not monotone positive: %v", r[0], r)
+			}
+		} else {
+			e.segments++
+		}
+		systems[r[0]] = e
+	}
+	for _, sys := range []string{"sc64", "morphable", "emcc", "bipbip", "insram"} {
+		e := systems[sys]
+		if e.request != 1 || e.segments == 0 {
+			t.Fatalf("%s: %d request rows, %d segment rows", sys, e.request, e.segments)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/run"
+	"repro/internal/stats"
+)
+
+// timingTraced declares or fetches a traced timing simulation: identical to
+// timing, except the scenario carries the Trace flag, so its outcome
+// snapshot includes the obs per-segment latency histograms. Traced and
+// untraced runs of the same configuration are distinct scenarios (the flag
+// is part of the content key) — the tails figure never perturbs the
+// outcomes the performance figures read.
+func (h *Harness) timingTraced(bench, system, variant string, mutate func(*config.Config)) tsimRun {
+	sc := h.scenario(run.Timing, bench, system, variant, mutate)
+	sc.Trace = true
+	o := h.outcome(sc)
+	return tsimRun{res: *o.Timing, st: o.Stats}
+}
+
+// TailLatency reports the phase-resolved latency distribution of each
+// secure-memory design: per system, the end-to-end request latency and
+// every populated pipeline segment with p50/p95/p99/max read off the
+// shared histogram geometry. Not a paper figure — the paper reports means;
+// the tail view is what the eager-decryption argument is actually about
+// (exposure that only helped the median would be a much weaker claim).
+func (h *Harness) TailLatency() *Table {
+	t := &Table{
+		ID:     "tails",
+		Title:  "Request and per-segment latency percentiles (canneal, ns)",
+		Header: []string{"system", "lane", "n", "p50", "p95", "p99", "max"},
+		Notes: []string{
+			"percentiles from the fixed log-bucket histograms (internal/metrics), interpolated within buckets",
+			"request = end-to-end traced latency; segments are per-span pipeline attribution",
+			"exposed-per-decrypt counts every decrypted request (hidden decrypts as zeros); the exposed-decrypt segment counts only nonzero-exposure spans",
+		},
+	}
+	systems := []string{"sc64", "morphable", "emcc", "bipbip", "insram"}
+	const bench = "canneal"
+	for _, sys := range systems {
+		st := h.timingTraced(bench, sys, "base", nil).st
+		lh := st.Hist(stats.ObsReqLatencyHist)
+		t.Rows = append(t.Rows, []string{
+			sys, "request", fmt.Sprint(lh.Count),
+			fmt.Sprint(lh.Quantile(0.50)), fmt.Sprint(lh.Quantile(0.95)),
+			fmt.Sprint(lh.Quantile(0.99)), fmt.Sprint(lh.Max),
+		})
+		for _, seg := range obs.Segments() {
+			sh := st.Hist(obs.SegHistKey(seg)) //lint:dynamic-key per-segment family obs/hist/seg/<name>-ns
+			if sh.Count == 0 {
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				sys, seg.String(), fmt.Sprint(sh.Count),
+				fmt.Sprint(sh.Quantile(0.50)), fmt.Sprint(sh.Quantile(0.95)),
+				fmt.Sprint(sh.Quantile(0.99)), fmt.Sprint(sh.Max),
+			})
+		}
+		// Distinct from the exposed-decrypt segment row above: the segment
+		// histogram sees only spans with nonzero exposure, while this one
+		// records every decrypted request — fully hidden decrypts count as
+		// zeros, so its quantiles answer "how exposed is a typical decrypt".
+		eh := st.Hist(stats.ObsExposedDecryptHist)
+		if eh.Count > 0 {
+			t.Rows = append(t.Rows, []string{
+				sys, "exposed-per-decrypt", fmt.Sprint(eh.Count),
+				fmt.Sprint(eh.Quantile(0.50)), fmt.Sprint(eh.Quantile(0.95)),
+				fmt.Sprint(eh.Quantile(0.99)), fmt.Sprint(eh.Max),
+			})
+		}
+	}
+	return t
+}

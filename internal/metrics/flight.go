@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Source is the view a Recorder samples: something holding named counters
+// and histograms that it can visit in ascending name order. stats.Set
+// implements it. Deterministic visitation order is part of the contract —
+// the recorder's dumps are compared byte-for-byte across runs.
+type Source interface {
+	// VisitCounters calls fn for every non-zero counter, ascending by name.
+	VisitCounters(fn func(name string, v int64))
+	// VisitHists calls fn for every non-empty histogram, ascending by name.
+	VisitHists(fn func(name string, h *Hist))
+}
+
+// Delta is one counter's change over an interval.
+type Delta struct {
+	Name  string `json:"name"`
+	Delta int64  `json:"delta"`
+}
+
+// HistDelta is one histogram's change over an interval: how many samples
+// arrived and their summed value (mean-per-interval = Sum/Count).
+type HistDelta struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+}
+
+// Interval is one flight-recorder sample: every counter and histogram
+// delta (non-zero only) between the previous Record call and this one.
+type Interval struct {
+	Index    int64       `json:"index"` // 0-based interval number since recording began
+	At       int64       `json:"at"`    // timestamp passed to Record (picoseconds in tsim)
+	Counters []Delta     `json:"counters,omitempty"`
+	Hists    []HistDelta `json:"histograms,omitempty"`
+}
+
+// Recorder is the interval flight recorder: each Record call diffs the
+// source against the previous sample and appends the delta interval to a
+// bounded ring. When the ring is full the oldest interval is dropped
+// (drop-oldest keeps the most recent flight history, which is what you
+// want when inspecting how a run ended). Deterministic by construction:
+// the intervals depend only on the source's state at each Record call.
+type Recorder struct {
+	src     Source
+	cap     int
+	ivs     []Interval // oldest first; len ≤ cap
+	next    int64      // index of the next interval
+	dropped int64
+	prevC   map[string]int64
+	prevH   map[string]HistDelta // cumulative count/sum at last sample
+}
+
+// NewRecorder builds a flight recorder over src holding at most capacity
+// intervals (minimum 1).
+func NewRecorder(src Source, capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{
+		src:   src,
+		cap:   capacity,
+		prevC: make(map[string]int64),
+		prevH: make(map[string]HistDelta),
+	}
+}
+
+// Record samples the source at timestamp at, appending one interval of
+// deltas since the previous call (or since recording began). It reports
+// whether an old interval was dropped to make room.
+func (r *Recorder) Record(at int64) (droppedOne bool) {
+	iv := Interval{Index: r.next, At: at}
+	r.next++
+	r.src.VisitCounters(func(name string, v int64) {
+		if d := v - r.prevC[name]; d != 0 {
+			iv.Counters = append(iv.Counters, Delta{Name: name, Delta: d})
+		}
+		r.prevC[name] = v
+	})
+	r.src.VisitHists(func(name string, h *Hist) {
+		prev := r.prevH[name]
+		cur := HistDelta{Name: name, Count: h.Count(), Sum: h.Sum()}
+		if d := (HistDelta{Name: name, Count: cur.Count - prev.Count, Sum: cur.Sum - prev.Sum}); d.Count != 0 || d.Sum != 0 {
+			iv.Hists = append(iv.Hists, d)
+		}
+		r.prevH[name] = cur
+	})
+	if len(r.ivs) == r.cap {
+		copy(r.ivs, r.ivs[1:])
+		r.ivs = r.ivs[:len(r.ivs)-1]
+		r.dropped++
+		droppedOne = true
+	}
+	r.ivs = append(r.ivs, iv)
+	return droppedOne
+}
+
+// Intervals returns the retained intervals, oldest first.
+func (r *Recorder) Intervals() []Interval { return r.ivs }
+
+// Dropped reports how many intervals were evicted from the ring.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// WriteCSV writes the retained intervals as CSV with a fixed header:
+//
+//	interval,at,kind,name,delta,dsum
+//
+// Counter rows use kind "counter" with an empty dsum column; histogram
+// rows use kind "hist" with delta=sample count and dsum=summed value.
+// Output is byte-deterministic for a fixed recording.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "interval,at,kind,name,delta,dsum\n"); err != nil {
+		return err
+	}
+	for _, iv := range r.ivs {
+		for _, c := range iv.Counters {
+			if _, err := fmt.Fprintf(w, "%d,%d,counter,%s,%d,\n", iv.Index, iv.At, c.Name, c.Delta); err != nil {
+				return err
+			}
+		}
+		for _, h := range iv.Hists {
+			if _, err := fmt.Fprintf(w, "%d,%d,hist,%s,%d,%d\n", iv.Index, iv.At, h.Name, h.Count, h.Sum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the retained intervals (and the drop count) as
+// indented JSON, byte-deterministic for a fixed recording.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Dropped   int64      `json:"dropped"`
+		Intervals []Interval `json:"intervals"`
+	}{Dropped: r.dropped, Intervals: r.ivs}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

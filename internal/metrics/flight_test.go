@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fakeSource is a deterministic in-memory Source for recorder tests.
+type fakeSource struct {
+	counters map[string]int64
+	hists    map[string]*Hist
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{counters: map[string]int64{}, hists: map[string]*Hist{}}
+}
+
+func (s *fakeSource) VisitCounters(fn func(string, int64)) {
+	names := make([]string, 0, len(s.counters))
+	for k, v := range s.counters {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fn(k, s.counters[k])
+	}
+}
+
+func (s *fakeSource) VisitHists(fn func(string, *Hist)) {
+	names := make([]string, 0, len(s.hists))
+	for k, h := range s.hists {
+		if h.Count() != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fn(k, s.hists[k])
+	}
+}
+
+func (s *fakeSource) hist(name string) *Hist {
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Hist{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+func TestRecorderDeltas(t *testing.T) {
+	src := newFakeSource()
+	rec := NewRecorder(src, 16)
+
+	src.counters["a"] = 5
+	src.hist("h").Observe(100)
+	rec.Record(1000)
+
+	src.counters["a"] = 12
+	src.counters["b"] = 3
+	src.hist("h").Observe(200)
+	src.hist("h").Observe(300)
+	rec.Record(2000)
+
+	// Quiet interval: no deltas at all.
+	rec.Record(3000)
+
+	ivs := rec.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("got %d intervals, want 3", len(ivs))
+	}
+	iv0 := ivs[0]
+	if iv0.Index != 0 || iv0.At != 1000 {
+		t.Fatalf("interval 0 header: %+v", iv0)
+	}
+	if len(iv0.Counters) != 1 || iv0.Counters[0] != (Delta{Name: "a", Delta: 5}) {
+		t.Fatalf("interval 0 counters: %+v", iv0.Counters)
+	}
+	if len(iv0.Hists) != 1 || iv0.Hists[0] != (HistDelta{Name: "h", Count: 1, Sum: 100}) {
+		t.Fatalf("interval 0 hists: %+v", iv0.Hists)
+	}
+	iv1 := ivs[1]
+	if len(iv1.Counters) != 2 || iv1.Counters[0] != (Delta{Name: "a", Delta: 7}) || iv1.Counters[1] != (Delta{Name: "b", Delta: 3}) {
+		t.Fatalf("interval 1 counters: %+v", iv1.Counters)
+	}
+	if len(iv1.Hists) != 1 || iv1.Hists[0] != (HistDelta{Name: "h", Count: 2, Sum: 500}) {
+		t.Fatalf("interval 1 hists: %+v", iv1.Hists)
+	}
+	if len(ivs[2].Counters) != 0 || len(ivs[2].Hists) != 0 {
+		t.Fatalf("quiet interval should be empty: %+v", ivs[2])
+	}
+}
+
+func TestRecorderBoundedRing(t *testing.T) {
+	src := newFakeSource()
+	rec := NewRecorder(src, 3)
+	for i := 0; i < 10; i++ {
+		src.counters["c"]++
+		dropped := rec.Record(int64(i))
+		if want := i >= 3; dropped != want {
+			t.Fatalf("record %d: dropped=%v, want %v", i, dropped, want)
+		}
+	}
+	ivs := rec.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(ivs))
+	}
+	// Oldest dropped: the survivors are the last three intervals.
+	if ivs[0].Index != 7 || ivs[2].Index != 9 {
+		t.Fatalf("survivor indices %d..%d, want 7..9", ivs[0].Index, ivs[2].Index)
+	}
+	if rec.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", rec.Dropped())
+	}
+}
+
+func TestRecorderDumpDeterminism(t *testing.T) {
+	record := func() *Recorder {
+		src := newFakeSource()
+		rec := NewRecorder(src, 8)
+		for i := 0; i < 5; i++ {
+			src.counters["x"] += int64(i)
+			src.counters["y"] += 2
+			src.hist("lat").Observe(int64(i) * 50)
+			rec.Record(int64(i) * 1000)
+		}
+		return rec
+	}
+	var csv1, csv2, js1, js2 bytes.Buffer
+	r1, r2 := record(), record()
+	if err := r1.WriteCSV(&csv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteCSV(&csv2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.WriteJSON(&js1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&js2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1.Bytes(), csv2.Bytes()) {
+		t.Fatal("CSV dumps differ across identical recordings")
+	}
+	if !bytes.Equal(js1.Bytes(), js2.Bytes()) {
+		t.Fatal("JSON dumps differ across identical recordings")
+	}
+	if !strings.HasPrefix(csv1.String(), "interval,at,kind,name,delta,dsum\n") {
+		t.Fatalf("CSV header: %q", strings.SplitN(csv1.String(), "\n", 2)[0])
+	}
+	// Spot-check one row shape.
+	if !strings.Contains(csv1.String(), "1,1000,counter,x,1,\n") {
+		t.Fatalf("CSV missing expected counter row:\n%s", csv1.String())
+	}
+	if !strings.Contains(csv1.String(), ",hist,lat,1,") {
+		t.Fatalf("CSV missing expected hist row:\n%s", csv1.String())
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	src := newFakeSource()
+	for i := 0; i < 100; i++ {
+		src.counters[string(rune('a'+i%26))+string(rune('a'+i/26))] = int64(i)
+	}
+	for i := 0; i < 16; i++ {
+		src.hist("h" + string(rune('a'+i))).Observe(int64(i) * 100)
+	}
+	rec := NewRecorder(src, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := range src.counters {
+			src.counters[k]++
+		}
+		rec.Record(int64(i))
+	}
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHistDecodeMerge throws arbitrary bytes at the histogram decoder.
+// Anything that decodes must be internally consistent: canonical
+// re-encoding, merge-with-self doubling, and monotone quantiles bounded
+// by the maximum.
+func FuzzHistDecodeMerge(f *testing.F) {
+	// Seed corpus: valid encodings across the geometry's regimes.
+	var empty Hist
+	f.Add(empty.AppendBinary(nil))
+	var exact Hist
+	for v := int64(0); v < 32; v++ {
+		exact.Observe(v)
+	}
+	f.Add(exact.AppendBinary(nil))
+	var logRange Hist
+	for v := int64(1); v < 1<<20; v *= 3 {
+		logRange.Observe(v)
+	}
+	f.Add(logRange.AppendBinary(nil))
+	var clamped Hist
+	clamped.Observe(histCeiling + 999)
+	clamped.Observe(1 << 40)
+	f.Add(clamped.AppendBinary(nil))
+	// And a few invalid shapes so the fuzzer starts near the edges.
+	f.Add([]byte{})
+	f.Add([]byte{histCodecVersion})
+	f.Add([]byte{99, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHist(data)
+		if err != nil {
+			return
+		}
+		// Canonical: decode → encode reproduces the input bytes exactly.
+		enc := h.AppendBinary(nil)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", data, enc)
+		}
+		// Quantiles are monotone and bounded by max.
+		prev := int64(-1)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile regression at q=%g: %d after %d", q, v, prev)
+			}
+			if v > h.Max() {
+				t.Fatalf("quantile %g = %d above max %d", q, v, h.Max())
+			}
+			prev = v
+		}
+		// Merge with a copy of itself: counts and sums double, max holds,
+		// and the merged encoding still decodes cleanly.
+		cp := *h
+		cp.Merge(h)
+		if cp.Count() != 2*h.Count() || cp.Sum() != 2*h.Sum() || cp.Max() != h.Max() {
+			t.Fatalf("self-merge arithmetic off: %+v vs %+v", cp.Snapshot(), h.Snapshot())
+		}
+		if _, err := DecodeHist(cp.AppendBinary(nil)); err != nil {
+			t.Fatalf("self-merge produced undecodable histogram: %v", err)
+		}
+	})
+}

@@ -25,6 +25,7 @@ package obs
 import (
 	"io"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -102,6 +103,22 @@ var segKeys = func() (k [numSegments]string) {
 // accounting through it to prove the counter lane stays silent for the
 // counter-free designs.
 func SegStatKey(s Segment) string { return segKeys[s] }
+
+// segHistKeys holds the per-segment latency-histogram names
+// ("obs/hist/seg/<name>-ns"), the distribution companion of segKeys and
+// the same kind of dynamic family: out of the central registry, indexed
+// only through this table.
+var segHistKeys = func() (k [numSegments]string) {
+	for i, n := range segNames {
+		k[i] = "obs/hist/seg/" + n + "-ns"
+	}
+	return
+}()
+
+// SegHistKey reports the latency-histogram name a segment records into
+// ("obs/hist/seg/<name>-ns") — the figures/report layers read per-segment
+// p50/p95/p99 through it.
+func SegHistKey(s Segment) string { return segHistKeys[s] }
 
 // ctrSrcKeys and decryptKeys map the enum classifications to their
 // registered aggregate keys. CtrUnknown/DecNone never reach the sink:
@@ -213,6 +230,12 @@ type Req struct {
 	open [numSegments]sim.Time
 	lane int  // chrome lane slot, -1 when no chrome sink
 	done bool // Finish ran; late annotations are ignored
+
+	// nextFree links retired requests into the tracer's freelist so the
+	// steady-state traced hot path allocates nothing (the Spans backing
+	// array is reused too). Only requests retained in the top-N table
+	// stay out of the pool.
+	nextFree *Req
 }
 
 // Span records a closed interval attributed to seg. Zero- or negative-
@@ -395,6 +418,20 @@ type Tracer struct {
 	top  []*Req // sorted by latency, longest first
 
 	lanes laneAlloc
+
+	// freeReq heads the retired-request pool (see Req.nextFree).
+	freeReq *Req
+
+	// hists caches the latency-histogram cells of the stats sink. Binding
+	// is lazy — at the first aggregate — because the owning simulation may
+	// Reset its stats set at the warmup boundary (tsim does) and warmup is
+	// never traced, so first-aggregate is always on the measured side.
+	hists struct {
+		bound   bool
+		seg     [numSegments]*metrics.Hist
+		latency *metrics.Hist
+		exposed *metrics.Hist
+	}
 }
 
 // New builds a tracer. Returns a ready tracer even with no sinks (the
@@ -407,6 +444,8 @@ func New(o Options) *Tracer {
 		o.TopN = 10
 	}
 	t := &Tracer{st: o.Stats, sample: o.Sample, period: o.SamplePeriod, topN: o.TopN}
+	// One spare slot so keepTopN's insert-then-truncate never reallocates.
+	t.top = make([]*Req, 0, o.TopN+1)
 	if o.Writer != nil {
 		t.cw = newChromeWriter(o.Writer, o.Meta)
 	}
@@ -437,7 +476,13 @@ func (t *Tracer) StartReq(core int, block uint64, store bool, at sim.Time) *Req 
 		return nil
 	}
 	t.traced++
-	r := &Req{t: t, ID: t.traced, Core: core, Block: block, Store: store, Start: at, lane: -1}
+	r := t.freeReq
+	if r == nil {
+		r = &Req{}
+	} else {
+		t.freeReq = r.nextFree
+	}
+	*r = Req{t: t, ID: t.traced, Core: core, Block: block, Store: store, Start: at, lane: -1, Spans: r.Spans[:0]}
 	for i := range r.open {
 		r.open[i] = noOpen
 	}
@@ -447,7 +492,9 @@ func (t *Tracer) StartReq(core int, block uint64, store bool, at sim.Time) *Req 
 	return r
 }
 
-// endReq is the single drain point: aggregate, stream, retire the lane.
+// endReq is the single drain point: aggregate, stream, retire the lane,
+// and recycle the request unless the top-N table retains it (in which
+// case whatever it evicted is recycled instead).
 func (t *Tracer) endReq(r *Req) {
 	if t == nil {
 		return
@@ -459,12 +506,38 @@ func (t *Tracer) endReq(r *Req) {
 		t.cw.writeReq(r)
 		t.lanes.release(r.Core, r.lane)
 	}
-	t.keepTopN(r)
+	evicted, kept := t.keepTopN(r)
+	if !kept {
+		t.recycle(r)
+	} else if evicted != nil {
+		t.recycle(evicted)
+	}
+}
+
+// recycle returns a retired request to the freelist.
+func (t *Tracer) recycle(r *Req) {
+	r.nextFree = t.freeReq
+	t.freeReq = r
+}
+
+// bindHists binds the latency-histogram cells (called lazily from
+// aggregate; see the field comment for why binding waits).
+func (t *Tracer) bindHists() {
+	st := t.st
+	for i := range segHistKeys {
+		t.hists.seg[i] = st.HistRef(segHistKeys[i]) //lint:dynamic-key per-segment family obs/hist/seg/<name>-ns
+	}
+	t.hists.latency = st.HistRef(stats.ObsReqLatencyHist)
+	t.hists.exposed = st.HistRef(stats.ObsExposedDecryptHist)
+	t.hists.bound = true
 }
 
 // aggregate feeds the stats sink with this request's attribution.
 func (t *Tracer) aggregate(r *Req) {
 	st := t.st
+	if !t.hists.bound {
+		t.bindHists()
+	}
 	st.Inc(stats.ObsReqTraced)
 	if r.Store {
 		st.Inc(stats.ObsReqStore)
@@ -479,8 +552,10 @@ func (t *Tracer) aggregate(r *Req) {
 		st.Inc(stats.ObsReqOffload)
 	}
 	st.Observe(stats.ObsReqLatencyNS, r.Latency().Nanoseconds())
+	t.hists.latency.Observe(int64(r.Latency()) / 1000)
 	for _, sp := range r.Spans {
 		st.Observe(segKeys[sp.Seg], (sp.End - sp.Start).Nanoseconds()) //lint:dynamic-key per-segment family obs/seg/<name>-ns
+		t.hists.seg[sp.Seg].Observe(int64(sp.End-sp.Start) / 1000)
 	}
 	if r.CtrSrc != CtrUnknown {
 		st.Inc(ctrSrcKeys[r.CtrSrc]) //lint:dynamic-key selected from the registered ctrSrcKeys table
@@ -488,6 +563,7 @@ func (t *Tracer) aggregate(r *Req) {
 	if r.Decrypt != DecNone {
 		st.Inc(decryptKeys[r.Decrypt]) //lint:dynamic-key selected from the registered decryptKeys table
 		st.Observe(stats.ObsExposedDecryptNS, r.Exposed.Nanoseconds())
+		t.hists.exposed.Observe(int64(r.Exposed) / 1000)
 		// Overlapped = crypto-lane work that did NOT extend the critical
 		// path: counter resolution + AES minus what stayed exposed.
 		over := r.cryptoDur() - r.Exposed
@@ -498,14 +574,17 @@ func (t *Tracer) aggregate(r *Req) {
 	}
 }
 
-// keepTopN maintains the bounded slowest-requests table.
-func (t *Tracer) keepTopN(r *Req) {
+// keepTopN maintains the bounded slowest-requests table. It reports
+// whether r was retained, and the request it displaced (if any) so the
+// caller can recycle exactly the one reference that fell out of the
+// table.
+func (t *Tracer) keepTopN(r *Req) (evicted *Req, kept bool) {
 	if t.topN <= 0 {
-		return
+		return nil, false
 	}
 	lat := r.Latency()
 	if len(t.top) == t.topN && lat <= t.top[len(t.top)-1].Latency() {
-		return
+		return nil, false
 	}
 	// Insert in descending-latency order (stable on ties by ID: earlier
 	// request wins, keeping the table deterministic).
@@ -521,8 +600,10 @@ func (t *Tracer) keepTopN(r *Req) {
 	copy(t.top[i+1:], t.top[i:])
 	t.top[i] = r
 	if len(t.top) > t.topN {
+		evicted = t.top[len(t.top)-1]
 		t.top = t.top[:t.topN]
 	}
+	return evicted, true
 }
 
 // TopRequests returns the slowest traced requests, longest first.

@@ -303,3 +303,63 @@ func TestReportOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestHistAggregation(t *testing.T) {
+	st := stats.NewSet()
+	tr := New(Options{Stats: st, TopN: 2})
+	synthetic(tr)
+
+	// Request latencies: 80, 23, 28 ns → the hist sees integer ns.
+	lh := st.Hist(stats.ObsReqLatencyHist)
+	if lh.Count() != 3 || lh.Max() != 80 {
+		t.Fatalf("latency hist n=%d max=%d, want 3/80", lh.Count(), lh.Max())
+	}
+	if lh.Quantile(1) != 80 {
+		t.Fatalf("latency p100 = %d, want 80", lh.Quantile(1))
+	}
+	// Per-segment hist mirrors the accumulator counts.
+	sh := st.Hist(SegHistKey(SegDRAMService))
+	if sh.Count() != 1 || sh.Max() != 35 {
+		t.Fatalf("dram-service hist n=%d max=%d, want 1/35", sh.Count(), sh.Max())
+	}
+	// Exposed-decrypt hist: one 2 ns sample.
+	eh := st.Hist(stats.ObsExposedDecryptHist)
+	if eh.Count() != 1 || eh.Max() != 2 {
+		t.Fatalf("exposed hist n=%d max=%d, want 1/2", eh.Count(), eh.Max())
+	}
+	// Quantiles of the latency hist are monotone and within range.
+	if p50, p99 := lh.Quantile(0.5), lh.Quantile(0.99); p50 > p99 || p99 > lh.Max() {
+		t.Fatalf("latency quantiles out of order: p50=%d p99=%d max=%d", p50, p99, lh.Max())
+	}
+}
+
+func TestReqPoolingPreservesTopN(t *testing.T) {
+	st := stats.NewSet()
+	tr := New(Options{Stats: st, TopN: 3})
+	ns := func(n int64) sim.Time { return sim.Time(n) * sim.Nanosecond }
+	// 50 requests with latency i ns; pooled Reqs are reused heavily but
+	// the retained top-3 must keep their own state intact.
+	for i := int64(1); i <= 50; i++ {
+		r := tr.StartReq(int(i%4), uint64(i)<<6, false, ns(0))
+		r.AddSpan(SegL1, ns(0), ns(i))
+		r.Finish(ns(i))
+	}
+	top := tr.TopRequests()
+	if len(top) != 3 {
+		t.Fatalf("top has %d entries, want 3", len(top))
+	}
+	for j, wantNS := range []int64{50, 49, 48} {
+		if got := int64(top[j].Latency()) / 1000; got != wantNS {
+			t.Fatalf("top[%d] latency %d ns, want %d", j, got, wantNS)
+		}
+		if len(top[j].Spans) != 1 || top[j].Spans[0].Seg != SegL1 {
+			t.Fatalf("top[%d] spans corrupted by pooling: %+v", j, top[j].Spans)
+		}
+	}
+	// The freelist actually recycles: run the same workload again on the
+	// same tracer and confirm no unbounded growth of live requests (a
+	// proxy: pool head is non-nil after the churn above).
+	if tr.freeReq == nil {
+		t.Fatal("freelist empty after 47 evictions")
+	}
+}

@@ -21,14 +21,22 @@ func WriteSummary(w io.Writer, st *stats.Set) {
 	if lat.Count > 0 {
 		fmt.Fprintf(w, "request latency: mean %.1f ns  min %.1f  max %.1f\n", lat.Mean(), lat.Min, lat.Max)
 	}
+	if lh := st.Hist(stats.ObsReqLatencyHist); lh.Count() > 0 {
+		fmt.Fprintf(w, "request latency: p50 %d ns  p95 %d  p99 %d\n",
+			lh.Quantile(0.50), lh.Quantile(0.95), lh.Quantile(0.99))
+	}
 
-	fmt.Fprintf(w, "\n%-16s %10s %12s %12s\n", "segment", "spans", "mean ns", "max ns")
+	fmt.Fprintf(w, "\n%-16s %10s %12s %8s %8s %8s %12s\n",
+		"segment", "spans", "mean ns", "p50", "p95", "p99", "max ns")
 	for _, seg := range Segments() {
 		a := st.Accum(segKeys[seg]) //lint:dynamic-key per-segment family obs/seg/<name>-ns
 		if a.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%-16s %10d %12.2f %12.2f\n", seg.String(), a.Count, a.Mean(), a.Max)
+		h := st.Hist(segHistKeys[seg]) //lint:dynamic-key per-segment family obs/hist/seg/<name>-ns
+		fmt.Fprintf(w, "%-16s %10d %12.2f %8d %8d %8d %12.2f\n",
+			seg.String(), a.Count, a.Mean(),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), a.Max)
 	}
 
 	exp := st.Accum(stats.ObsExposedDecryptNS)

@@ -10,8 +10,9 @@ import (
 )
 
 // cacheSchema versions the on-disk envelope; bumping it orphans (never
-// corrupts) old entries.
-const cacheSchema = 1
+// corrupts) old entries. Schema 2: snapshots may carry histogram cells
+// (stats.Snapshot.Hists), and traced scenarios key on the Trace flag.
+const cacheSchema = 2
 
 // Cache is a persistent scenario-outcome store: one JSON file per outcome
 // under <dir>/<code-identity>/<scenario-key>.json. The scenario key covers

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/fsim"
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/stats"
 	"repro/internal/tsim"
@@ -51,6 +52,11 @@ type Scenario struct {
 	// Cores is the simulated core count; 0 uses the configuration default.
 	Cores int
 	Scale workload.Scale
+	// Trace attaches a stats-sinking tracer (internal/obs) to timing runs,
+	// so the outcome's snapshot carries the per-segment latency histograms
+	// and request-mix counters. Tracing perturbs no timing, but it does
+	// change the recorded statistics, so it is part of the key.
+	Trace bool
 	// Label is a human-readable tag for progress logs (e.g.
 	// "canneal emcc/ch8"); it does not contribute to the key.
 	Label string
@@ -68,6 +74,7 @@ func (s *Scenario) Key() string {
 		"warmup":    fmt.Sprint(s.Warmup),
 		"cores":     fmt.Sprint(s.Cores),
 		"scale":     fmt.Sprintf("%+v", s.Scale),
+		"trace":     fmt.Sprint(s.Trace),
 	})
 }
 
@@ -122,6 +129,11 @@ func (s *Scenario) Execute() (*Outcome, error) {
 		ts, err := s.NewTiming()
 		if err != nil {
 			return nil, err
+		}
+		if s.Trace {
+			// Sink the tracer into the run's own stats set so the outcome
+			// snapshot carries the obs histograms alongside everything else.
+			ts.SetTracer(obs.New(obs.Options{Stats: ts.Stats()}))
 		}
 		res := ts.Run()
 		return &Outcome{Stats: ts.Stats().Snapshot(), Timing: &res}, nil

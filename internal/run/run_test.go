@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -46,6 +47,11 @@ func TestScenarioKeyIgnoresLabel(t *testing.T) {
 	e.Mode = Timing
 	if a.Key() == e.Key() {
 		t.Fatal("mode change did not change the key")
+	}
+	f := a
+	f.Trace = true
+	if a.Key() == f.Key() {
+		t.Fatal("trace flag did not change the key")
 	}
 }
 
@@ -234,5 +240,48 @@ func TestExecuteSurfacesErrors(t *testing.T) {
 	p2.Add(bad)
 	if _, _, err := Execute(p2, Options{Workers: 1}); err == nil {
 		t.Fatal("invalid config did not error")
+	}
+}
+
+// TestTracedScenarioCarriesHistograms pins the Trace plumbing end to end: a
+// traced timing scenario's outcome snapshot holds the obs latency
+// histograms, they survive the cache round trip, and the untraced twin
+// (a distinct key) carries none.
+func TestTracedScenarioCarriesHistograms(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := miniature(Timing, "canneal", nil)
+	s.Trace = true
+	o, executed, err := Resolve(&s, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !executed {
+		t.Fatal("first Resolve did not execute")
+	}
+	h := o.Stats.Hist(stats.ObsReqLatencyHist)
+	if h.Count == 0 {
+		t.Fatal("traced outcome has an empty request-latency histogram")
+	}
+	cached, executed, err := Resolve(&s, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed {
+		t.Fatal("second Resolve re-executed")
+	}
+	ch := cached.Stats.Hist(stats.ObsReqLatencyHist)
+	if ch.Count != h.Count || ch.Quantile(0.99) != h.Quantile(0.99) {
+		t.Fatalf("histogram changed across the cache round trip: %+v vs %+v", ch, h)
+	}
+	plain := miniature(Timing, "canneal", nil)
+	po, err := plain.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := po.Stats.Hist(stats.ObsReqLatencyHist).Count; n != 0 {
+		t.Fatalf("untraced outcome carries %d request-latency samples", n)
 	}
 }

@@ -46,6 +46,9 @@ type Engine struct {
 	seq   uint64
 	q     eventQueue
 	steps uint64
+	// ticks counts currently-scheduled Every events, so tickers judge
+	// liveness against real work instead of each other (see Every).
+	ticks int
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -97,21 +100,27 @@ func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 func (e *Engine) AfterCall(d Time, fn func(any), arg any) { e.AtCall(e.now+d, fn, arg) }
 
 // Every invokes fn(now) each period, starting one period from now, for as
-// long as other work remains scheduled. The tick re-arms only when the
-// engine still holds at least one other pending event after it pops, so a
-// periodic sampler never keeps Run from terminating once the simulation
-// proper has drained.
+// long as other work remains scheduled. Liveness is judged against
+// non-ticker events only: the engine counts how many Every ticks are
+// currently scheduled, and a tick re-arms only when something beyond the
+// other tickers is still pending. That makes any number of coexisting
+// periodic samplers (the obs time-series sampler, the flight recorder)
+// terminate together once the simulation proper drains — with the old
+// Pending() > 0 rule, two tickers would keep each other alive forever.
 func (e *Engine) Every(period Time, fn func(now Time)) {
 	if period <= 0 {
 		panic("sim: Every needs a positive period")
 	}
 	var tick func()
 	tick = func() {
+		e.ticks--
 		fn(e.now)
-		if e.Pending() > 0 {
+		if e.Pending() > e.ticks {
+			e.ticks++
 			e.After(period, tick)
 		}
 	}
+	e.ticks++
 	e.After(period, tick)
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestNSConversion(t *testing.T) {
 	cases := []struct {
@@ -156,6 +159,39 @@ func TestEveryStopsWhenWorkDrains(t *testing.T) {
 	}
 	if e.Pending() != 0 {
 		t.Fatalf("%d events left pending", e.Pending())
+	}
+}
+
+// TestCoexistingTickersTerminate is the two-sampler regression: multiple
+// Every loops must judge liveness against real work, not each other. With
+// the naive Pending() > 0 re-arm rule, any two tickers keep the engine
+// alive forever once the simulation drains.
+func TestCoexistingTickersTerminate(t *testing.T) {
+	e := New()
+	var a, b, c int
+	e.Every(10, func(Time) { a++ })
+	e.Every(7, func(Time) { b++ })
+	e.Every(25, func(Time) { c++ })
+	e.At(60, func() {})
+	done := make(chan struct{})
+	go func() {
+		e.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("three tickers kept each other alive past the last real event")
+	}
+	if a == 0 || b == 0 || c == 0 {
+		t.Fatalf("ticker starved: %d/%d/%d ticks", a, b, c)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events left pending", e.Pending())
+	}
+	// Every ticker ran while real work existed: at least floor(60/period).
+	if a < 6 || b < 8 || c < 2 {
+		t.Fatalf("tickers stopped early: %d/%d/%d ticks", a, b, c)
 	}
 }
 

@@ -4,8 +4,8 @@
 //
 // Contract (enforced by cmd/lint's statskey pass and by keys_test.go):
 //
-//   - Every name passed to Set.Add/Inc/Observe/Counter/Accum/Hist and to
-//     Snapshot.Counter/AccumMean must resolve, at compile time, to one of
+//   - Every name passed to Set.Add/Inc/Observe/Counter/Accum/Hist/HistRef
+//     and to Snapshot.Counter/AccumMean/Hist must resolve, at compile time, to one of
 //     the constants below. A key that is assembled at runtime (per-segment
 //     or per-name families like "obs/seg/<segment>-ns") must carry a
 //     `//lint:dynamic-key` annotation at the call site.
@@ -163,6 +163,20 @@ const (
 
 	ObsDecryptAtL2 = "obs/decrypt-at/l2"
 	ObsDecryptAtMC = "obs/decrypt-at/mc"
+
+	// Latency histograms (internal/metrics cells). The per-segment family
+	// "obs/hist/seg/<segment>-ns" is dynamic like "obs/seg/<segment>-ns";
+	// the two distributions every consumer reads by name are registered.
+	ObsReqLatencyHist     = "obs/hist/req-latency-ns"
+	ObsExposedDecryptHist = "obs/hist/exposed-decrypt-ns"
+)
+
+// Flight-recorder keys (internal/metrics.Recorder wired by tsim).
+const (
+	// FlightIntervals counts interval samples taken by the recorder.
+	FlightIntervals = "flight/intervals"
+	// FlightDropped counts intervals evicted from the bounded ring.
+	FlightDropped = "flight/dropped"
 )
 
 // registry lists every key constant declared above, in declaration order.
@@ -206,6 +220,9 @@ var registry = []string{
 	ObsFlowL2Miss, ObsFlowLLCMiss,
 	ObsCtrSrcL2, ObsCtrSrcLLC, ObsCtrSrcMC,
 	ObsDecryptAtL2, ObsDecryptAtMC,
+	ObsReqLatencyHist, ObsExposedDecryptHist,
+
+	FlightIntervals, FlightDropped,
 }
 
 // Keys returns every registered stats key, in declaration order.

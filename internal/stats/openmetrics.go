@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// WriteOpenMetrics renders the snapshot in the OpenMetrics / Prometheus
+// text exposition format: counters as `<name>_total` counter families,
+// accumulators as count/sum/min/max gauges, and histograms as cumulative
+// `_bucket{le=...}` series over the shared metrics geometry. Metric names
+// are the stats keys with '/' and '-' mapped to '_'. Output is sorted and
+// byte-deterministic, ending with the `# EOF` terminator, so it can be
+// golden-compared or served verbatim by a scrape endpoint.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	var b strings.Builder
+
+	counterNames := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		counterNames = append(counterNames, k)
+	}
+	sort.Strings(counterNames)
+	for _, k := range counterNames {
+		n := openMetricsName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+		fmt.Fprintf(&b, "%s_total %d\n", n, s.Counters[k])
+	}
+
+	accumNames := make([]string, 0, len(s.Accums))
+	for k := range s.Accums {
+		accumNames = append(accumNames, k)
+	}
+	sort.Strings(accumNames)
+	for _, k := range accumNames {
+		n := openMetricsName(k)
+		a := s.Accums[k]
+		fmt.Fprintf(&b, "# TYPE %s_count gauge\n%s_count %d\n", n, n, a.Count)
+		fmt.Fprintf(&b, "# TYPE %s_mean gauge\n%s_mean %g\n", n, n, a.Mean)
+		fmt.Fprintf(&b, "# TYPE %s_min gauge\n%s_min %g\n", n, n, a.Min)
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %g\n", n, n, a.Max)
+	}
+
+	histNames := make([]string, 0, len(s.Hists))
+	for k := range s.Hists {
+		histNames = append(histNames, k)
+	}
+	sort.Strings(histNames)
+	for _, k := range histNames {
+		n := openMetricsName(k)
+		h := s.Hists[k]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, c := range h.Buckets {
+			cum += c
+			if c == 0 {
+				continue
+			}
+			// Samples are integers, so the inclusive le bound of bucket i
+			// is its exclusive upper bound minus one.
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, metrics.BucketUpper(i)-1, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_max %d\n", n, h.Max)
+	}
+
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// openMetricsName maps a stats key to a legal exposition metric name.
+func openMetricsName(key string) string {
+	return strings.NewReplacer("/", "_", "-", "_", ".", "_").Replace(key)
+}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Set is a named bag of metrics. The zero value is not usable; call NewSet.
@@ -23,7 +25,7 @@ import (
 type Set struct {
 	counters map[string]*int64
 	accums   map[string]*Accumulator
-	hists    map[string]*Histogram
+	hists    map[string]*metrics.Hist
 	prov     map[string]string
 }
 
@@ -32,7 +34,7 @@ func NewSet() *Set {
 	return &Set{
 		counters: make(map[string]*int64),
 		accums:   make(map[string]*Accumulator),
-		hists:    make(map[string]*Histogram),
+		hists:    make(map[string]*metrics.Hist),
 	}
 }
 
@@ -44,7 +46,7 @@ func NewSet() *Set {
 func (s *Set) Reset() {
 	s.counters = make(map[string]*int64)
 	s.accums = make(map[string]*Accumulator)
-	s.hists = make(map[string]*Histogram)
+	s.hists = make(map[string]*metrics.Hist)
 }
 
 // SetProvenance attaches a run-provenance manifest (see internal/prov) to
@@ -102,15 +104,26 @@ func (s *Set) Accum(name string) *Accumulator {
 	return &Accumulator{}
 }
 
-// Hist returns (creating if needed) the named histogram with the given
-// bucket geometry. Geometry is fixed on first use.
-func (s *Set) Hist(name string, lo, width float64, n int) *Histogram {
+// HistRef returns the named histogram's cell, creating an empty one. Hot
+// paths bind the cell once and Observe through the pointer (the same
+// discipline as CounterRef/AccumRef); it is valid until the next Reset. A
+// histogram that never receives a sample stays invisible to Snapshot and
+// Names, so eager binding never perturbs golden output.
+func (s *Set) HistRef(name string) *metrics.Hist {
 	h := s.hists[name]
 	if h == nil {
-		h = NewHistogram(lo, width, n)
+		h = &metrics.Hist{}
 		s.hists[name] = h
 	}
 	return h
+}
+
+// Hist returns the named histogram, or an empty one if never observed.
+func (s *Set) Hist(name string) *metrics.Hist {
+	if h := s.hists[name]; h != nil {
+		return h
+	}
+	return &metrics.Hist{}
 }
 
 // Names reports every metric name present, sorted, for debug dumps.
@@ -129,7 +142,7 @@ func (s *Set) Names() []string {
 		}
 	}
 	for k, h := range s.hists {
-		if h.total != 0 {
+		if h.Count() != 0 {
 			names = append(names, "hist/"+k)
 		}
 	}
@@ -170,62 +183,37 @@ func (a *Accumulator) Mean() float64 {
 	return a.Sum / float64(a.Count)
 }
 
-// Histogram is a fixed-geometry linear histogram with underflow/overflow
-// buckets at the ends.
-type Histogram struct {
-	Lo      float64
-	Width   float64
-	Buckets []int64
-	Under   int64
-	Over    int64
-	total   int64
-	sum     float64
-}
-
-// NewHistogram builds a histogram covering [lo, lo+width*n) in n buckets.
-func NewHistogram(lo, width float64, n int) *Histogram {
-	if width <= 0 || n <= 0 {
-		panic("stats: invalid histogram geometry")
+// VisitCounters calls fn for every non-zero counter in ascending name
+// order. Together with VisitHists it makes Set a metrics.Source, so a
+// flight recorder can sample any Set without the metrics package knowing
+// about this one.
+func (s *Set) VisitCounters(fn func(name string, v int64)) {
+	names := make([]string, 0, len(s.counters))
+	for k, c := range s.counters {
+		if *c != 0 {
+			names = append(names, k)
+		}
 	}
-	return &Histogram{Lo: lo, Width: width, Buckets: make([]int64, n)}
-}
-
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	h.total++
-	h.sum += v
-	i := int(math.Floor((v - h.Lo) / h.Width))
-	switch {
-	case i < 0:
-		h.Under++
-	case i >= len(h.Buckets):
-		h.Over++
-	default:
-		h.Buckets[i]++
+	sort.Strings(names)
+	for _, k := range names {
+		fn(k, *s.counters[k])
 	}
 }
 
-// Total reports the number of samples observed.
-func (h *Histogram) Total() int64 { return h.total }
-
-// Mean reports the mean of all observed samples.
-func (h *Histogram) Mean() float64 {
-	if h.total == 0 {
-		return 0
+// VisitHists calls fn for every non-empty histogram in ascending name
+// order (the other half of the metrics.Source contract).
+func (s *Set) VisitHists(fn func(name string, h *metrics.Hist)) {
+	names := make([]string, 0, len(s.hists))
+	for k, h := range s.hists {
+		if h.Count() != 0 {
+			names = append(names, k)
+		}
 	}
-	return h.sum / float64(h.total)
-}
-
-// Fraction reports the share of samples that landed in bucket i.
-func (h *Histogram) Fraction(i int) float64 {
-	if h.total == 0 {
-		return 0
+	sort.Strings(names)
+	for _, k := range names {
+		fn(k, s.hists[k])
 	}
-	return float64(h.Buckets[i]) / float64(h.total)
 }
-
-// BucketLo reports the inclusive lower bound of bucket i.
-func (h *Histogram) BucketLo(i int) float64 { return h.Lo + float64(i)*h.Width }
 
 // GeoMean computes the geometric mean of strictly positive values; zero or
 // negative inputs are skipped (matching how the paper reports Fig 22).
@@ -263,6 +251,10 @@ type Snapshot struct {
 	Provenance map[string]string       `json:"provenance,omitempty"`
 	Counters   map[string]int64        `json:"counters"`
 	Accums     map[string]AccumSummary `json:"accumulators"`
+	// Hists holds the log-bucketed latency histograms (internal/metrics),
+	// trailing-zero-trimmed. Absent entirely when the run recorded none,
+	// so snapshots from histogram-free runs keep their historical shape.
+	Hists map[string]metrics.HistSnapshot `json:"histograms,omitempty"`
 }
 
 // AccumSummary is the JSON view of an Accumulator.
@@ -289,15 +281,22 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 // snapshot (zero if never observed), mirroring Set.Accum(name).Mean().
 func (s Snapshot) AccumMean(name string) float64 { return s.Accums[name].Mean }
 
+// Hist reports the named histogram captured in the snapshot (an empty
+// one if never observed), mirroring Set.Hist for cached outcomes.
+func (s Snapshot) Hist(name string) metrics.HistSnapshot { return s.Hists[name] }
+
 // Dump formats the snapshot for human inspection, one line per metric
 // sorted by prefixed name (the historical Set.Dump layout).
 func (s Snapshot) Dump() string {
-	names := make([]string, 0, len(s.Counters)+len(s.Accums))
+	names := make([]string, 0, len(s.Counters)+len(s.Accums)+len(s.Hists))
 	for k := range s.Counters {
 		names = append(names, "counter/"+k)
 	}
 	for k := range s.Accums {
 		names = append(names, "accum/"+k)
+	}
+	for k := range s.Hists {
+		names = append(names, "hist/"+k)
 	}
 	sort.Strings(names)
 	var b strings.Builder
@@ -308,6 +307,10 @@ func (s Snapshot) Dump() string {
 		case strings.HasPrefix(n, "accum/"):
 			a := s.Accums[strings.TrimPrefix(n, "accum/")]
 			fmt.Fprintf(&b, "%-52s mean=%.3f n=%d min=%.3f max=%.3f\n", n, a.Mean, a.Count, a.Min, a.Max)
+		case strings.HasPrefix(n, "hist/"):
+			h := s.Hists[strings.TrimPrefix(n, "hist/")]
+			fmt.Fprintf(&b, "%-52s n=%d p50=%d p95=%d p99=%d max=%d\n",
+				n, h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
 		}
 	}
 	return b.String()
@@ -331,6 +334,14 @@ func (s *Set) Snapshot() Snapshot {
 	for k, a := range s.accums {
 		if a.Count != 0 {
 			snap.Accums[k] = AccumSummary{Count: a.Count, Mean: a.Mean(), Min: a.Min, Max: a.Max}
+		}
+	}
+	for k, h := range s.hists {
+		if h.Count() != 0 {
+			if snap.Hists == nil {
+				snap.Hists = make(map[string]metrics.HistSnapshot)
+			}
+			snap.Hists[k] = h.Snapshot()
 		}
 	}
 	if s.prov != nil {

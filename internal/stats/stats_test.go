@@ -32,42 +32,36 @@ func TestAccumulator(t *testing.T) {
 	}
 }
 
-func TestHistogram(t *testing.T) {
-	h := NewHistogram(10, 1, 5) // [10,15) in 5 buckets
-	for _, v := range []float64{9, 10, 10.5, 12, 14.9, 15, 100} {
+func TestHistCells(t *testing.T) {
+	s := NewSet()
+	h := s.HistRef("lat")
+	for _, v := range []int64{3, 40, 40, 5000} {
 		h.Observe(v)
 	}
-	if h.Under != 1 || h.Over != 2 {
-		t.Fatalf("under=%d over=%d, want 1 and 2", h.Under, h.Over)
+	// HistRef returns the same cell; Hist reads it.
+	if s.HistRef("lat") != h {
+		t.Fatal("HistRef did not return the bound cell")
 	}
-	if h.Buckets[0] != 2 { // 10 and 10.5
-		t.Fatalf("bucket0 = %d, want 2", h.Buckets[0])
+	if got := s.Hist("lat").Count(); got != 4 {
+		t.Fatalf("Hist count = %d, want 4", got)
 	}
-	if h.Total() != 7 {
-		t.Fatalf("total = %d, want 7", h.Total())
+	if s.Hist("missing").Count() != 0 {
+		t.Fatal("missing hist should read as empty")
 	}
-	if h.BucketLo(2) != 12 {
-		t.Fatalf("bucketLo(2) = %v, want 12", h.BucketLo(2))
+	// Bound-but-empty cells stay invisible; observed ones show up.
+	s.HistRef("never-observed")
+	names := s.Names()
+	want := []string{"hist/lat"}
+	if len(names) != 1 || names[0] != want[0] {
+		t.Fatalf("names = %v, want %v", names, want)
 	}
-	if got := h.Fraction(0); math.Abs(got-2.0/7) > 1e-12 {
-		t.Fatalf("fraction(0) = %v", got)
-	}
-}
-
-func TestHistogramInvalidGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid geometry did not panic")
-		}
-	}()
-	NewHistogram(0, 0, 5)
 }
 
 func TestReset(t *testing.T) {
 	s := NewSet()
 	s.Inc("a")
 	s.Observe("b", 1)
-	s.Hist("c", 0, 1, 10).Observe(5)
+	s.HistRef("c").Observe(5)
 	s.Reset()
 	if s.Counter("a") != 0 || s.Accum("b").Count != 0 {
 		t.Fatal("reset did not clear metrics")
@@ -113,6 +107,7 @@ func TestSnapshotRoundTripsJSON(t *testing.T) {
 	s := NewSet()
 	s.Add("x", 7)
 	s.Observe("y", 2.5)
+	s.HistRef("h").Observe(100)
 	snap := s.Snapshot()
 	data, err := json.Marshal(snap)
 	if err != nil {
@@ -124,6 +119,9 @@ func TestSnapshotRoundTripsJSON(t *testing.T) {
 	}
 	if back.Counters["x"] != 7 || back.Accums["y"].Mean != 2.5 {
 		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Hist("h").Count != 1 || back.Hist("h").Quantile(0.5) != snap.Hist("h").Quantile(0.5) {
+		t.Fatalf("histogram lost in round trip: %+v", back.Hists)
 	}
 	// Snapshot is a copy: mutating the set afterwards must not affect it.
 	s.Add("x", 100)
@@ -158,6 +156,7 @@ func TestSnapshotDumpSurvivesRoundTrip(t *testing.T) {
 	s.Add("b/count", 3)
 	s.Add("a/count", 1)
 	s.Observe("c/lat", 7.5)
+	s.HistRef("d/hist").Observe(42)
 	snap := s.Snapshot()
 	if s.Dump() != snap.Dump() {
 		t.Fatal("live and snapshot dumps differ")

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -100,5 +102,37 @@ func TestCounterFreeModesAddNoAllocsOverBaseline(t *testing.T) {
 		if got > allow {
 			t.Errorf("%s run allocated %d times vs non-secure %d (allowed %d)", tc.name, got, ns, allow)
 		}
+	}
+}
+
+// TestTracedWithHistogramsSteadyStateZeroAllocs pins the traced hot path:
+// with a stats-only tracer attached — per-request Req contexts, segment
+// accumulators AND the per-segment latency histograms all live — the
+// steady-state event loop still allocates nothing. Pooled Reqs (freelist +
+// reused Spans backing arrays), the preallocated top-N table and bound
+// histogram cells are what make this hold.
+func TestTracedWithHistogramsSteadyStateZeroAllocs(t *testing.T) {
+	cfg := config.Default() // emcc default: both lanes active
+	s, err := New(&cfg, Options{
+		Benchmark: "canneal", Cores: 2, Seed: 3, Refs: 50_000_000, Warmup: 200_000,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTracer(obs.New(obs.Options{Stats: s.Stats()}))
+	s.warm(s.opt.Warmup)
+	s.bindHot()
+	for _, c := range s.cpus {
+		c.start()
+	}
+	// Long ramp so the Req pool and every Spans backing array reach their
+	// high-water mark before measuring.
+	s.eng.RunFor(sim.Millisecond)
+	if allocs := testing.AllocsPerRun(50, func() { s.eng.RunFor(sim.Microsecond * 10) }); allocs != 0 {
+		t.Fatalf("traced steady-state loop allocated %.1f times per window, want 0", allocs)
+	}
+	if s.Stats().Hist(stats.ObsReqLatencyHist).Count() == 0 {
+		t.Fatal("latency histogram recorded nothing — the pin proved the wrong path")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/emcc"
+	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -78,6 +79,9 @@ type Sim struct {
 	cpus []*core
 	pol  emcc.Policy
 	trc  *obs.Tracer // nil = tracing disabled (the common case)
+
+	rec       *metrics.Recorder // nil = flight recording disabled
+	recPeriod sim.Time
 
 	warming bool // functional warmup in progress: no timing, no traffic
 }
@@ -169,6 +173,18 @@ func (s *Sim) SetTracer(t *obs.Tracer) {
 	}
 }
 
+// SetFlightRecorder attaches an interval flight recorder that samples the
+// run's stats set every period of simulated time. Call before Run. The
+// first interval starts at the measurement boundary (warmup traffic is
+// functional and records nothing), so the recorded series shows cache
+// warm-up and phase changes from the first measured event on. The series
+// is a pure function of the scenario: byte-identical across reruns and
+// across concurrent runs at any parallelism.
+func (s *Sim) SetFlightRecorder(rec *metrics.Recorder, period sim.Time) {
+	s.rec = rec
+	s.recPeriod = period
+}
+
 // Engine exposes the event engine (timeline tooling uses it).
 func (s *Sim) Engine() *sim.Engine { return s.eng }
 
@@ -184,6 +200,21 @@ func (s *Sim) Run() Result {
 	}
 	if period := s.trc.SamplePeriod(); period > 0 {
 		s.eng.Every(period, s.samplePoint)
+	}
+	if s.rec != nil && s.recPeriod > 0 {
+		// Bound after the warm Reset like every other cell. The tick
+		// counters land in the same stats set the recorder samples, so
+		// each interval carries its own flight/intervals delta — harmless,
+		// deterministic, and it makes recorder liveness visible in dumps.
+		intervals := s.st.CounterRef(stats.FlightIntervals)
+		dropped := s.st.CounterRef(stats.FlightDropped)
+		rec := s.rec
+		s.eng.Every(s.recPeriod, func(now sim.Time) {
+			*intervals++
+			if rec.Record(int64(now)) {
+				*dropped++
+			}
+		})
 	}
 	// Hard ceiling guards against modelling bugs hanging the run.
 	const maxSteps = 2_000_000_000
