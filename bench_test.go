@@ -270,6 +270,43 @@ func BenchmarkTimingSimThroughput(b *testing.B) {
 	s.Run()
 }
 
+// benchShardedTsim runs the end-to-end timing simulation on a 4-channel
+// memory system with the DRAM channels sharded into the given number of
+// lookahead-synchronized domains (0 = the serial engine).
+func benchShardedTsim(b *testing.B, domains int) {
+	cfg := config.Default()
+	cfg.EMCC = true
+	cfg.Channels = 4
+	cfg.Domains = domains
+	refs := int64(b.N)
+	if refs < 4 {
+		refs = 4
+	}
+	s, err := tsim.New(&cfg, tsim.Options{
+		Benchmark: "canneal", Seed: 1, Refs: refs, Scale: workload.TestScale(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkTimingSimSharded is the domain-scaling suite recorded in
+// BENCH_8.json: the serial engine against 1, 2 and 4 DRAM domains on an
+// otherwise identical 4-channel machine. Every variant produces
+// byte-identical stats (the shard-parity check pillar), so the comparison
+// prices pure engine overhead/benefit.
+func BenchmarkTimingSimSharded(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchShardedTsim(b, 0) })
+	for _, d := range []int{1, 2, 4} {
+		d := d
+		// '=' rather than '-' in the sub-name: cmd/bench strips a trailing
+		// -GOMAXPROCS segment from reported names.
+		b.Run("domains="+strconv.Itoa(d), func(b *testing.B) { benchShardedTsim(b, d) })
+	}
+}
+
 // BenchmarkTimingSimTraced is the same run with full tracing into the
 // aggregate sink (no Chrome writer): the cost of attributing every request.
 func BenchmarkTimingSimTraced(b *testing.B) {

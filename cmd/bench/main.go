@@ -2,10 +2,11 @@
 // micro-benchmarks (prebound vs closure vs the retired container/heap
 // baseline), the telemetry hot path (histogram record/merge/quantile and
 // the flight-recorder interval snapshot), the DRAM channel loop, and the
-// tsim end-to-end throughput — and emits one machine-readable JSON
-// artifact. BENCH_5.json in the repo root records the PR 5 engine-rewrite
-// numbers and BENCH_7.json the PR 7 telemetry numbers; CI regenerates the
-// artifact on every push and uploads it for trend inspection.
+// tsim end-to-end throughput, serial and domain-sharded — and emits one
+// machine-readable JSON artifact. BENCH_5.json in the repo root records the
+// PR 5 engine-rewrite numbers, BENCH_7.json the PR 7 telemetry numbers and
+// BENCH_8.json the PR 8 domain-scaling numbers; CI regenerates the artifact
+// on every push and uploads it for trend inspection.
 //
 // Usage:
 //
@@ -31,10 +32,10 @@ var suites = []struct {
 	pkg     string
 	pattern string
 }{
-	{"./internal/sim", "^(BenchmarkEngineTickPrebound|BenchmarkEngineTickClosure|BenchmarkEngineMixedQueue|BenchmarkLegacyEngineTick|BenchmarkLegacyEngineMixedQueue)$"},
+	{"./internal/sim", "^(BenchmarkEngineTickPrebound|BenchmarkEngineTickClosure|BenchmarkEngineMixedQueue|BenchmarkLegacyEngineTick|BenchmarkLegacyEngineMixedQueue|BenchmarkShardRoundTrip)$"},
 	{"./internal/metrics", "^(BenchmarkHistObserve|BenchmarkHistMerge|BenchmarkHistQuantile|BenchmarkFlightRecord)$"},
 	{"./internal/stats", "^BenchmarkFlightRecordSet$"},
-	{".", "^(BenchmarkEventEngine|BenchmarkDRAMRandomReads|BenchmarkTimingSimThroughput)$"},
+	{".", "^(BenchmarkEventEngine|BenchmarkDRAMRandomReads|BenchmarkTimingSimThroughput|BenchmarkTimingSimSharded)$"},
 }
 
 type benchResult struct {
@@ -172,5 +173,14 @@ func derive(art *artifact) {
 	}
 	if legacy, mixed := mean("LegacyEngineMixedQueue"), mean("EngineMixedQueue"); legacy > 0 && mixed > 0 {
 		art.Derived["engine_mixed_speedup_vs_container_heap"] = legacy / mixed
+	}
+	// Domain scaling: sharded tsim throughput relative to the serial engine
+	// on the identical 4-channel scenario (results are byte-identical, so
+	// the ratio prices the engine alone).
+	serial := mean("TimingSimSharded/serial")
+	for _, d := range []string{"1", "2", "4"} {
+		if sharded := mean("TimingSimSharded/domains=" + d); serial > 0 && sharded > 0 {
+			art.Derived["tsim_"+d+"dom_speedup_vs_serial"] = serial / sharded
+		}
 	}
 }

@@ -34,6 +34,8 @@ func TestFixtureFindings(t *testing.T) {
 		`bad/bad.go:46: [statskey] unregistered stats key "fixture/also-unregistered" (declare it in internal/stats/keys.go)`,
 		`bad/bad.go:52: [statskey] unregistered stats key "fixture/unregistered-ref" (declare it in internal/stats/keys.go)`,
 		`bad/bad.go:58: [statskey] unregistered stats key "fixture/unregistered-hist" (declare it in internal/stats/keys.go)`,
+		"bad/bad.go:64: [invgate] inv.Failf is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)",
+		"bad/bad.go:70: [invgate] inv.Fail is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)",
 		`internal/figures/figures.go:14: [detlint] time.Now in a deterministic-output package (golden/compared output must not depend on wall time)`,
 		`internal/figures/figures.go:19: [detlint] package-level math/rand draws from the global source; use a locally seeded *rand.Rand`,
 		`internal/figures/figures.go:24: [detlint] iteration over a map reaches output (fmt.Println at line 25) without an intervening sort; collect and sort the keys first`,
@@ -71,7 +73,10 @@ func TestFixtureOneDiagnosticPerCase(t *testing.T) {
 			return f.Pass == "detlint" && f.File == "internal/figures/figures.go" && strings.Contains(f.Msg, "time.Now")
 		}},
 		{"unguarded inv.Failf", func(f Finding) bool {
-			return f.Pass == "invgate" && strings.Contains(f.Msg, "inv.Failf")
+			return f.Pass == "invgate" && strings.Contains(f.Msg, "inv.Failf") && f.Line == 27
+		}},
+		{"unguarded recorder-method Failf", func(f Finding) bool {
+			return f.Pass == "invgate" && strings.Contains(f.Msg, "inv.Failf") && f.Line == 64
 		}},
 	}
 	for _, c := range cases {

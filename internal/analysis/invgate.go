@@ -8,12 +8,16 @@ import (
 // invgate enforces the invariant-gating discipline of internal/inv: every
 // inv.Failf / inv.Fail call must be dominated by an inv.On() check, so a
 // production run pays exactly one predictable branch per check site and
-// never evaluates the format arguments. Accepted guards:
+// never evaluates the format arguments. The rule covers both the package
+// functions and the per-run recorder's methods — rec.Failf resolves to the
+// same internal/inv symbols, and rec.On() satisfies the guard the same way
+// inv.On() does. Accepted guards:
 //
 //	if inv.On() && cond { inv.Failf(...) }          // condition guard
 //	if inv.On() { ... inv.Failf(...) ... }          // block guard
 //	on := inv.On(); ...; if on && cond { ... }      // hoisted guard
 //	if !inv.On() { return }; ...; inv.Failf(...)    // early return
+//	if rec := x.rec; rec.On() { rec.Failf(...) }    // recorder-method form
 //
 // inv.Check is exempt: it is documented as the ungated cold-path form.
 type invgate struct{}

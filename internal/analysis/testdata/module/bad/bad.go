@@ -57,3 +57,15 @@ func UnregisteredRef(s *stats.Set) *int64 {
 func UnregisteredHistRef(s *stats.Set) *stats.Hist {
 	return s.HistRef("fixture/unregistered-hist")
 }
+
+// UnguardedMethod calls the recorder-method form of Failf with no
+// On() dominator: one invgate finding.
+func UnguardedMethod(r *inv.Recorder, n int) {
+	r.Failf("bad", "unguarded method %d", n)
+}
+
+// UnguardedMethodFail covers the recorder-method non-formatting form:
+// one invgate finding.
+func UnguardedMethodFail(r *inv.Recorder) {
+	r.Fail("bad", "unguarded method")
+}

@@ -95,3 +95,39 @@ func RegisteredHist(s *stats.Set, i int) *stats.Hist {
 	//lint:dynamic-key selected from the registered histTable
 	return s.HistRef(histTable[i])
 }
+
+// MethodBlockGuard gates the recorder-method form on the recorder's
+// own On.
+func MethodBlockGuard(r *inv.Recorder, n int) {
+	if r.On() {
+		if n < 0 {
+			r.Failf("good", "negative %d", n)
+		}
+	}
+}
+
+// MethodCondGuard folds the recorder gate into an && chain.
+func MethodCondGuard(r *inv.Recorder, n int) {
+	if r.On() && n < 0 {
+		r.Fail("good", "negative")
+	}
+}
+
+// MethodHoistedGuard binds the recorder's On() result to a local first
+// — the `rec := x.rec; if rec.On()` idiom the real hot paths use.
+func MethodHoistedGuard(r *inv.Recorder, n int) {
+	check := r.On()
+	if check && n < 0 {
+		r.Failf("good", "negative %d", n)
+	}
+}
+
+// MethodEarlyReturn bails out of checking up front on the recorder.
+func MethodEarlyReturn(r *inv.Recorder, n int) {
+	if !r.On() {
+		return
+	}
+	if n < 0 {
+		r.Failf("good", "negative %d", n)
+	}
+}

@@ -11,3 +11,15 @@ func Failf(component, format string, args ...any) {}
 
 // Fail reports an invariant violation with a fixed message.
 func Fail(component, message string) {}
+
+// Recorder is the fixture's stand-in for the real per-run recorder.
+type Recorder struct{}
+
+// On reports whether this recorder records violations.
+func (r *Recorder) On() bool { return enabled }
+
+// Failf reports an invariant violation on this recorder.
+func (r *Recorder) Failf(component, format string, args ...any) {}
+
+// Fail reports a fixed-message violation on this recorder.
+func (r *Recorder) Fail(component, message string) {}

@@ -49,6 +49,10 @@ type Cache struct {
 	// counter-kind blocks; inserting past the cap evicts the LRU
 	// counter line instead of the global LRU (EMCC's 32 KB rule).
 	ctrCapLines int
+
+	// rec is the owning run's invariant recorder (never nil; defaults to
+	// the process-wide recorder until SetRecorder rebinds it).
+	rec *inv.Recorder
 }
 
 // New builds a cache of capacityBytes with the given associativity over
@@ -71,8 +75,13 @@ func New(name string, capacityBytes int64, ways int) *Cache {
 		ways:    ways,
 		lines:   make([]line, sets*uint64(ways)),
 		kindCnt: make(map[addr.Kind]int),
+		rec:     inv.Default(),
 	}
 }
+
+// SetRecorder binds the owning run's invariant recorder (nil rebinds the
+// default). Call at construction time, before any traffic.
+func (c *Cache) SetRecorder(r *inv.Recorder) { c.rec = inv.Or(r) }
 
 // SetCounterCap caps counter-kind occupancy to capBytes worth of lines.
 func (c *Cache) SetCounterCap(capBytes int64) {
@@ -178,7 +187,7 @@ func (c *Cache) Insert(block uint64, dirty bool, kind addr.Kind) (Victim, bool) 
 	}
 	set[victimIdx] = line{tag: block, valid: true, dirty: dirty, kind: kind, lastUse: c.stamp}
 	c.kindCnt[kind]++
-	if inv.On() {
+	if c.rec.On() {
 		c.checkSet(set, block)
 	}
 	return out, evicted
@@ -188,7 +197,8 @@ func (c *Cache) Insert(block uint64, dirty bool, kind addr.Kind) (Victim, bool) 
 // resident in at most one way, LRU stamps never run ahead of the global
 // stamp, and counter occupancy respects the configured cap. O(ways), gated.
 func (c *Cache) checkSet(set []line, block uint64) {
-	if !inv.On() {
+	rec := c.rec
+	if !rec.On() {
 		return
 	}
 	seen := 0
@@ -200,14 +210,14 @@ func (c *Cache) checkSet(set []line, block uint64) {
 			seen++
 		}
 		if set[i].lastUse > c.stamp {
-			inv.Failf("cache", "%s: line lastUse %d ahead of global stamp %d", c.name, set[i].lastUse, c.stamp)
+			rec.Failf("cache", "%s: line lastUse %d ahead of global stamp %d", c.name, set[i].lastUse, c.stamp)
 		}
 	}
 	if seen > 1 {
-		inv.Failf("cache", "%s: block %#x resident in %d ways of one set", c.name, block, seen)
+		rec.Failf("cache", "%s: block %#x resident in %d ways of one set", c.name, block, seen)
 	}
 	if c.ctrCapLines > 0 && c.kindCnt[addr.KindCounter] > c.ctrCapLines {
-		inv.Failf("cache", "%s: %d counter lines exceed cap %d", c.name, c.kindCnt[addr.KindCounter], c.ctrCapLines)
+		rec.Failf("cache", "%s: %d counter lines exceed cap %d", c.name, c.kindCnt[addr.KindCounter], c.ctrCapLines)
 	}
 }
 
@@ -291,8 +301,8 @@ func (c *Cache) Invalidate(block uint64) (Victim, bool) {
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			v := Victim{Block: set[i].tag, Dirty: set[i].dirty, Kind: set[i].kind, WasUsed: set[i].usedForLLCMiss}
-			if inv.On() && c.kindCnt[set[i].kind] <= 0 {
-				inv.Failf("cache", "%s: invalidating %v block %#x with non-positive kind ledger %d", c.name, set[i].kind, block, c.kindCnt[set[i].kind])
+			if rec := c.rec; rec.On() && c.kindCnt[set[i].kind] <= 0 {
+				rec.Failf("cache", "%s: invalidating %v block %#x with non-positive kind ledger %d", c.name, set[i].kind, block, c.kindCnt[set[i].kind])
 			}
 			c.kindCnt[set[i].kind]--
 			set[i] = line{}

@@ -13,7 +13,11 @@
 //     lose its own analytic timelines);
 //   - invariant runs execute both simulators with internal/inv enabled and
 //     require zero recorded violations plus post-run conservation between
-//     requested and performed DRAM fills.
+//     requested and performed DRAM fills;
+//   - shard-parity runs replay one trace on the serial event engine and on
+//     the domain-sharded engine (sim.Shard) across the differential config
+//     grid and require byte-identical stats snapshots at any domain and
+//     worker count.
 //
 // cmd/check runs everything and prints a report; `go test ./internal/check`
 // runs the same pillars plus deliberately-broken inputs proving each pillar
@@ -32,11 +36,12 @@ import (
 // Pillar labels which verification family a result belongs to.
 type Pillar string
 
-// The three pillars.
+// The four pillars.
 const (
 	PillarDifferential Pillar = "differential"
 	PillarMetamorphic  Pillar = "metamorphic"
 	PillarInvariant    Pillar = "invariant"
+	PillarShardParity  Pillar = "shard-parity"
 )
 
 // Result is one named check's outcome.
@@ -95,14 +100,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Run executes every pillar and returns all results. The differential and
-// metamorphic units are independent (each builds its own simulators over a
-// shared read-only trace) and fan out across opt.Parallel goroutines; the
-// invariant pillar always runs serially afterwards because internal/inv's
-// violation recorder is process-global and would absorb signals from
-// concurrent runs. Results land in fixed slots, so the report order — and
-// with deterministic simulators, every byte of it — is identical at any
-// parallelism.
+// Run executes every pillar and returns all results. Every unit —
+// differential, metamorphic and invariant alike — is independent: each
+// builds its own simulators, stats.Sets and inv.Recorders over a shared
+// read-only trace, so all of them fan out across opt.Parallel goroutines.
+// (The invariant pillar used to be pinned serial when internal/inv's
+// recorder was process-global; per-run recorders removed that restriction.)
+// Results land in fixed slots, so the report order — and with deterministic
+// simulators, every byte of it — is identical at any parallelism.
 func Run(opt Options) []Result {
 	opt = opt.withDefaults()
 	tr, err := recordTrace(opt)
@@ -110,6 +115,8 @@ func Run(opt Options) []Result {
 		return []Result{failf(PillarDifferential, "record-trace", "%v", err)}
 	}
 	units := append(diffUnits(tr, opt), metamorphicUnits(opt)...)
+	units = append(units, invariantUnits(tr, opt)...)
+	units = append(units, shardParityUnits(tr, opt)...)
 	slots := make([][]Result, len(units))
 	workers := opt.Parallel
 	if workers < 1 {
@@ -132,7 +139,6 @@ func Run(opt Options) []Result {
 	for _, rs := range slots {
 		out = append(out, rs...)
 	}
-	out = append(out, Invariants(opt)...)
 	return out
 }
 

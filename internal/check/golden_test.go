@@ -99,14 +99,14 @@ func TestGoldenStats(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Run("fsim-"+system, func(t *testing.T) {
-			st, err := runFsim(&cfg, tr, opt)
+			st, err := runFsim(&cfg, tr, opt, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			checkGoldenCounters(t, "fsim-"+system, st)
 		})
 		t.Run("tsim-"+system, func(t *testing.T) {
-			st, err := runTsim(&cfg, tr, opt)
+			st, err := runTsim(&cfg, tr, opt, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -9,8 +9,8 @@ import (
 	"repro/internal/tsim"
 )
 
-// Invariants runs both simulators over every system with the internal/inv
-// recorder enabled and requires zero violations, then applies post-run
+// Invariants runs both simulators over every system with a per-run
+// inv.Recorder enabled and requires zero violations, then applies post-run
 // conservation rules: every reference replayed is accounted for, and every
 // DRAM data fill that was requested happened exactly once.
 func Invariants(opt Options) []Result {
@@ -20,19 +20,33 @@ func Invariants(opt Options) []Result {
 		return []Result{failf(PillarInvariant, "record-trace", "%v", err)}
 	}
 	var out []Result
-	for _, system := range diffSystems {
-		cfg, err := systemConfig(system)
-		if err != nil {
-			out = append(out, failf(PillarInvariant, system, "%v", err))
-			continue
-		}
-		out = append(out, InvariantRun(system, &cfg, tr, opt)...)
+	for _, unit := range invariantUnits(tr, opt) {
+		out = append(out, unit()...)
 	}
 	return out
 }
 
-// InvariantRun executes one configuration through fsim and tsim under the
-// invariant recorder and reports violations plus conservation results.
+// invariantUnits builds one independent unit per system. Each unit owns its
+// simulators, stats.Sets and inv.Recorders outright, so the units are safe
+// to fan out across goroutines alongside the other pillars' units.
+func invariantUnits(tr *trace.Trace, opt Options) []func() []Result {
+	var units []func() []Result
+	for _, system := range diffSystems {
+		system := system
+		units = append(units, func() []Result {
+			cfg, err := systemConfig(system)
+			if err != nil {
+				return []Result{failf(PillarInvariant, system, "%v", err)}
+			}
+			return InvariantRun(system, &cfg, tr, opt)
+		})
+	}
+	return units
+}
+
+// InvariantRun executes one configuration through fsim and tsim, each under
+// its own freshly enabled invariant recorder, and reports violations plus
+// conservation results.
 func InvariantRun(system string, cfg *config.Config, tr *trace.Trace, opt Options) []Result {
 	opt = opt.withDefaults()
 	name := func(rule string) string { return system + "/" + rule }
@@ -41,11 +55,11 @@ func InvariantRun(system string, cfg *config.Config, tr *trace.Trace, opt Option
 
 	var out []Result
 
-	// fsim under the recorder.
-	inv.Enable(true)
-	fst, err := runFsim(cfg, tr, opt)
-	out = append(out, violationResult(name("fsim-violations"))) // reads + disables below
-	inv.Enable(false)
+	// fsim under its own recorder.
+	frec := inv.NewRecorder()
+	frec.Enable(true)
+	fst, err := runFsim(cfg, tr, opt, frec)
+	out = append(out, violationResult(name("fsim-violations"), frec))
 	if err != nil {
 		return append(out, failf(PillarInvariant, name("fsim"), "%v", err))
 	}
@@ -54,11 +68,11 @@ func InvariantRun(system string, cfg *config.Config, tr *trace.Trace, opt Option
 	out = append(out, conserve(name("fsim-fills"), "DRAM data reads vs LLC data misses",
 		fst.Counter(stats.FsimDRAMDataRead), fst.Counter(stats.FsimLLCDataMiss)))
 
-	// tsim under the recorder.
-	inv.Enable(true)
-	tst, err := runTsim(cfg, tr, opt)
-	out = append(out, violationResult(name("tsim-violations")))
-	inv.Enable(false)
+	// tsim under its own recorder.
+	trec := inv.NewRecorder()
+	trec.Enable(true)
+	tst, err := runTsim(cfg, tr, opt, trec)
+	out = append(out, violationResult(name("tsim-violations"), trec))
 	if err != nil {
 		return append(out, failf(PillarInvariant, name("tsim"), "%v", err))
 	}
@@ -69,13 +83,14 @@ func InvariantRun(system string, cfg *config.Config, tr *trace.Trace, opt Option
 	return out
 }
 
-func runFsim(cfg *config.Config, tr *trace.Trace, opt Options) (*stats.Set, error) {
+func runFsim(cfg *config.Config, tr *trace.Trace, opt Options, rec *inv.Recorder) (*stats.Set, error) {
 	gens, err := tr.Generators()
 	if err != nil {
 		return nil, err
 	}
 	s, err := fsim.New(cfg, fsim.Options{
 		Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+		Recorder: rec,
 	})
 	if err != nil {
 		return nil, err
@@ -84,13 +99,14 @@ func runFsim(cfg *config.Config, tr *trace.Trace, opt Options) (*stats.Set, erro
 	return s.Stats(), nil
 }
 
-func runTsim(cfg *config.Config, tr *trace.Trace, opt Options) (*stats.Set, error) {
+func runTsim(cfg *config.Config, tr *trace.Trace, opt Options, rec *inv.Recorder) (*stats.Set, error) {
 	gens, err := tr.Generators()
 	if err != nil {
 		return nil, err
 	}
 	s, err := tsim.New(cfg, tsim.Options{
 		Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+		Recorder: rec,
 	})
 	if err != nil {
 		return nil, err
@@ -99,10 +115,10 @@ func runTsim(cfg *config.Config, tr *trace.Trace, opt Options) (*stats.Set, erro
 	return s.Stats(), nil
 }
 
-// violationResult converts the recorder's current state into a Result.
-func violationResult(name string) Result {
-	if n := inv.Count(); n > 0 {
-		vs := inv.Violations()
+// violationResult converts one run's recorder state into a Result.
+func violationResult(name string, rec *inv.Recorder) Result {
+	if n := rec.Count(); n > 0 {
+		vs := rec.Violations()
 		first := vs[0]
 		return failf(PillarInvariant, name, "%d violation(s); first: [%s] %s", n, first.Component, first.Message)
 	}

@@ -1,0 +1,127 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+	"repro/internal/tsim"
+)
+
+// shardGrid is the engine-partitioning grid every differential system is
+// checked under: single-channel (one domain), channels sharing a domain,
+// and one domain per channel.
+var shardGrid = []struct {
+	channels, domains int
+}{
+	{1, 1},
+	{4, 2},
+	{4, 4},
+}
+
+// shardParityUnits builds the shard-parity pillar: for every system of the
+// differential grid and every partitioning in shardGrid, replay the shared
+// trace on the serial engine and on the domain-sharded engine and require
+// byte-identical stats snapshots. One representative additionally re-runs
+// the sharded engine at a different worker count — the schedule must be a
+// pure function of the partitioning, never of the host parallelism.
+func shardParityUnits(tr *trace.Trace, opt Options) []func() []Result {
+	var units []func() []Result
+	for _, system := range diffSystems {
+		for _, g := range shardGrid {
+			system, g := system, g
+			units = append(units, func() []Result {
+				cfg, err := systemConfig(system)
+				if err != nil {
+					return []Result{failf(PillarShardParity, system, "%v", err)}
+				}
+				cfg.Channels = g.channels
+				sharded := cfg
+				sharded.Domains = g.domains
+				name := fmt.Sprintf("%s/%dch-%ddom", system, g.channels, g.domains)
+				// The morphable 4ch-4dom cell doubles as the worker-count
+				// probe: workers=1 serializes every barrier round, so it
+				// exercises a schedule no other cell does.
+				workers := 0
+				if system == "morphable" && g.channels == 4 && g.domains == 4 {
+					workers = 1
+				}
+				return CompareShardRun(name, &cfg, &sharded, tr, opt, workers)
+			})
+		}
+	}
+	return units
+}
+
+// ShardParity runs the shard-parity pillar standalone (cmd/check and tests;
+// Run fans the same units out with the other pillars).
+func ShardParity(opt Options) []Result {
+	opt = opt.withDefaults()
+	tr, err := recordTrace(opt)
+	if err != nil {
+		return []Result{failf(PillarShardParity, "record-trace", "%v", err)}
+	}
+	var out []Result
+	for _, unit := range shardParityUnits(tr, opt) {
+		out = append(out, unit()...)
+	}
+	return out
+}
+
+// CompareShardRun replays tr through tsim under cfgSerial (which must keep
+// Domains = 0) and under cfgSharded and requires the two stats snapshots to
+// agree byte for byte. When altWorkers > 0 the sharded run is repeated at
+// that worker count and held to the same standard. The configs normally
+// differ only in Domains; tests pass genuinely different ones to prove the
+// comparison detects divergence.
+func CompareShardRun(name string, cfgSerial, cfgSharded *config.Config, tr *trace.Trace, opt Options, altWorkers int) []Result {
+	opt = opt.withDefaults()
+	serial, err := shardSnapshot(cfgSerial, tr, opt, 0)
+	if err != nil {
+		return []Result{failf(PillarShardParity, name, "serial run: %v", err)}
+	}
+	sharded, err := shardSnapshot(cfgSharded, tr, opt, 0)
+	if err != nil {
+		return []Result{failf(PillarShardParity, name, "sharded run: %v", err)}
+	}
+	if !bytes.Equal(serial, sharded) {
+		return []Result{failf(PillarShardParity, name,
+			"sharded snapshot diverged from serial (%d vs %d bytes)", len(sharded), len(serial))}
+	}
+	out := []Result{passf(PillarShardParity, name,
+		"serial and sharded snapshots byte-identical (%d bytes)", len(serial))}
+	if altWorkers > 0 {
+		alt, err := shardSnapshot(cfgSharded, tr, opt, altWorkers)
+		if err != nil {
+			return append(out, failf(PillarShardParity, name+"/workers", "run: %v", err))
+		}
+		if !bytes.Equal(serial, alt) {
+			return append(out, failf(PillarShardParity, name+"/workers",
+				"worker count %d changed the sharded snapshot", altWorkers))
+		}
+		out = append(out, passf(PillarShardParity, name+"/workers",
+			"byte-identical again at %d worker(s)", altWorkers))
+	}
+	return out
+}
+
+// shardSnapshot replays tr through one tsim instance and returns its stable
+// stats snapshot.
+func shardSnapshot(cfg *config.Config, tr *trace.Trace, opt Options, workers int) ([]byte, error) {
+	gens, err := tr.Generators()
+	if err != nil {
+		return nil, err
+	}
+	s, err := tsim.New(cfg, tsim.Options{
+		Cores: tr.Cores, Refs: opt.Refs, Generators: gens, DataBytes: tr.Footprint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if workers > 0 {
+		s.SetShardWorkers(workers)
+	}
+	s.Run()
+	return s.Stats().Snapshot().StableJSON()
+}

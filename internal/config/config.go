@@ -197,6 +197,16 @@ type Config struct {
 	MemoryBytes     int64    // simulated physical data capacity
 	OverflowMaxLive int      // <=2 outstanding split-counter overflows
 	OverflowSlots   int      // <=8 read/write-queue slots for overflow work
+
+	// --- Engine sharding (infrastructure, not a modelled parameter) ---
+	// Domains > 0 runs the timing simulator on the lookahead-synchronized
+	// sharded event engine: DRAM channels are partitioned round-robin into
+	// that many domains which execute in parallel with the hub (cores,
+	// caches, MC). 0 — the default — is the serial single-queue engine.
+	// Results are deterministic either way and byte-identical across
+	// worker counts at a fixed Domains value; tracing and the flight
+	// recorder require the serial engine.
+	Domains int
 }
 
 // Default returns the Table I configuration with Morphable Counters and
@@ -295,6 +305,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: EMCCAESFraction must be in [0,1], got %g", c.EMCCAESFraction)
 	case c.MemoryBytes <= 0:
 		return fmt.Errorf("config: MemoryBytes must be positive")
+	case c.Domains < 0:
+		return fmt.Errorf("config: Domains must be non-negative, got %d", c.Domains)
+	case c.Domains > 0 && c.BurstLatency <= 0:
+		return fmt.Errorf("config: Domains > 0 needs a positive BurstLatency for lookahead, got %v", c.BurstLatency)
 	}
 	return nil
 }

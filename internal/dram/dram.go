@@ -82,22 +82,40 @@ type Request struct {
 	Obs *obs.Req
 
 	enqueued sim.Time
-	finishAt sim.Time // completion time carried into the done event
+	finishAt sim.Time // completion time carried into the finish event
 	owner    *DRAM    // non-nil for pooled requests (NewRequest)
 	free     *Request // freelist link
+	// dst is the accepted request's home channel, stamped by Enqueue so
+	// the finish callback recovers it from the one event argument without
+	// re-mapping.
+	dst *channel
 }
 
 // DRAM is the multi-channel memory device.
 type DRAM struct {
 	eng    *sim.Engine
 	st     *stats.Set
+	rec    *inv.Recorder
 	mapper *addr.DRAMMapper
 	cfg    dramTiming
 	chans  []*channel
-	// freeReq pools Requests handed out by NewRequest. The device is
-	// single-threaded (one event engine), so a plain freelist suffices and
+	// sharded is set by Shard: channels then live in sim.Domains and the
+	// hub side talks to them only through lookahead links.
+	sharded bool
+	// freeReq pools Requests handed out by NewRequest. Allocation and
+	// recycling stay hub-side even when sharded (completions are delivered
+	// back to the hub before recycling), so a plain freelist suffices and
 	// stays deterministic.
 	freeReq *Request
+}
+
+// sched is the scheduling seam a channel runs against: the device engine
+// in the monolithic configuration, the channel's sim.Domain when sharded.
+// Both satisfy it with pointer receivers bound once at construction, so
+// the indirection allocates nothing on the event path.
+type sched interface {
+	Now() sim.Time
+	AtCallLate(t sim.Time, key int32, fn func(any), arg any)
 }
 
 type dramTiming struct {
@@ -118,6 +136,7 @@ func New(eng *sim.Engine, st *stats.Set, cfg *config.Config) *DRAM {
 	d := &DRAM{
 		eng:    eng,
 		st:     st,
+		rec:    eng.Recorder(),
 		mapper: m,
 		cfg: dramTiming{
 			tCL: cfg.TCL, tRCD: cfg.TRCD, tRP: cfg.TRP,
@@ -170,37 +189,44 @@ func (d *DRAM) Recycle(r *Request) {
 	d.freeReq = r
 }
 
-// requestDoneCB delivers a request's completion. Pooled requests recycle
-// before the callback runs, so Done may immediately re-enqueue.
-func requestDoneCB(x any) {
-	r := x.(*Request)
-	done, at := r.Done, r.finishAt
-	if d := r.owner; d != nil {
-		d.Recycle(r)
-	}
-	done(at)
-}
-
-// QueuePressure reports the read-queue fill fraction of the block's home
+// QueuePressure reports the read-slot fill fraction of the block's home
 // channel — the MC's overflow engine uses it to throttle re-encryption
-// work (Sec. V) and the hierarchy uses it for backpressure.
+// work (Sec. V) and the hierarchy uses it for backpressure. Both engines
+// judge pressure by the outstanding-request count (accepted, not yet
+// finished on the pins), which is a pure function of enqueue and finish
+// events and therefore identical serial and sharded.
 func (d *DRAM) QueuePressure(block uint64) float64 {
 	ch := d.chans[d.mapper.Map(block).Channel]
-	return float64(len(ch.readQ)) / float64(d.cfg.readCap)
+	return float64(ch.occ[0]) / float64(d.cfg.readCap)
 }
 
-// Enqueue submits a request. It reports false when the target queue is
-// full; the caller must retry later (the MC models Sec. V's rejection of
-// LLC requests during overflow pressure with this signal).
+// Enqueue submits a request. It reports false when the target channel has
+// no free slot; the caller must retry later (the MC models Sec. V's
+// rejection of LLC requests during overflow pressure with this signal).
+//
+// Admission is judged against the channel's outstanding-request count: a
+// slot is taken here and released by the finish event when the access
+// completes on the pins. That count evolves identically in the serial and
+// sharded engines (both see the same enqueue and finish instants), so
+// admission decisions — including at the capacity boundary — are engine-
+// independent. In sharded mode the accepted request is handed to the
+// channel's domain over the zero-latency arrival link.
 func (d *DRAM) Enqueue(r *Request) bool {
 	loc := d.mapper.Map(r.Block)
 	ch := d.chans[loc.Channel]
+	dir := 0
+	cap := d.cfg.readCap
 	if r.Write {
-		if len(ch.writeQ) >= d.cfg.writeCap {
-			return false
-		}
-	} else if len(ch.readQ) >= d.cfg.readCap {
+		dir, cap = 1, d.cfg.writeCap
+	}
+	if ch.occ[dir] >= cap {
 		return false
+	}
+	ch.occ[dir]++
+	r.dst = ch
+	if ch.dom != nil {
+		ch.in.Send(d.eng.Now(), dramArriveCB, r)
+		return true
 	}
 	r.enqueued = d.eng.Now()
 	if r.Write {
@@ -212,12 +238,55 @@ func (d *DRAM) Enqueue(r *Request) bool {
 	return true
 }
 
-// QueueDepths reports the total read- and write-queue occupancy across
-// channels — the tracer's periodic sampler plots these over time.
+// dramArriveCB runs in the channel's domain when an accepted request is
+// delivered over the arrival link: the sharded half of Enqueue.
+func dramArriveCB(x any) {
+	r := x.(*Request)
+	ch := r.dst
+	r.enqueued = ch.es.Now()
+	if r.Write {
+		ch.writeQ = append(ch.writeQ, r)
+	} else {
+		ch.readQ = append(ch.readQ, r)
+	}
+	ch.kick()
+}
+
+// dramFinishCB runs hub-side when an access completes on the pins: it
+// releases the request's channel slot, recycles pooled requests (the
+// freelist is hub-owned), and delivers Done. It is scheduled in the late
+// class keyed by channel id in both engines — an explicit (time, key)
+// position instead of scheduling history — which is what lets the
+// barrier-synchronized sharded run reproduce the serial event order
+// exactly. Pooled requests recycle before Done runs, so the callback may
+// immediately re-enqueue.
+func dramFinishCB(x any) {
+	r := x.(*Request)
+	ch := r.dst
+	dir := 0
+	if r.Write {
+		dir = 1
+	}
+	ch.occ[dir]--
+	if rec := ch.d.rec; rec.On() && ch.occ[dir] < 0 {
+		rec.Failf("dram", "ch%d outstanding count went negative (dir %d)", ch.id, dir)
+	}
+	done, at := r.Done, r.finishAt
+	if d := r.owner; d != nil {
+		d.Recycle(r)
+	}
+	if done != nil {
+		done(at)
+	}
+}
+
+// QueueDepths reports the total outstanding read and write requests
+// across channels (accepted, not yet finished on the pins) — the tracer's
+// periodic sampler plots these over time.
 func (d *DRAM) QueueDepths() (reads, writes int) {
 	for _, ch := range d.chans {
-		reads += len(ch.readQ)
-		writes += len(ch.writeQ)
+		reads += ch.occ[0]
+		writes += ch.occ[1]
 	}
 	return reads, writes
 }
@@ -239,10 +308,70 @@ func (d *DRAM) BusyFraction(since, now sim.Time) map[TrafficKind]float64 {
 	return out
 }
 
+// Shard moves the device's channels off the hub engine into `domains`
+// partitions of sh, assigned round-robin. Each domain gets one arrival
+// link (hub → domain, zero latency: Enqueue hands off within the same
+// picosecond) and one completion link (domain → hub, one burst of
+// lookahead: the earliest a just-issued request can have any hub-visible
+// effect). Channels in a domain share its links and record into private
+// stats shards; call MergeShardStats once the run drains. Call between
+// New and sh.Finalize, before any traffic.
+func (d *DRAM) Shard(sh *sim.Shard, domains int) {
+	if domains < 1 {
+		domains = 1
+	}
+	if domains > len(d.chans) {
+		domains = len(d.chans)
+	}
+	hub := sh.Hub()
+	d.sharded = true
+	doms := make([]*sim.Domain, domains)
+	ins := make([]*sim.Link, domains)
+	outs := make([]*sim.Link, domains)
+	for i := range doms {
+		doms[i] = sh.AddDomain(fmt.Sprintf("dram%d", i))
+		ins[i] = sh.Connect(hub, doms[i], 0)
+		outs[i] = sh.Connect(doms[i], hub, d.cfg.burst)
+	}
+	for i, ch := range d.chans {
+		g := i % domains
+		ch.dom, ch.in, ch.out = doms[g], ins[g], outs[g]
+		ch.es = doms[g]
+		ch.st = stats.NewSet()
+	}
+}
+
+// MergeShardStats folds every channel's private stats shard into the
+// device's shared set, in channel order. With whole-nanosecond queue
+// delays the accumulator float sums are exact, so the merged totals are
+// byte-identical to the monolithic device recording the same accesses.
+func (d *DRAM) MergeShardStats() {
+	if !d.sharded {
+		return
+	}
+	for _, ch := range d.chans {
+		d.st.Merge(ch.st)
+	}
+}
+
 // channel owns one data bus and a bank array.
 type channel struct {
-	d       *DRAM
-	id      int
+	d  *DRAM
+	id int
+	// es is the channel's scheduler: the device engine in the monolithic
+	// configuration, the channel's domain when sharded.
+	es sched
+	// st is the stats set issue() records into: the device's shared set
+	// monolithically, a private shard set when the channel lives in a
+	// domain (folded back in channel order by MergeShardStats).
+	st *stats.Set
+	// dom/in/out wire a sharded channel to its domain and the hub.
+	dom *sim.Domain
+	in  *sim.Link // hub → domain: request arrivals (zero latency)
+	out *sim.Link // domain → hub: credits and completions (burst latency)
+	// occ is the hub-side occupancy mirror ([read, write]) that Enqueue
+	// admits against in sharded mode.
+	occ     [2]int
 	banks   []bank
 	readQ   []*Request
 	writeQ  []*Request
@@ -274,7 +403,7 @@ type chanStats struct {
 }
 
 func (ch *channel) bindHot() {
-	st := ch.d.st
+	st := ch.st
 	ch.hs.rowHit = st.CounterRef(stats.DramRowHit)
 	ch.hs.rowClosed = st.CounterRef(stats.DramRowClosed)
 	ch.hs.rowConflict = st.CounterRef(stats.DramRowConflict)
@@ -300,6 +429,8 @@ func newChannel(d *DRAM, id, banks int) *channel {
 	return &channel{
 		d:           d,
 		id:          id,
+		es:          d.eng,
+		st:          d.st,
 		banks:       make([]bank, banks),
 		nextRefresh: d.cfg.tREFI,
 		streakBank:  -1,
@@ -307,17 +438,24 @@ func newChannel(d *DRAM, id, banks int) *channel {
 }
 
 // kick ensures a scheduling pass is queued at time `at` (or now).
-func (ch *channel) kick() { ch.kickAt(ch.d.eng.Now()) }
+func (ch *channel) kick() { ch.kickAt(ch.es.Now()) }
 
 func (ch *channel) kickAt(at sim.Time) {
 	if ch.pending {
 		return
 	}
 	ch.pending = true
-	if now := ch.d.eng.Now(); at < now {
+	if now := ch.es.Now(); at < now {
 		at = now
 	}
-	ch.d.eng.AtCall(at, channelScheduleCB, ch)
+	// The scheduler pass runs in the late class so it observes a
+	// timestamp's complete arrival state: its decisions then do not depend
+	// on how enqueues at the same instant interleaved with the kick — the
+	// property that keeps serial and sharded runs identical. Keys above the
+	// channel range put kicks after every same-time finish (whose Done may
+	// re-enqueue), mirroring the sharded engine where hub finishes always
+	// complete before a domain's events at the same timestamp run.
+	ch.es.AtCallLate(at, int32(len(ch.d.chans)+ch.id), channelScheduleCB, ch)
 }
 
 // channelScheduleCB is the prebound form of channel.schedule: taking the
@@ -330,7 +468,7 @@ func channelScheduleCB(x any) { x.(*channel).schedule() }
 // peak bandwidth.
 func (ch *channel) schedule() {
 	ch.pending = false
-	now := ch.d.eng.Now()
+	now := ch.es.Now()
 	// Lazy refresh: when the refresh deadline has passed, stall the
 	// whole channel for tRFC.
 	if now >= ch.nextRefresh {
@@ -406,7 +544,7 @@ func (ch *channel) pickQueue() *[]*Request {
 // ready row hit, unless that bank's hit streak exceeded the cap; otherwise
 // the oldest ready request. ready=false when every request's bank is busy.
 func (ch *channel) pickRequest(q []*Request) (int, bool) {
-	now := ch.d.eng.Now()
+	now := ch.es.Now()
 	oldest := -1
 	for i, r := range q {
 		loc := ch.d.mapper.Map(r.Block)
@@ -436,7 +574,7 @@ func (ch *channel) issue(r *Request) {
 	if !ch.hs.bound {
 		ch.bindHot()
 	}
-	now := ch.d.eng.Now()
+	now := ch.es.Now()
 	loc := ch.d.mapper.Map(r.Block)
 	bankID := ch.d.mapper.BankID(loc)
 	b := &ch.banks[bankID]
@@ -471,18 +609,18 @@ func (ch *channel) issue(r *Request) {
 	}
 	finish := dataAt + ch.d.cfg.burst
 
-	if inv.On() {
+	if rec := ch.d.rec; rec.On() {
 		if start < r.enqueued {
-			inv.Failf("dram", "ch%d request issued at %d ps before its enqueue at %d ps", ch.id, start, r.enqueued)
+			rec.Failf("dram", "ch%d request issued at %d ps before its enqueue at %d ps", ch.id, start, r.enqueued)
 		}
 		if finish <= start {
-			inv.Failf("dram", "ch%d access finishes at %d ps, not after its start at %d ps", ch.id, finish, start)
+			rec.Failf("dram", "ch%d access finishes at %d ps, not after its start at %d ps", ch.id, finish, start)
 		}
 		if finish < ch.busFree {
-			inv.Failf("dram", "ch%d data bus moved backwards: finish %d ps < busFree %d ps", ch.id, finish, ch.busFree)
+			rec.Failf("dram", "ch%d data bus moved backwards: finish %d ps < busFree %d ps", ch.id, finish, ch.busFree)
 		}
 		if finish < b.freeAt {
-			inv.Failf("dram", "ch%d bank %d freeAt moved backwards: %d ps -> %d ps", ch.id, bankID, b.freeAt, finish)
+			rec.Failf("dram", "ch%d bank %d freeAt moved backwards: %d ps -> %d ps", ch.id, bankID, b.freeAt, finish)
 		}
 	}
 
@@ -496,7 +634,11 @@ func (ch *channel) issue(r *Request) {
 	if r.Write {
 		dir = 1
 	}
-	qdelay := (start - r.enqueued).Nanoseconds()
+	// Whole-nanosecond queue delays keep accumulator sums exact in
+	// float64 (integer-valued additions are associative), so per-channel
+	// shard sets merge to byte-identical totals regardless of how issue
+	// order interleaved across channels.
+	qdelay := float64(int64(start-r.enqueued) / 1000)
 	ch.hs.qdelay[r.Kind][dir].Observe(qdelay)
 	// Per-request delay distribution (shared internal/metrics geometry)
 	// for the stochastic-dominance check and the flight recorder: means
@@ -506,10 +648,14 @@ func (ch *channel) issue(r *Request) {
 	r.Obs.AddSpan(obs.SegDRAMQueue, r.enqueued, start)
 	r.Obs.AddSpan(obs.SegDRAMService, start, finish)
 
-	if r.Done != nil {
-		r.finishAt = finish
-		ch.d.eng.AtCall(finish, requestDoneCB, r)
-	} else if r.owner != nil {
-		ch.d.Recycle(r)
+	// One finish event per access, hub-side, late class keyed by channel:
+	// it releases the channel slot, recycles, and delivers Done. finish is
+	// always > now + burst (access latency precedes the burst), so the
+	// completion link's one-burst lookahead is respected.
+	r.finishAt = finish
+	if ch.dom != nil {
+		ch.out.SendLate(finish, int32(ch.id), dramFinishCB, r)
+		return
 	}
+	ch.es.AtCallLate(finish, int32(ch.id), dramFinishCB, r)
 }

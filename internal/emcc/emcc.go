@@ -47,8 +47,16 @@ type Policy struct {
 	OffloadDisabled bool
 }
 
-// NewPolicy derives the policy from the configuration and mesh geometry.
+// NewPolicy derives the policy from the configuration and mesh geometry,
+// recording any gated validation failures on the process-wide recorder.
 func NewPolicy(cfg *config.Config, mesh *noc.Mesh) Policy {
+	return NewPolicyRec(cfg, mesh, nil)
+}
+
+// NewPolicyRec is NewPolicy with the validation checks bound to the given
+// run's invariant recorder (nil falls back to the process-wide default).
+func NewPolicyRec(cfg *config.Config, mesh *noc.Mesh, rec *inv.Recorder) Policy {
+	rec = inv.Or(rec)
 	// Expected LLC hit RTT from an L2: two mean one-way traversals plus
 	// the slice's tag+data lookup.
 	meanOneWay := mesh.MeanOneWay(mesh.CoreTile(0))
@@ -69,12 +77,12 @@ func NewPolicy(cfg *config.Config, mesh *noc.Mesh) Policy {
 	}
 	// A policy with negative waits or a non-positive counter budget would
 	// schedule events in the past or starve the L2 of counters entirely.
-	if inv.On() {
+	if rec.On() {
 		if p.LookupDelay < 0 || p.LLCHitWait < 0 || p.OffloadThreshold < 0 {
-			inv.Failf("emcc", "negative policy delay: lookup=%d llc-wait=%d offload=%d", p.LookupDelay, p.LLCHitWait, p.OffloadThreshold)
+			rec.Failf("emcc", "negative policy delay: lookup=%d llc-wait=%d offload=%d", p.LookupDelay, p.LLCHitWait, p.OffloadThreshold)
 		}
 		if p.L2CounterCap <= 0 {
-			inv.Failf("emcc", "non-positive L2 counter budget %d bytes", p.L2CounterCap)
+			rec.Failf("emcc", "non-positive L2 counter budget %d bytes", p.L2CounterCap)
 		}
 	}
 	return p

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/emcc"
+	"repro/internal/inv"
 	"repro/internal/mc"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -35,6 +36,10 @@ type Options struct {
 	// DataBytes must then bound every address they emit.
 	Generators []workload.Generator
 	DataBytes  int64
+	// Recorder, when non-nil, receives this run's invariant violations
+	// instead of the process-wide default recorder — concurrent runs in one
+	// process each keep their own ledger.
+	Recorder *inv.Recorder
 }
 
 // Sim is one functional simulation instance.
@@ -86,6 +91,7 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 			return nil, fmt.Errorf("sim: DataBytes required with custom generators")
 		}
 	}
+	rec := inv.Or(opt.Recorder)
 	s := &Sim{
 		cfg:  cfg,
 		opt:  opt,
@@ -93,9 +99,13 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 		llc:  cache.New("llc", cfg.L3Bytes, cfg.L3Ways),
 		gens: gens,
 	}
+	s.llc.SetRecorder(rec)
 	for c := 0; c < opt.Cores; c++ {
-		s.l1 = append(s.l1, cache.New(fmt.Sprintf("l1.%d", c), cfg.L1Bytes, cfg.L1Ways))
+		l1 := cache.New(fmt.Sprintf("l1.%d", c), cfg.L1Bytes, cfg.L1Ways)
+		l1.SetRecorder(rec)
+		s.l1 = append(s.l1, l1)
 		l2 := cache.New(fmt.Sprintf("l2.%d", c), cfg.L2Bytes, cfg.L2Ways)
+		l2.SetRecorder(rec)
 		if cfg.EMCC {
 			l2.SetCounterCap(cfg.EMCCL2CounterBytes)
 		}
@@ -106,6 +116,7 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 	// metadata cache to model.
 	if cfg.Counter.HasCounters() {
 		s.home = mc.NewHome(cfg, dataBytes)
+		s.home.SetRecorder(rec)
 	}
 	s.pol = emcc.Policy{L2CounterCap: cfg.EMCCL2CounterBytes}
 	return s, nil

@@ -50,6 +50,28 @@ func TestRecordingCap(t *testing.T) {
 	}
 }
 
+// TestRecorderIsolation proves independent recorders never share state:
+// failures on one are invisible to the others and to the package default.
+func TestRecorderIsolation(t *testing.T) {
+	Reset()
+	a, b := NewRecorder(), NewRecorder()
+	a.Enable(true)
+	b.Enable(true)
+	a.Failf("iso", "a only")
+	if b.Count() != 0 || Count() != 0 {
+		t.Fatalf("violation leaked: b=%d default=%d", b.Count(), Count())
+	}
+	if a.Count() != 1 {
+		t.Fatalf("a.Count = %d, want 1", a.Count())
+	}
+	if Or(nil) != Default() {
+		t.Fatal("Or(nil) is not the default recorder")
+	}
+	if Or(a) != a {
+		t.Fatal("Or(a) is not its argument")
+	}
+}
+
 // TestConcurrentFailf exercises the recorder from many goroutines under
 // -race: Failf and Violations must be safe to interleave.
 func TestConcurrentFailf(t *testing.T) {

@@ -27,6 +27,10 @@ type Tree struct {
 	// has ever been written back. Blocks never written back verify
 	// against the all-zero initial state.
 	macs map[uint64]uint64
+
+	// rec is the owning run's invariant recorder (never nil; defaults to
+	// the process-wide recorder until SetRecorder rebinds it).
+	rec *inv.Recorder
 }
 
 // New builds a tree. The organisation must implement ctr.Serializer (all
@@ -36,8 +40,12 @@ func New(space *addr.Space, org ctr.Organisation, eng *crypto.Engine) *Tree {
 	if !ok {
 		panic(fmt.Sprintf("itree: organisation %s does not serialize", org.Name()))
 	}
-	return &Tree{space: space, org: org, ser: ser, eng: eng, macs: make(map[uint64]uint64)}
+	return &Tree{space: space, org: org, ser: ser, eng: eng, macs: make(map[uint64]uint64), rec: inv.Default()}
 }
+
+// SetRecorder binds the owning run's invariant recorder (nil rebinds the
+// default). Call at construction time, before any traffic.
+func (t *Tree) SetRecorder(r *inv.Recorder) { t.rec = inv.Or(r) }
 
 // Space exposes the address map (for geometry queries).
 func (t *Tree) Space() *addr.Space { return t.space }
@@ -76,7 +84,7 @@ func (t *Tree) CounterOf(block uint64) uint64 {
 // returns any overflow (page re-encryption) consequence. For the root the
 // on-chip counter advances overflow-free.
 func (t *Tree) IncrementCounterOf(block uint64) ctr.Overflow {
-	check := inv.On()
+	check := t.rec.On()
 	var before uint64
 	if check {
 		before = t.CounterOf(block)
@@ -93,7 +101,7 @@ func (t *Tree) IncrementCounterOf(block uint64) ctr.Overflow {
 	// handling must never move one backwards.
 	if check {
 		if after := t.CounterOf(block); after <= before {
-			inv.Failf("itree", "counter of block %#x did not advance: %#x -> %#x (%s)", block, before, after, t.org.Name())
+			t.rec.Failf("itree", "counter of block %#x did not advance: %#x -> %#x (%s)", block, before, after, t.org.Name())
 		}
 	}
 	return ov

@@ -16,6 +16,7 @@ import (
 // 2.6 G ops/s peak for the whole processor; EMCC moves a fraction to L2s).
 type AESPool struct {
 	eng      *sim.Engine
+	rec      *inv.Recorder
 	interval sim.Time // time between op issues = 1/bandwidth
 	latency  sim.Time
 	nextFree sim.Time // next issue slot for latency-critical (read) ops
@@ -35,6 +36,7 @@ func NewAESPool(eng *sim.Engine, opsPerSec float64, latency sim.Time) *AESPool {
 	}
 	return &AESPool{
 		eng:      eng,
+		rec:      eng.Recorder(),
 		interval: sim.Time(float64(sim.Second)/opsPerSec + 0.5),
 		latency:  latency,
 	}
@@ -65,8 +67,8 @@ func (p *AESPool) Reserve(n int, at sim.Time) sim.Time {
 		start = p.nextFree
 	}
 	last := start + sim.Time(n-1)*p.interval
-	if inv.On() && last+p.interval < p.nextFree {
-		inv.Failf("mc", "aes pool critical horizon moved backwards: %d ps -> %d ps", p.nextFree, last+p.interval)
+	if p.rec.On() && last+p.interval < p.nextFree {
+		p.rec.Failf("mc", "aes pool critical horizon moved backwards: %d ps -> %d ps", p.nextFree, last+p.interval)
 	}
 	p.nextFree = last + p.interval
 	// Preempted background work resumes after the critical ops.
@@ -74,7 +76,7 @@ func (p *AESPool) Reserve(n int, at sim.Time) sim.Time {
 		p.lowNextFree = p.nextFree
 	}
 	p.Reserved += int64(n)
-	if inv.On() {
+	if p.rec.On() {
 		p.checkUtilisation()
 	}
 	return last + p.latency
@@ -95,12 +97,12 @@ func (p *AESPool) ReserveLow(n int, at sim.Time) sim.Time {
 		start = p.lowNextFree
 	}
 	last := start + sim.Time(n-1)*p.interval
-	if inv.On() && last+p.interval < p.lowNextFree {
-		inv.Failf("mc", "aes pool background horizon moved backwards: %d ps -> %d ps", p.lowNextFree, last+p.interval)
+	if p.rec.On() && last+p.interval < p.lowNextFree {
+		p.rec.Failf("mc", "aes pool background horizon moved backwards: %d ps -> %d ps", p.lowNextFree, last+p.interval)
 	}
 	p.lowNextFree = last + p.interval
 	p.Reserved += int64(n)
-	if inv.On() {
+	if p.rec.On() {
 		p.checkUtilisation()
 	}
 	return last + p.latency
@@ -132,11 +134,12 @@ func (p *AESPool) Utilisation() float64 {
 
 // checkUtilisation asserts the bandwidth bound in exact integer arithmetic.
 func (p *AESPool) checkUtilisation() {
-	if !inv.On() {
+	rec := p.rec
+	if !rec.On() {
 		return
 	}
 	if p.Reserved*int64(p.interval) > int64(p.Horizon()) {
-		inv.Failf("mc", "aes pool over-committed: %d ops * %d ps/op > horizon %d ps (utilisation %.3f)",
+		rec.Failf("mc", "aes pool over-committed: %d ops * %d ps/op > horizon %d ps (utilisation %.3f)",
 			p.Reserved, p.interval, p.Horizon(), p.Utilisation())
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/crypto"
 	"repro/internal/ctr"
+	"repro/internal/inv"
 	"repro/internal/itree"
 )
 
@@ -40,6 +41,14 @@ func NewHome(cfg *config.Config, dataBytes int64) *Home {
 		Tree:  itree.New(space, org, eng),
 		Meta:  meta,
 	}
+}
+
+// SetRecorder binds the owning run's invariant recorder to the home's
+// metadata cache and integrity tree (nil rebinds the default). Call at
+// construction time, before any traffic.
+func (h *Home) SetRecorder(r *inv.Recorder) {
+	h.Meta.SetRecorder(r)
+	h.Tree.SetRecorder(r)
 }
 
 // CounterBlockOf reports the counter block protecting a data block.

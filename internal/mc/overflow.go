@@ -22,6 +22,7 @@ type IssueFunc func(block uint64, write bool, level int, done func(at sim.Time))
 type OverflowEngine struct {
 	eng      *sim.Engine
 	st       *stats.Set
+	rec      *inv.Recorder
 	issue    IssueFunc
 	maxLive  int
 	maxSlots int
@@ -44,7 +45,7 @@ func NewOverflowEngine(eng *sim.Engine, st *stats.Set, maxLive, maxSlots int, is
 	if maxLive <= 0 || maxSlots <= 0 {
 		panic("mc: overflow engine limits must be positive")
 	}
-	return &OverflowEngine{eng: eng, st: st, issue: issue, maxLive: maxLive, maxSlots: maxSlots}
+	return &OverflowEngine{eng: eng, st: st, rec: eng.Recorder(), issue: issue, maxLive: maxLive, maxSlots: maxSlots}
 }
 
 // Start begins re-encryption of n blocks at `first` for an overflow at the
@@ -89,12 +90,12 @@ func (e *OverflowEngine) Pump() {
 		job.next++
 		e.inFlight++
 	}
-	if inv.On() {
+	if rec := e.rec; rec.On() {
 		if e.inFlight > e.maxSlots {
-			inv.Failf("mc", "overflow engine holds %d queue slots, cap %d", e.inFlight, e.maxSlots)
+			rec.Failf("mc", "overflow engine holds %d queue slots, cap %d", e.inFlight, e.maxSlots)
 		}
 		if len(e.live) > e.maxLive {
-			inv.Failf("mc", "overflow engine runs %d concurrent jobs, cap %d", len(e.live), e.maxLive)
+			rec.Failf("mc", "overflow engine runs %d concurrent jobs, cap %d", len(e.live), e.maxLive)
 		}
 	}
 }
@@ -111,12 +112,12 @@ func (e *OverflowEngine) readDone(job *overflowJob, blk uint64) {
 func (e *OverflowEngine) writeDone(job *overflowJob) {
 	e.inFlight--
 	job.done++
-	if inv.On() {
+	if rec := e.rec; rec.On() {
 		if e.inFlight < 0 {
-			inv.Failf("mc", "overflow engine slot count went negative: %d", e.inFlight)
+			rec.Failf("mc", "overflow engine slot count went negative: %d", e.inFlight)
 		}
 		if job.done > job.total {
-			inv.Failf("mc", "overflow job rewrote %d blocks of %d planned", job.done, job.total)
+			rec.Failf("mc", "overflow job rewrote %d blocks of %d planned", job.done, job.total)
 		}
 	}
 	if job.done == job.total {

@@ -49,10 +49,25 @@ type Engine struct {
 	// ticks counts currently-scheduled Every events, so tickers judge
 	// liveness against real work instead of each other (see Every).
 	ticks int
+	// rec is the run's invariant recorder. The engine is the entity that
+	// owns a run, so it owns the recorder binding: components capture
+	// Recorder() at construction and every violation of this run lands
+	// here, isolated from concurrent runs in the same process.
+	rec *inv.Recorder
 }
 
-// New returns a fresh engine with the clock at zero.
-func New() *Engine { return &Engine{} }
+// New returns a fresh engine with the clock at zero, bound to the default
+// invariant recorder (SetRecorder rebinds for isolated runs).
+func New() *Engine { return &Engine{rec: inv.Default()} }
+
+// SetRecorder binds the run's invariant recorder. Call before constructing
+// components: they capture the binding at build time. A nil r rebinds the
+// process-wide default recorder.
+func (e *Engine) SetRecorder(r *inv.Recorder) { e.rec = inv.Or(r) }
+
+// Recorder reports the run's invariant recorder (never nil; a zero-value
+// Engine reports the default recorder).
+func (e *Engine) Recorder() *inv.Recorder { return inv.Or(e.rec) }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -90,6 +105,21 @@ func (e *Engine) AtCall(t Time, fn func(any), arg any) {
 	}
 	e.seq++
 	e.q.push(event{at: t, seq: e.seq, call: fn, arg: arg})
+}
+
+// AtCallLate schedules fn(arg) in the late class at absolute time t: it
+// runs after every ordinary event with the same timestamp, ordered among
+// same-time late events by key (then schedule order). Component seams
+// that must see a timestamp's complete state — the DRAM scheduler pass,
+// cross-domain completions — use this in both the serial and sharded
+// engines, so their global position depends only on (t, key), not on
+// when they happened to be scheduled. Scheduling in the past panics.
+func (e *Engine) AtCallLate(t Time, key int32, fn func(any), arg any) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.q.push(event{at: t, seq: e.seq, pri: 1, key: key, call: fn, arg: arg})
 }
 
 // After schedules fn to run d picoseconds from now. Negative delays panic.
@@ -152,8 +182,8 @@ func (e *Engine) peek() *event { return e.q.peek() }
 
 func (e *Engine) step() {
 	ev := e.q.pop()
-	if inv.On() && ev.at < e.now {
-		inv.Failf("sim", "clock moved backwards: event at %d ps popped at now=%d ps", ev.at, e.now)
+	if rec := e.rec; rec != nil && rec.On() && ev.at < e.now {
+		rec.Failf("sim", "clock moved backwards: event at %d ps popped at now=%d ps", ev.at, e.now)
 	}
 	e.now = ev.at
 	e.steps++

@@ -71,7 +71,7 @@ type coreMiss struct {
 }
 
 func newCore(s *Sim, id int, gen workload.Generator, refs int64) *core {
-	return &core{
+	c := &core{
 		s:          s,
 		id:         id,
 		tile:       s.mesh.CoreTile(id),
@@ -82,6 +82,8 @@ func newCore(s *Sim, id int, gen workload.Generator, refs int64) *core {
 		cycle:      s.cfg.CoreCycle(),
 		issueWidth: int64(s.cfg.IssueWidth),
 	}
+	c.l1.SetRecorder(s.ivr)
+	return c
 }
 
 func (c *core) bindHot() {

@@ -6,7 +6,6 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/emcc"
-	"repro/internal/inv"
 	"repro/internal/mc"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -69,8 +68,8 @@ func (r *readReq) holdReq() { r.holds++ }
 // request.
 func (r *readReq) release() {
 	r.holds--
-	if inv.On() && r.holds < 0 {
-		inv.Failf("tsim", "readReq for block %#x over-released", r.block)
+	if rec := r.l2.s.ivr; rec.On() && r.holds < 0 {
+		rec.Failf("tsim", "readReq for block %#x over-released", r.block)
 	}
 	if r.holds == 0 && r.completed {
 		r.l2.putReq(r)
@@ -110,6 +109,7 @@ func newL2Ctl(s *Sim, id int) *l2Ctl {
 		lat:  s.cfg.L2Latency,
 		pend: make(map[uint64]*readReq),
 	}
+	l.c.SetRecorder(s.ivr)
 	if s.cfg.EMCC && s.cfg.EMCCAESFraction > 0 {
 		perL2 := s.cfg.AESPeakOpsPerSec * s.cfg.EMCCAESFraction / float64(s.opt.Cores)
 		l.aes = mc.NewAESPool(s.eng, perL2, s.cfg.AESLatency)

@@ -22,13 +22,15 @@ type llcCtl struct {
 }
 
 func newLLCCtl(s *Sim) *llcCtl {
-	return &llcCtl{
+	g := &llcCtl{
 		s:          s,
 		c:          cache.New("llc", s.cfg.L3Bytes, s.cfg.L3Ways),
 		tagLat:     s.cfg.L3TagLatency,
 		dataLat:    s.cfg.L3DataLatency,
 		payloadPen: sim.NS(1),
 	}
+	g.c.SetRecorder(s.ivr)
+	return g
 }
 
 // dataAccess serves an L2 data miss arriving at its home slice.

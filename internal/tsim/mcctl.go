@@ -5,7 +5,6 @@ import (
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/emcc"
-	"repro/internal/inv"
 	"repro/internal/mc"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -95,6 +94,7 @@ func newMCCtl(s *Sim, dataBytes int64) *mcCtl {
 		return m
 	}
 	m.home = mc.NewHome(s.cfg, dataBytes)
+	m.home.SetRecorder(s.ivr)
 	m.decodeLat = m.home.Org.DecodeLatency()
 	mcShare := 1.0
 	if s.cfg.EMCC {
@@ -235,12 +235,12 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 	// Conservation: one MSHR entry ⇔ one DRAM fill ⇔ one response. A
 	// pending entry that lost its registration (or its requesters) would
 	// mean a fill was issued twice or a response answers nobody.
-	if inv.On() {
+	if rec := m.s.ivr; rec.On() {
 		if m.pendData[p.block] != p {
-			inv.Failf("mc", "data fill for block %#x responds without an owning MSHR entry", p.block)
+			rec.Failf("mc", "data fill for block %#x responds without an owning MSHR entry", p.block)
 		}
 		if len(p.reqs) == 0 {
-			inv.Failf("mc", "data fill for block %#x completes with no waiting requests", p.block)
+			rec.Failf("mc", "data fill for block %#x completes with no waiting requests", p.block)
 		}
 	}
 	p.responded = true

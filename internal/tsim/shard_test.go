@@ -1,0 +1,78 @@
+package tsim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// shardSnap runs one canneal scenario and returns its stats snapshot.
+func shardSnap(t *testing.T, mutate func(*config.Config), workers int) []byte {
+	t.Helper()
+	cfg := config.Default()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(&cfg, Options{
+		Benchmark: "canneal", Seed: 7, Refs: 30_000, Warmup: 10_000,
+		Scale: workload.TestScale(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if workers > 0 && s.shard != nil {
+		s.shard.Workers = workers
+	}
+	s.Run()
+	b, err := s.Stats().Snapshot().StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardMatchesSerial is the parity pillar in miniature: the sharded
+// engine must produce byte-identical stats to the serial engine for the
+// same scenario, at one and several domains, with single- and multi-
+// channel DRAM.
+func TestShardMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name     string
+		channels int
+		domains  int
+	}{
+		{"1ch-1dom", 1, 1},
+		{"4ch-2dom", 4, 2},
+		{"4ch-4dom", 4, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			serial := shardSnap(t, func(cfg *config.Config) {
+				cfg.Channels = c.channels
+			}, 0)
+			sharded := shardSnap(t, func(cfg *config.Config) {
+				cfg.Channels = c.channels
+				cfg.Domains = c.domains
+			}, 0)
+			if string(serial) != string(sharded) {
+				t.Errorf("sharded run (%d domains) diverged from the serial engine", c.domains)
+			}
+		})
+	}
+}
+
+// TestShardWorkerCountParity pins the determinism guarantee the barrier
+// design provides by construction: at a fixed domain count, the worker
+// count must not influence a single byte of the result.
+func TestShardWorkerCountParity(t *testing.T) {
+	mutate := func(cfg *config.Config) {
+		cfg.Channels = 4
+		cfg.Domains = 4
+	}
+	one := shardSnap(t, mutate, 1)
+	many := shardSnap(t, mutate, 5)
+	if string(one) != string(many) {
+		t.Error("worker count changed the sharded run's results")
+	}
+}

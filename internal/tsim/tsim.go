@@ -14,10 +14,12 @@ package tsim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/emcc"
+	"repro/internal/inv"
 	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -44,6 +46,10 @@ type Options struct {
 	// DataBytes must then bound every address they emit.
 	Generators []workload.Generator
 	DataBytes  int64
+	// Recorder, when non-nil, receives this run's invariant violations
+	// instead of the process-wide default recorder — concurrent runs in one
+	// process each keep their own ledger.
+	Recorder *inv.Recorder
 }
 
 // Result summarises a timing run.
@@ -67,18 +73,20 @@ type Result struct {
 
 // Sim is one timing-simulation instance.
 type Sim struct {
-	cfg  *config.Config
-	opt  Options
-	eng  *sim.Engine
-	st   *stats.Set
-	mesh *noc.Mesh
-	dram *dram.DRAM
+	cfg   *config.Config
+	opt   Options
+	eng   *sim.Engine
+	shard *sim.Shard // non-nil when cfg.Domains > 0: eng is the hub
+	st    *stats.Set
+	mesh  *noc.Mesh
+	dram  *dram.DRAM
 	mc   *mcCtl
 	llc  *llcCtl
 	l2s  []*l2Ctl
 	cpus []*core
 	pol  emcc.Policy
-	trc  *obs.Tracer // nil = tracing disabled (the common case)
+	ivr  *inv.Recorder // this run's invariant recorder (never nil)
+	trc  *obs.Tracer   // nil = tracing disabled (the common case)
 
 	rec       *metrics.Recorder // nil = flight recording disabled
 	recPeriod sim.Time
@@ -124,9 +132,26 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 		eng:  sim.New(),
 		st:   stats.NewSet(),
 		mesh: noc.New(cfg.MeshCols, cfg.MeshRows, cfg.NoCHopLatency, cfg.NoCBaseOneWay),
+		ivr:  inv.Or(opt.Recorder),
 	}
-	s.pol = emcc.NewPolicy(cfg, s.mesh)
+	// Bind the run's recorder to the engine before any component grabs it:
+	// every eng.Recorder() call below must see this run's ledger.
+	s.eng.SetRecorder(s.ivr)
+	s.pol = emcc.NewPolicyRec(cfg, s.mesh, s.ivr)
 	s.dram = dram.New(s.eng, s.st, cfg)
+	if cfg.Domains > 0 {
+		// Shard the DRAM channels into lookahead-synchronized domains;
+		// everything else (cores, caches, MC) stays on the hub engine.
+		// One worker per domain plus the hub, capped by the host — the
+		// schedule is byte-identical at any worker count.
+		workers := cfg.Domains + 1
+		if n := runtime.GOMAXPROCS(0); workers > n {
+			workers = n
+		}
+		s.shard = sim.NewShard(s.eng, workers)
+		s.dram.Shard(s.shard, cfg.Domains)
+		s.shard.Finalize()
+	}
 	s.llc = newLLCCtl(s)
 	s.mc = newMCCtl(s, dataBytes)
 	perCore := opt.Refs / int64(opt.Cores)
@@ -158,6 +183,12 @@ func (s *Sim) Stats() *stats.Set { return s.st }
 // a nil tracer (the default) keeps every instrumentation site on its
 // single-branch fast path. Warmup references are never traced.
 func (s *Sim) SetTracer(t *obs.Tracer) {
+	if s.shard != nil && t != nil {
+		// Trace spans and the periodic sampler read state that lives in
+		// other domains mid-run; the sharded engine has no safe point for
+		// that. Tracing is a serial-engine tool.
+		panic("tsim: tracing requires the serial engine (set Domains = 0)")
+	}
 	s.trc = t
 	for _, l2 := range s.l2s {
 		if l2.monitor != nil {
@@ -181,12 +212,29 @@ func (s *Sim) SetTracer(t *obs.Tracer) {
 // is a pure function of the scenario: byte-identical across reruns and
 // across concurrent runs at any parallelism.
 func (s *Sim) SetFlightRecorder(rec *metrics.Recorder, period sim.Time) {
+	if s.shard != nil && rec != nil {
+		// The recorder samples the shared stats set every interval; when
+		// sharded, DRAM metrics accumulate in per-channel domain shards
+		// that only merge after the run, so mid-run samples would be
+		// silently wrong (and racy).
+		panic("tsim: the flight recorder requires the serial engine (set Domains = 0)")
+	}
 	s.rec = rec
 	s.recPeriod = period
 }
 
 // Engine exposes the event engine (timeline tooling uses it).
 func (s *Sim) Engine() *sim.Engine { return s.eng }
+
+// SetShardWorkers overrides the sharded engine's worker-goroutine count
+// (a no-op on the serial engine). The schedule is byte-identical at any
+// worker count — the verification harness exercises exactly that claim.
+// Call before Run.
+func (s *Sim) SetShardWorkers(n int) {
+	if s.shard != nil && n > 0 {
+		s.shard.Workers = n
+	}
+}
 
 // Run warms the machine, executes the workload to completion and
 // summarises.
@@ -218,11 +266,19 @@ func (s *Sim) Run() Result {
 	}
 	// Hard ceiling guards against modelling bugs hanging the run.
 	const maxSteps = 2_000_000_000
-	for s.eng.Pending() > 0 {
-		if s.eng.Steps() > maxSteps {
-			panic(fmt.Sprintf("tsim: exceeded %d events — likely a stall bug", int64(maxSteps)))
+	if s.shard != nil {
+		s.shard.MaxSteps = maxSteps
+		s.shard.Run()
+		// Fold the per-channel DRAM stats shards into the run's set (in
+		// channel order) before anything below reads it.
+		s.dram.MergeShardStats()
+	} else {
+		for s.eng.Pending() > 0 {
+			if s.eng.Steps() > maxSteps {
+				panic(fmt.Sprintf("tsim: exceeded %d events — likely a stall bug", int64(maxSteps)))
+			}
+			s.eng.RunFor(sim.Millisecond)
 		}
-		s.eng.RunFor(sim.Millisecond)
 	}
 
 	var res Result
