@@ -322,7 +322,9 @@ func BenchmarkTimingSimTraced(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s.SetTracer(obs.New(obs.Options{Stats: s.Stats()}))
+	if err := s.SetTracer(obs.New(obs.Options{Stats: s.Stats()})); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	s.Run()
 }

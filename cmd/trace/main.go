@@ -57,6 +57,11 @@ func main() {
 	if err := config.ApplySystem(&cfg, *system); err != nil {
 		fatal(err)
 	}
+	// Declare the instrumentation this command attaches, so an
+	// incompatible engine selection (Domains > 0) fails config
+	// validation in New instead of erroring at attach time.
+	cfg.Tracing = true
+	cfg.FlightRecorder = *flight != ""
 	scale := workload.DefaultScale()
 	if *small {
 		scale = workload.TestScale()
@@ -102,11 +107,15 @@ func main() {
 		SamplePeriod: sim.NS(*periodNS),
 		Meta:         prov.Masked(manifest),
 	})
-	s.SetTracer(tr)
+	if err := s.SetTracer(tr); err != nil {
+		fatal(err)
+	}
 	var rec *metrics.Recorder
 	if *flight != "" {
 		rec = metrics.NewRecorder(s.Stats(), *flightCap)
-		s.SetFlightRecorder(rec, sim.NS(*flightPeriodNS))
+		if err := s.SetFlightRecorder(rec, sim.NS(*flightPeriodNS)); err != nil {
+			fatal(err)
+		}
 	}
 	res := s.Run()
 	if err := tr.Close(); err != nil {

@@ -77,15 +77,31 @@ type pass interface {
 	run(ctx *context, pkg *Package)
 }
 
-// passes in reporting order.
+// modulePass is one analysis over the whole module at once — the
+// interprocedural passes, which reason over the shared call graph and
+// filter their own reporting to pattern-selected packages.
+type modulePass interface {
+	name() string
+	runModule(ctx *context)
+}
+
+// per-package passes in reporting order.
 func allPasses() []pass {
-	return []pass{statskey{}, detlint{}, invgate{}, obsnil{}}
+	return []pass{statskey{}, detlint{}, obsnil{}}
+}
+
+// interprocedural passes, run once after the per-package passes.
+func allModulePasses() []modulePass {
+	return []modulePass{invgate{}, shardsafe{}, allocpin{}}
 }
 
 // Passes lists the pass names the driver runs, in order.
 func Passes() []string {
 	var names []string
 	for _, p := range allPasses() {
+		names = append(names, p.name())
+	}
+	for _, p := range allModulePasses() {
 		names = append(names, p.name())
 	}
 	return names
@@ -105,10 +121,20 @@ type context struct {
 	nilSafe map[string]bool
 	obsPkg  *Package
 
-	// suppress: file -> line -> pass names suppressed on that line.
-	suppress map[string]map[int]map[string]bool
+	// suppress: file -> line -> pass name -> the marker granting the
+	// suppression (tracked so markers that never fire become findings).
+	suppress map[string]map[int]map[string]*ignoreMarker
+	// markers lists every well-formed //lint:ignore marker in collection
+	// order, for the unused-suppression audit after all passes ran.
+	markers []*ignoreMarker
 	// dynamicKey: file -> lines annotated //lint:dynamic-key.
 	dynamicKey map[string]map[int]bool
+
+	// graph is the whole-module call graph shared by the interprocedural
+	// passes (invgate, shardsafe, allocpin).
+	graph *CallGraph
+	// escapes is the compiler's escape-analysis fact set (allocpin).
+	escapes *escapeSet
 
 	// patterns is the package selection for this run; findings are only
 	// reported for matching packages.
@@ -118,16 +144,37 @@ type context struct {
 	keyIndex map[string][]Ref
 }
 
+// ignoreMarker is one well-formed //lint:ignore <pass> <reason> comment.
+type ignoreMarker struct {
+	file string // module-relative file of the marker
+	line int
+	pass string
+	rel  string // module-relative package dir, for pattern filtering
+	used bool   // set when the marker suppresses at least one finding
+}
+
 // reportf records a finding at pos unless suppressed.
 func (ctx *context) reportf(pass string, pos token.Pos, format string, args ...interface{}) {
 	p := ctx.mod.Fset.Position(pos)
-	if lines := ctx.suppress[p.Filename]; lines != nil {
-		if lines[p.Line][pass] || lines[p.Line-1][pass] {
+	ctx.reportAt(pass, p.Filename, p.Line, format, args...)
+}
+
+// reportAt records a finding by file and line unless suppressed — the
+// position-free form for facts that come from outside the AST (allocpin's
+// compiler diagnostics).
+func (ctx *context) reportAt(pass, file string, line int, format string, args ...interface{}) {
+	if lines := ctx.suppress[file]; lines != nil {
+		if m := lines[line][pass]; m != nil {
+			m.used = true
+			return
+		}
+		if m := lines[line-1][pass]; m != nil {
+			m.used = true
 			return
 		}
 	}
 	ctx.findings = append(ctx.findings, Finding{
-		File: p.Filename, Line: p.Line, Pass: pass, Msg: fmt.Sprintf(format, args...),
+		File: file, Line: line, Pass: pass, Msg: fmt.Sprintf(format, args...),
 	})
 }
 
@@ -171,7 +218,7 @@ func Run(root string, patterns ...string) (*Result, error) {
 		registry:   make(map[string]token.Position),
 		keyConsts:  make(map[types.Object]string),
 		nilSafe:    make(map[string]bool),
-		suppress:   make(map[string]map[int]map[string]bool),
+		suppress:   make(map[string]map[int]map[string]*ignoreMarker),
 		dynamicKey: make(map[string]map[int]bool),
 		keyIndex:   make(map[string][]Ref),
 	}
@@ -179,6 +226,11 @@ func Run(root string, patterns ...string) (*Result, error) {
 	ctx.collectRegistry()
 	ctx.collectNilSafe()
 	ctx.indexKeyUses()
+	ctx.graph = buildCallGraph(mod)
+	ctx.escapes, err = loadEscapes(root)
+	if err != nil {
+		return nil, fmt.Errorf("escape analysis: %w", err)
+	}
 
 	for _, pkg := range mod.Pkgs {
 		if !matchAny(pkg.Rel, patterns) {
@@ -188,6 +240,10 @@ func Run(root string, patterns ...string) (*Result, error) {
 			p.run(ctx, pkg)
 		}
 	}
+	for _, p := range allModulePasses() {
+		p.runModule(ctx)
+	}
+	ctx.auditSuppressions()
 
 	sort.Slice(ctx.findings, func(i, j int) bool {
 		a, b := ctx.findings[i], ctx.findings[j]
@@ -275,13 +331,30 @@ func (ctx *context) addIgnore(pkg *Package, c *ast.Comment, rest string) {
 	}
 	lines := ctx.suppress[p.Filename]
 	if lines == nil {
-		lines = make(map[int]map[string]bool)
+		lines = make(map[int]map[string]*ignoreMarker)
 		ctx.suppress[p.Filename] = lines
 	}
 	if lines[p.Line] == nil {
-		lines[p.Line] = make(map[string]bool)
+		lines[p.Line] = make(map[string]*ignoreMarker)
 	}
-	lines[p.Line][fields[0]] = true
+	m := &ignoreMarker{file: p.Filename, line: p.Line, pass: fields[0], rel: pkg.Rel}
+	lines[p.Line][fields[0]] = m
+	ctx.markers = append(ctx.markers, m)
+}
+
+// auditSuppressions reports every well-formed marker that suppressed
+// nothing: a stale suppression hides future regressions and documents a
+// violation that no longer exists. Runs after every pass has finished.
+func (ctx *context) auditSuppressions() {
+	for _, m := range ctx.markers {
+		if m.used || !matchAny(m.rel, ctx.patterns) {
+			continue
+		}
+		ctx.findings = append(ctx.findings, Finding{
+			File: m.file, Line: m.line, Pass: "lint",
+			Msg: fmt.Sprintf("unused suppression: no %s finding here — remove the //lint:ignore or restore the violation it documented", m.pass),
+		})
+	}
 }
 
 // collectRegistry reads the stats-key registry: every string constant

@@ -24,23 +24,45 @@ func fixtureRun(t *testing.T, patterns ...string) *Result {
 // module: every positive case yields its one finding, and nothing in
 // good/, the stub packages, or the blessed figures patterns leaks one.
 func TestFixtureFindings(t *testing.T) {
+	const allocpinSuffix = " — hoist it to binding time, pool it, or annotate why it cannot run per-event"
+	const invgateSuffix = " is not dominated by an inv.On() check on any call path (guard the site or every caller with `if inv.On()` so disabled runs pay one branch)"
 	want := []string{
+		"allocbad/allocbad.go:36: [allocpin] heap allocation on the pinned 0-alloc hot path: new(payload) escapes to heap (in allocbad.SetupInline$lit@35; path: allocbad.SetupInline$lit@35)" + allocpinSuffix,
+		"allocbad/allocbad.go:42: [allocpin] heap allocation on the pinned 0-alloc hot path: &payload{} escapes to heap (in allocbad.reqCB; path: allocbad.reqCB)" + allocpinSuffix,
+		"allocbad/allocbad.go:48: [allocpin] heap allocation on the pinned 0-alloc hot path: v * int64(2) escapes to heap (in allocbad.boxCB; path: allocbad.boxCB)" + allocpinSuffix,
+		"allocbad/allocbad.go:54: [allocpin] heap allocation on the pinned 0-alloc hot path: buf escapes to heap (in allocbad.chainCB; path: allocbad.chainCB)" + allocpinSuffix,
+		"allocbad/allocbad.go:54: [allocpin] heap allocation on the pinned 0-alloc hot path: make([]int64, 9) escapes to heap (in allocbad.chainCB; path: allocbad.chainCB)" + allocpinSuffix,
+		"allocbad/allocbad.go:58: [allocpin] heap allocation on the pinned 0-alloc hot path: make([]int64, 9) escapes to heap (in allocbad.grow; path: allocbad.chainCB -> allocbad.grow)" + allocpinSuffix,
+		"allocbad/allocbad.go:59: [allocpin] heap allocation on the pinned 0-alloc hot path: buf escapes to heap (in allocbad.grow; path: allocbad.chainCB -> allocbad.grow)" + allocpinSuffix,
+		"allocbad/allocbad.go:66: [allocpin] heap allocation on the pinned 0-alloc hot path: moved to heap: n (in allocbad.closureCB; path: allocbad.closureCB)" + allocpinSuffix,
+		"allocbad/allocbad.go:67: [allocpin] heap allocation on the pinned 0-alloc hot path: func literal escapes to heap (in allocbad.closureCB; path: allocbad.closureCB)" + allocpinSuffix,
+		"allocbad/allocbad.go:73: [allocpin] heap allocation on the pinned 0-alloc hot path: moved to heap: v (in allocbad.statCB; path: allocbad.statCB)" + allocpinSuffix,
 		`bad/bad.go:15: [statskey] unregistered stats key "fixture/unregistered" (declare it in internal/stats/keys.go)`,
 		`bad/bad.go:21: [statskey] stats key passed to Add does not resolve to a compile-time constant (register it in internal/stats/keys.go, or annotate the site //lint:dynamic-key if the family is dynamic by design)`,
-		"bad/bad.go:27: [invgate] inv.Failf is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)",
-		"bad/bad.go:32: [invgate] inv.Fail is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)",
+		"bad/bad.go:27: [invgate] inv.Failf" + invgateSuffix,
+		"bad/bad.go:32: [invgate] inv.Fail" + invgateSuffix,
 		`bad/bad.go:38: [obsnil] (*obs.Tracer).Record is outside the documented nil-safe set; a disabled (nil) tracer would panic here (guard the receiver or extend tracerNilSafe in internal/obs)`,
 		`bad/bad.go:45: [lint] malformed suppression: want //lint:ignore <pass> <reason>`,
 		`bad/bad.go:46: [statskey] unregistered stats key "fixture/also-unregistered" (declare it in internal/stats/keys.go)`,
 		`bad/bad.go:52: [statskey] unregistered stats key "fixture/unregistered-ref" (declare it in internal/stats/keys.go)`,
 		`bad/bad.go:58: [statskey] unregistered stats key "fixture/unregistered-hist" (declare it in internal/stats/keys.go)`,
-		"bad/bad.go:64: [invgate] inv.Failf is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)",
-		"bad/bad.go:70: [invgate] inv.Fail is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)",
+		"bad/bad.go:64: [invgate] inv.Failf" + invgateSuffix,
+		"bad/bad.go:70: [invgate] inv.Fail" + invgateSuffix,
 		`internal/figures/figures.go:14: [detlint] time.Now in a deterministic-output package (golden/compared output must not depend on wall time)`,
 		`internal/figures/figures.go:19: [detlint] package-level math/rand draws from the global source; use a locally seeded *rand.Rand`,
 		`internal/figures/figures.go:24: [detlint] iteration over a map reaches output (fmt.Println at line 25) without an intervening sort; collect and sort the keys first`,
 		`internal/figures/figures.go:51: [detlint] iteration over a map reaches output (fmt.Println at line 53) only through a nested map iteration; the outer order is nondeterministic too — sort the keys at every level`,
 		`internal/figures/figures.go:52: [detlint] iteration over a map reaches output (fmt.Println at line 53) without an intervening sort; collect and sort the keys first`,
+		"invflow/invflow.go:33: [invgate] inv.Failf" + invgateSuffix,
+		`invflow/invflow.go:39: [invgate] inv.Failf taken as a function value escapes the inv.On() gating discipline (call it directly under a guard)`,
+		`invflow/invflow.go:45: [invgate] inv.Fail taken as a function value escapes the inv.On() gating discipline (call it directly under a guard)`,
+		`shardbad/shardbad.go:25: [shardsafe] ordinary-class Link.Send crosses a domain seam without a late-class key — use SendLate so merged delivery order is byte-identical (DESIGN.md §14), or annotate the deliberate exception`,
+		`shardbad/shardbad.go:33: [shardsafe] write to package-level var hits from domain-reachable code (shardbad.tickCB) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: shardbad.tickCB`,
+		`shardbad/shardbad.go:43: [shardsafe] write to package-level var deliveries from domain-reachable code (shardbad.bump) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: shardbad.chainCB -> shardbad.bump`,
+		`shardbad/shardbad.go:49: [shardsafe] Engine.AtCall called from domain-reachable code (shardbad.escapeCB) bypasses Link delivery across the shard seam — schedule on the owning Domain or send over a Link (DESIGN.md §14); path: shardbad.escapeCB`,
+		`shardbad/shardbad.go:55: [shardsafe] serial-only internal/obs symbol Enabled called from domain-reachable code (shardbad.traceCB) — tracing is rejected under Domains > 0, so annotate the dead nil-guarded site or move the call hub-side (DESIGN.md §14); path: shardbad.traceCB`,
+		`shardbad/shardbad.go:75: [shardsafe] write to package-level var boots from domain-reachable code (shardbad.bootCB) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: shardbad.bootCB`,
+		`suppress/suppress.go:17: [lint] unused suppression: no invgate finding here — remove the //lint:ignore or restore the violation it documented`,
 	}
 	res := fixtureRun(t)
 	var got []string
@@ -59,7 +81,9 @@ func TestFixtureFindings(t *testing.T) {
 
 // TestFixtureOneDiagnosticPerCase asserts the acceptance cases each
 // yield exactly one diagnostic: an unregistered stats key, a time.Now in
-// internal/figures, and an unguarded inv.Failf.
+// internal/figures, an unguarded inv.Failf, a closure allocated inside a
+// registered callback, an interface-seam shardsafe write, a fail
+// function taken as a value, and a stale suppression.
 func TestFixtureOneDiagnosticPerCase(t *testing.T) {
 	res := fixtureRun(t)
 	cases := []struct {
@@ -78,6 +102,24 @@ func TestFixtureOneDiagnosticPerCase(t *testing.T) {
 		{"unguarded recorder-method Failf", func(f Finding) bool {
 			return f.Pass == "invgate" && strings.Contains(f.Msg, "inv.Failf") && f.Line == 64
 		}},
+		{"bare Failf behind an unguarded caller", func(f Finding) bool {
+			return f.Pass == "invgate" && f.File == "invflow/invflow.go" && f.Line == 33
+		}},
+		{"inv.Failf taken as a value", func(f Finding) bool {
+			return f.Pass == "invgate" && f.File == "invflow/invflow.go" && f.Line == 39
+		}},
+		{"closure allocated inside a registered callback", func(f Finding) bool {
+			return f.Pass == "allocpin" && f.File == "allocbad/allocbad.go" && f.Line == 67
+		}},
+		{"interface-seam registration roots the callback", func(f Finding) bool {
+			return f.Pass == "shardsafe" && f.File == "shardbad/shardbad.go" && f.Line == 75
+		}},
+		{"ordinary Send across the seam", func(f Finding) bool {
+			return f.Pass == "shardsafe" && f.File == "shardbad/shardbad.go" && f.Line == 25
+		}},
+		{"stale suppression audited", func(f Finding) bool {
+			return f.Pass == "lint" && f.File == "suppress/suppress.go" && strings.Contains(f.Msg, "unused suppression")
+		}},
 	}
 	for _, c := range cases {
 		n := 0
@@ -88,6 +130,20 @@ func TestFixtureOneDiagnosticPerCase(t *testing.T) {
 		}
 		if n != 1 {
 			t.Errorf("%s: %d diagnostics, want exactly 1", c.name, n)
+		}
+	}
+	// The interprocedural negative the old intraprocedural invgate could
+	// not accept: checkDeep's bare Failf at invflow/invflow.go:14 is
+	// guarded by its only caller and must stay silent.
+	for _, f := range res.Findings {
+		if f.File == "invflow/invflow.go" && f.Line == 14 {
+			t.Errorf("guarded-caller negative flagged: %s", f.String())
+		}
+	}
+	// Sanctioned-form packages must stay finding-free.
+	for _, f := range res.Findings {
+		if strings.HasPrefix(f.File, "shardgood/") || strings.HasPrefix(f.File, "allocgood/") || strings.HasPrefix(f.File, "cycle/") {
+			t.Errorf("negative package leaked finding: %s", f.String())
 		}
 	}
 }

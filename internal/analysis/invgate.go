@@ -19,34 +19,84 @@ import (
 //	if !inv.On() { return }; ...; inv.Failf(...)    // early return
 //	if rec := x.rec; rec.On() { rec.Failf(...) }    // recorder-method form
 //
+// The pass is interprocedural: a helper whose Failf sites are bare is
+// still clean when every call path into the helper crosses an inv.On()
+// guard — the call graph's unguarded-reach set (see unguardedReach)
+// decides. inv.On() is time-invariant within a run, so a callback
+// registered under a guard is guarded for its whole lifetime, which is
+// why callback-registration edges carry the registration site's guard.
+//
+// Taking inv.Failf / inv.Fail as a function value is always a finding:
+// once the value escapes, no static analysis can keep the invocation
+// behind a guard.
+//
 // inv.Check is exempt: it is documented as the ungated cold-path form.
 type invgate struct{}
 
 func (invgate) name() string { return "invgate" }
 
-func (invgate) run(ctx *context, pkg *Package) {
-	if pathIs(pkg.Path, "internal/inv") {
-		return
+func (invgate) runModule(ctx *context) {
+	unguarded := ctx.graph.unguardedReach()
+	for _, pkg := range ctx.mod.Pkgs {
+		if pathIs(pkg.Path, "internal/inv") || !matchAny(pkg.Rel, ctx.patterns) {
+			continue
+		}
+		info := pkg.Info
+		guards := collectGuardVars(pkg)
+		walkStack(pkg, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := funcObj(info, n)
+				if !isInvFail(fn) {
+					return
+				}
+				if guardedByOn(info, guards, stack) {
+					return
+				}
+				// Bare at the site — clean only if every call path into
+				// the enclosing function is itself guarded.
+				if encl := ctx.graph.enclosingNode(pkg, stack); encl != nil && !unguarded[encl] {
+					return
+				}
+				ctx.reportf("invgate", n.Pos(),
+					"inv.%s is not dominated by an inv.On() check on any call path (guard the site or every caller with `if inv.On()` so disabled runs pay one branch)", fn.Name())
+			case *ast.Ident:
+				fn, _ := info.Uses[n].(*types.Func)
+				if !isInvFail(fn) || inCallPosition(n, stack) {
+					return
+				}
+				ctx.reportf("invgate", n.Pos(),
+					"inv.%s taken as a function value escapes the inv.On() gating discipline (call it directly under a guard)", fn.Name())
+			}
+		})
 	}
-	info := pkg.Info
-	guards := collectGuardVars(pkg)
-	walkStack(pkg, func(n ast.Node, stack []ast.Node) {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return
+}
+
+// isInvFail reports whether fn is internal/inv's Failf or Fail (package
+// function or Recorder method).
+func isInvFail(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !pathIs(fn.Pkg().Path(), "internal/inv") {
+		return false
+	}
+	return fn.Name() == "Failf" || fn.Name() == "Fail"
+}
+
+// unguardedReach computes the set of functions reachable with invariants
+// possibly disabled: entry points (nodes with no known callers — main,
+// exported API, test-only helpers) plus everything reachable from them
+// over unguarded edges. Indirect edges are not followed: invoking a
+// function value is only possible after the value was taken, and the
+// value-taking edge (kind callback) already carries the taking site's
+// guard — inv.On() cannot change between registration and invocation.
+func (g *CallGraph) unguardedReach() map[*CGNode]bool {
+	var roots []*CGNode
+	for _, n := range g.Nodes() {
+		if len(n.In) == 0 {
+			roots = append(roots, n)
 		}
-		fn := funcObj(info, call)
-		if fn == nil || fn.Pkg() == nil || !pathIs(fn.Pkg().Path(), "internal/inv") {
-			return
-		}
-		if fn.Name() != "Failf" && fn.Name() != "Fail" {
-			return
-		}
-		if guardedByOn(info, guards, stack) {
-			return
-		}
-		ctx.reportf("invgate", call.Pos(),
-			"inv.%s is not dominated by an inv.On() check (wrap the site in `if inv.On()` so disabled runs pay one branch)", fn.Name())
+	}
+	return g.Reachable(roots, func(e *CGEdge) bool {
+		return e.Kind != EdgeIndirect && !e.Guarded
 	})
 }
 

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// shardsafe enforces the DESIGN.md §14 parity discipline on every function
+// that can execute inside a shard domain. The byte-identical guarantee of
+// the conservative-parallel engine rests on three mechanical rules, and
+// each one is checkable from the call graph:
+//
+//	(a) domain-reachable code must not write package-level state — per-run
+//	    state lives on run-owned objects, or two domains racing on a
+//	    global silently diverge from the serial engine;
+//	(b) domain-reachable code must not schedule directly on *sim.Engine
+//	    (At/AtCall/After/AfterCall/AtCallLate/Every) — crossing a seam
+//	    without Link delivery skips the lookahead clamp and the barrier
+//	    rounds. Scheduling through the owning *sim.Domain (or an interface
+//	    satisfied by it, like dram's sched seam) is the sanctioned form;
+//	(c) ordinary-class Link.Send has no late-class key, so merged delivery
+//	    order at the seam is not byte-reproducible — cross-domain events
+//	    use SendLate unless the zero-latency class is a documented,
+//	    annotated exception;
+//	(d) internal/obs (tracing) is serial-only — Config.Validate rejects
+//	    tracing under Domains > 0 — so a call into it from
+//	    domain-reachable code is either dead under sharding (annotate the
+//	    nil-guarded site and say why) or a real race.
+//
+// "Domain-reachable" starts from every callback registered through a
+// *sim.Domain scheduling method or delivered over a *sim.Link, including
+// registrations through interfaces that a Domain satisfies, minus the
+// pinned shardHubOnly table below — functions that ride a Link but
+// execute on the hub engine by construction.
+type shardsafe struct{}
+
+func (shardsafe) name() string { return "shardsafe" }
+
+// shardHubOnly pins callback symbols (module-relative node names) that are
+// registered at a seam but run hub-side only; reachability does not enter
+// them. Every entry must say why it is hub-only — the table is the audit
+// trail for the one place the pass trusts a human over the graph.
+var shardHubOnly = map[string]string{
+	// The DRAM completion leg: issue() sends dramFinishCB over ch.out,
+	// whose destination is the hub domain, so the callback body (readReq
+	// completion, r.done into tsim) executes on the serial side of the
+	// barrier by construction (DESIGN.md §14).
+	"internal/dram.dramFinishCB": "delivered over ch.out to the hub domain; executes serial-side",
+}
+
+// engineSched is the *sim.Engine scheduling surface rule (b) forbids from
+// domain context.
+var engineSched = map[string]bool{
+	"At": true, "AtCall": true, "After": true, "AfterCall": true,
+	"AtCallLate": true, "Every": true,
+}
+
+func (sh shardsafe) runModule(ctx *context) {
+	g := ctx.graph
+	roots := shardRoots(g)
+	if len(roots) == 0 {
+		return // no domain seams in this module
+	}
+	reach := g.Reachable(roots, func(e *CGEdge) bool {
+		return e.Callee == nil || shardHubOnly[e.Callee.Name] == ""
+	})
+
+	for _, n := range g.Nodes() {
+		if !reach[n] || n.Body() == nil {
+			continue
+		}
+		// The engine (internal/sim) is the trusted implementation of the
+		// discipline and internal/obs is the subject of rule (d), not its
+		// audience; neither is scanned.
+		if pathIs(n.Pkg.Path, "internal/sim") || pathIs(n.Pkg.Path, "internal/obs") {
+			continue
+		}
+		if !matchAny(n.Pkg.Rel, ctx.patterns) {
+			continue
+		}
+		path := strings.Join(g.PathFrom(roots, n, func(e *CGEdge) bool {
+			return e.Callee == nil || shardHubOnly[e.Callee.Name] == ""
+		}), " -> ")
+		sh.scanNode(ctx, n, path)
+	}
+
+	// Rule (c) is positional, not reachability-based: a Link only exists
+	// at a seam, so every ordinary-class Send is audited wherever it is.
+	sh.scanSends(ctx)
+}
+
+// scanNode applies rules (a), (b) and (d) to one domain-reachable body.
+func (sh shardsafe) scanNode(ctx *context, n *CGNode, path string) {
+	info := n.Pkg.Info
+	walkNodeBody(n, func(node ast.Node, _ []ast.Node) {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				sh.checkWrite(ctx, info, lhs, n, path)
+			}
+		case *ast.IncDecStmt:
+			sh.checkWrite(ctx, info, node.X, n, path)
+		case *ast.CallExpr:
+			fn := funcObj(info, node)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			if pathIs(fn.Pkg().Path(), "internal/sim") &&
+				receiverName(fn) == "Engine" && engineSched[fn.Name()] {
+				ctx.reportf("shardsafe", node.Pos(),
+					"Engine.%s called from domain-reachable code (%s) bypasses Link delivery across the shard seam — schedule on the owning Domain or send over a Link (DESIGN.md §14); path: %s",
+					fn.Name(), n.Name, path)
+			}
+			if pathIs(fn.Pkg().Path(), "internal/obs") {
+				ctx.reportf("shardsafe", node.Pos(),
+					"serial-only internal/obs symbol %s called from domain-reachable code (%s) — tracing is rejected under Domains > 0, so annotate the dead nil-guarded site or move the call hub-side (DESIGN.md §14); path: %s",
+					fn.Name(), n.Name, path)
+			}
+		}
+	})
+}
+
+// checkWrite flags an assignment target whose base resolves to a
+// package-level variable.
+func (sh shardsafe) checkWrite(ctx *context, info *types.Info, lhs ast.Expr, n *CGNode, path string) {
+	v := baseVar(info, lhs)
+	if v == nil || v.IsField() || v.Pkg() == nil {
+		return
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return // local, parameter or receiver
+	}
+	ctx.reportf("shardsafe", lhs.Pos(),
+		"write to package-level var %s from domain-reachable code (%s) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: %s",
+		v.Name(), n.Name, path)
+}
+
+// scanSends applies rule (c): every ordinary-class Link.Send outside the
+// engine itself.
+func (sh shardsafe) scanSends(ctx *context) {
+	for _, pkg := range ctx.mod.Pkgs {
+		if pathIs(pkg.Path, "internal/sim") || !matchAny(pkg.Rel, ctx.patterns) {
+			continue
+		}
+		info := pkg.Info
+		walkStack(pkg, func(node ast.Node, _ []ast.Node) {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := funcObj(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Name() != "Send" {
+				return
+			}
+			if !pathIs(fn.Pkg().Path(), "internal/sim") || receiverName(fn) != "Link" {
+				return
+			}
+			ctx.reportf("shardsafe", call.Pos(),
+				"ordinary-class Link.Send crosses a domain seam without a late-class key — use SendLate so merged delivery order is byte-identical (DESIGN.md §14), or annotate the deliberate exception")
+		})
+	}
+}
+
+// shardRoots collects every callback registered into a domain: targets of
+// callback edges whose receiving callee is a *sim.Domain scheduling
+// method, a *sim.Link send, or an interface method that a Domain
+// satisfies. Pinned hub-only symbols are excluded.
+func shardRoots(g *CallGraph) []*CGNode {
+	var roots []*CGNode
+	for _, n := range g.Nodes() {
+		if shardHubOnly[n.Name] != "" {
+			continue
+		}
+		for _, e := range n.In {
+			if e.Kind == EdgeCallback && isShardReg(g, e.Via) {
+				roots = append(roots, n)
+				break
+			}
+		}
+	}
+	return roots
+}
+
+// isShardReg reports whether via is a registration point that can deliver
+// the callback into a shard domain.
+func isShardReg(g *CallGraph, via *types.Func) bool {
+	if via == nil {
+		return false
+	}
+	if isDomainSched(via) {
+		return true
+	}
+	if isInterfaceMethod(via) {
+		for _, impl := range g.implementers(via) {
+			if impl.Fn != nil && isDomainSched(impl.Fn) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDomainSched reports whether fn is a *sim.Domain scheduling method or a
+// *sim.Link send.
+func isDomainSched(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !pathIs(fn.Pkg().Path(), "internal/sim") {
+		return false
+	}
+	switch receiverName(fn) {
+	case "Domain":
+		switch fn.Name() {
+		case "At", "AtCall", "AfterCall", "AtCallLate":
+			return true
+		}
+	case "Link":
+		switch fn.Name() {
+		case "Send", "SendLate":
+			return true
+		}
+	}
+	return false
+}
+
+// receiverName returns the named type of fn's receiver ("" for plain
+// functions and interface methods).
+func receiverName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// baseVar resolves the variable an assignment target ultimately writes
+// through: the base identifier of a chain of selections, indexes and
+// dereferences, or the selected package-level var of a pkg.Var form.
+func baseVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			v, _ := info.Defs[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			// pkg.Var: the selected object is the variable. Anything
+			// else (field chain) recurses on the receiver expression.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					v, _ := info.Uses[x.Sel].(*types.Var)
+					return v
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walkNodeBody walks one graph node's body with an ancestor stack,
+// without descending into nested function literals — each literal is its
+// own node and is scanned if (and only if) it is itself reachable.
+func walkNodeBody(n *CGNode, fn func(node ast.Node, stack []ast.Node)) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := node.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		fn(node, stack)
+		stack = append(stack, node)
+		return true
+	})
+}

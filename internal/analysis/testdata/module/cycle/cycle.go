@@ -1,0 +1,14 @@
+// Package cycle pins call-graph termination: mutual recursion must not
+// hang construction, reachability, or path reconstruction.
+package cycle
+
+// Ping and pong call each other forever (statically).
+func Ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	Ping(n - 1)
+}

@@ -1,0 +1,27 @@
+// Package dram is the fixture's stand-in for the real DRAM model's seam
+// discipline: dramFinishCB rides the completion link but is pinned
+// hub-only (shardHubOnly), so its package-level write — a certain
+// shardsafe finding anywhere domain-reachable — stays clean here.
+package dram
+
+import "fixture/internal/sim"
+
+// finished counts completions; hub-owned, written only by the pinned
+// hub-side callback below.
+var finished int64
+
+// DRAM owns the completion link back to the hub.
+type DRAM struct {
+	out *sim.Link
+}
+
+// dramFinishCB runs hub-side by construction (delivered over out to the
+// hub domain); the shardHubOnly pin keeps shardsafe out of its body.
+func dramFinishCB(x any) {
+	finished++
+}
+
+// Finish delivers the completion to the hub in the late class.
+func (d *DRAM) Finish(at sim.Time, r any) {
+	d.out.SendLate(at, 0, dramFinishCB, r)
+}

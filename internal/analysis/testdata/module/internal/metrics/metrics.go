@@ -1,0 +1,22 @@
+// Package metrics is the fixture's stand-in for the real histogram
+// package: Hist.Observe is a pinned allocpin hot root (hotRootPins), so
+// it and everything it calls must stay allocation-free.
+package metrics
+
+// Hist is a fixed-geometry histogram.
+type Hist struct {
+	buckets [8]int64
+}
+
+// Observe records one sample; pinned 0-alloc in the real module.
+func (h *Hist) Observe(v int64) { h.buckets[bucket(v)]++ }
+
+// bucket is reachable from the pinned root: it must not allocate either.
+func bucket(v int64) int {
+	b := 0
+	for v > 1 && b < 7 {
+		v >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+// Package sim is the fixture's stand-in for the real event engine: the
+// scheduling surface the interprocedural passes key on (receiver names
+// and method names), with just enough body for the compiler's escape
+// analysis to treat registered callbacks like the real engine does
+// (retained, therefore escaping).
+package sim
+
+// Time mirrors the real engine's clock type.
+type Time int64
+
+type scheduled struct {
+	t   Time
+	fn  func(any)
+	arg any
+}
+
+// Engine is the hub scheduler.
+type Engine struct {
+	now Time
+	q   []scheduled
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules a closure-form event (setup-time convenience).
+func (e *Engine) At(t Time, fn func()) { e.q = append(e.q, scheduled{t: t}) }
+
+// AtCall schedules a prebound callback.
+func (e *Engine) AtCall(t Time, fn func(any), arg any) {
+	e.q = append(e.q, scheduled{t, fn, arg})
+}
+
+// AtCallLate schedules a prebound callback in the late class.
+func (e *Engine) AtCallLate(t Time, key int32, fn func(any), arg any) {
+	e.q = append(e.q, scheduled{t, fn, arg})
+}
+
+// After schedules a closure-form event relative to now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// AfterCall schedules a prebound callback relative to now.
+func (e *Engine) AfterCall(d Time, fn func(any), arg any) { e.AtCall(e.now+d, fn, arg) }
+
+// Every schedules a periodic closure.
+func (e *Engine) Every(period Time, fn func(now Time)) {}
+
+// Domain is one shard of the lookahead-synchronized engine.
+type Domain struct {
+	e *Engine
+}
+
+// At schedules a closure-form event on the domain.
+func (d *Domain) At(t Time, fn func()) { d.e.At(t, fn) }
+
+// AtCall schedules a prebound callback on the domain.
+func (d *Domain) AtCall(t Time, fn func(any), arg any) { d.e.AtCall(t, fn, arg) }
+
+// AtCallLate schedules a prebound late-class callback on the domain.
+func (d *Domain) AtCallLate(t Time, key int32, fn func(any), arg any) {
+	d.e.AtCallLate(t, key, fn, arg)
+}
+
+// AfterCall schedules a prebound callback relative to the domain clock.
+func (d *Domain) AfterCall(dt Time, fn func(any), arg any) { d.e.AfterCall(dt, fn, arg) }
+
+// Link is a cross-domain delivery seam.
+type Link struct {
+	q []scheduled
+}
+
+// Send delivers an ordinary-class event across the seam.
+func (l *Link) Send(at Time, fn func(any), arg any) {
+	l.q = append(l.q, scheduled{at, fn, arg})
+}
+
+// SendLate delivers a late-class (merge-ordered) event across the seam.
+func (l *Link) SendLate(at Time, key int32, fn func(any), arg any) {
+	l.q = append(l.q, scheduled{at, fn, arg})
+}

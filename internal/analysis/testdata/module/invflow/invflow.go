@@ -1,0 +1,47 @@
+// Package invflow pins the interprocedural invgate cases: a bare-Failf
+// helper whose every caller guards (clean — the old intraprocedural pass
+// flagged it), the same shape with an unguarded path (finding), and
+// value uses of the fail functions (findings the old pass could not see).
+package invflow
+
+import "fixture/internal/inv"
+
+// checkDeep keeps its Failf bare: its only caller crosses inv.On(), so
+// the call-graph analysis accepts what a per-function analysis could
+// not.
+func checkDeep(n int) {
+	if n < 0 {
+		inv.Failf("invflow", "negative %d", n)
+	}
+}
+
+// Audit is the only entry into checkDeep, and it guards.
+func Audit(n int) {
+	if inv.On() {
+		checkDeep(n)
+	}
+}
+
+// Leak reaches checkUnsafe with no guard on any path: the bare Failf
+// inside is a finding even though Leak itself never mentions inv.
+func Leak(n int) {
+	checkUnsafe(n)
+}
+
+func checkUnsafe(n int) {
+	if n < 0 {
+		inv.Failf("invflow", "unguarded path %d", n)
+	}
+}
+
+// Handler takes inv.Failf as a function value: always a finding — once
+// the value escapes, no guard discipline can hold.
+var Handler = inv.Failf
+
+// Dispatch binds inv.Fail to a local and calls it: the binding is the
+// finding (the call through the variable is invisible to a call-site
+// analysis).
+func Dispatch() {
+	f := inv.Fail
+	f("invflow", "via value")
+}

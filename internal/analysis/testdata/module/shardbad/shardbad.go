@@ -1,0 +1,76 @@
+// Package shardbad pins the shardsafe positives: every rule of
+// DESIGN.md §14 violated once from domain-reachable code, plus the
+// interprocedural and interface-registration variants.
+package shardbad
+
+import (
+	"fixture/internal/obs"
+	"fixture/internal/sim"
+)
+
+// hits, deliveries and boots are package-level: writing them from a
+// domain callback breaks shard parity (rule a).
+var (
+	hits       int64
+	deliveries int64
+	boots      int64
+)
+
+// Setup registers the domain callbacks the positives hang off.
+func Setup(d *sim.Domain, l *sim.Link) {
+	d.AtCall(0, tickCB, nil)
+	d.AtCall(0, chainCB, nil)
+	d.AtCall(0, escapeCB, nil)
+	d.AtCall(0, traceCB, nil)
+	l.Send(0, tickCB, nil)
+}
+
+// hub is the engine a domain callback must not schedule on directly.
+var hub *sim.Engine
+
+// tickCB writes package-level state from domain context: rule (a).
+func tickCB(x any) {
+	hits++
+}
+
+// chainCB is clean itself; the helper it calls is not — the finding
+// lands in the helper with the call path in the diagnostic.
+func chainCB(x any) {
+	bump()
+}
+
+func bump() {
+	deliveries = deliveries + 1
+}
+
+// escapeCB schedules directly on the hub engine from domain context,
+// bypassing Link delivery across the seam: rule (b).
+func escapeCB(x any) {
+	hub.AtCall(1, tickCB, nil)
+}
+
+// traceCB calls serial-only internal/obs from domain context: rule (d).
+func traceCB(x any) {
+	var t *obs.Tracer
+	if t.Enabled() {
+		return
+	}
+}
+
+// sched is the seam interface the Domain satisfies — the fixture mirror
+// of dram's sched seam. Registering through it must root the callback
+// exactly like registering on the Domain directly.
+type sched interface {
+	AtCall(t sim.Time, fn func(any), arg any)
+}
+
+// SetupSeam registers bootCB through the interface, not the Domain.
+func SetupSeam(s sched) {
+	s.AtCall(0, bootCB, nil)
+}
+
+// bootCB writes package-level state; reached only via the interface
+// registration: rule (a) through method-set dispatch.
+func bootCB(x any) {
+	boots++
+}

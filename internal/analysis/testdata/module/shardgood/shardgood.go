@@ -1,0 +1,70 @@
+// Package shardgood pins the shardsafe negatives: the sanctioned forms
+// of domain-side work, which must produce no findings.
+package shardgood
+
+import "fixture/internal/sim"
+
+// total is package-level but only written from plain (non-domain) code.
+var total int64
+
+// counterDom is run-owned domain state: writes through the receiver are
+// the sanctioned form of rule (a).
+type counterDom struct {
+	d     *sim.Domain
+	count int64
+}
+
+// Setup registers the negative-case callbacks.
+func Setup(d *sim.Domain, l *sim.Link, e *sim.Engine) {
+	c := &counterDom{d: d}
+	d.AtCall(0, c.tickCB, nil)
+	d.AtCall(0, localCB, nil)
+	d.AtCall(0, relayCB, c)
+	l.SendLate(0, 0, lateCB, nil)
+	d.AtCall(0, hatchCB, e)
+}
+
+// tickCB writes run-owned state, not a package-level var: clean.
+func (c *counterDom) tickCB(x any) {
+	c.count++
+}
+
+// localCB writes a local: clean.
+func localCB(x any) {
+	n := 0
+	n++
+	_ = n
+}
+
+// relayCB reschedules through the owning Domain — the sanctioned
+// scheduling surface, unlike Engine (rule b's negative). It reschedules
+// a prebound top-level callback: a method value here would allocate a
+// closure per event and rightly trip allocpin.
+func relayCB(x any) {
+	c := x.(*counterDom)
+	c.d.AtCall(1, localCB, nil)
+	c.count++
+}
+
+// lateCB arrived over SendLate — the late class carries a merge key, so
+// the registration itself is rule (c)'s negative.
+func lateCB(x any) {
+	c, ok := x.(*counterDom)
+	if ok {
+		c.count++
+	}
+}
+
+// hatchCB schedules on the hub engine deliberately; the annotation
+// documents why and suppresses the rule (b) finding.
+func hatchCB(x any) {
+	e := x.(*sim.Engine)
+	//lint:ignore shardsafe fixture: documented hub-side scheduling exception
+	e.AtCall(1, localCB, nil)
+}
+
+// Tally writes the package-level var from plain serial code — never
+// domain-reachable, so rule (a) does not apply.
+func Tally(n int64) {
+	total += n
+}

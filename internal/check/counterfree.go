@@ -34,7 +34,9 @@ func counterFreeAcceptance(system string, opt Options) []Result {
 	if err != nil {
 		return []Result{failf(PillarDifferential, name("tsim"), "%v", err)}
 	}
-	ts.SetTracer(trc)
+	if err := ts.SetTracer(trc); err != nil {
+		return []Result{failf(PillarDifferential, name("tsim"), "%v", err)}
+	}
 	ts.Run()
 
 	fs, err := fsim.New(&cfg, fsim.Options{

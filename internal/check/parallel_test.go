@@ -67,7 +67,10 @@ func TestTracingWithParallelCheckRace(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.SetTracer(tr)
+		if err := s.SetTracer(tr); err != nil {
+			t.Error(err)
+			return
+		}
 		s.Run()
 		if err := tr.Close(); err != nil {
 			t.Error(err)

@@ -34,7 +34,9 @@ func ExposedDecryptTail(opt Options) Result {
 		if err != nil {
 			return 0, 0, err
 		}
-		ts.SetTracer(trc)
+		if err := ts.SetTracer(trc); err != nil {
+			return 0, 0, err
+		}
 		ts.Run()
 		h := obsSt.Hist(stats.ObsExposedDecryptHist)
 		return h.Quantile(0.99), h.Count(), nil

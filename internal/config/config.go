@@ -207,6 +207,19 @@ type Config struct {
 	// worker counts at a fixed Domains value; tracing and the flight
 	// recorder require the serial engine.
 	Domains int
+	// Tracing declares that the run will attach a per-request tracer
+	// (internal/obs). Trace spans and the periodic sampler read state
+	// owned by other domains mid-run, so tracing is serial-engine only:
+	// Validate rejects Tracing with Domains > 0, turning the conflict
+	// into a configuration error instead of a mid-setup failure.
+	Tracing bool
+	// FlightRecorder declares that the run will attach an interval flight
+	// recorder (metrics.Recorder). The recorder samples the shared stats
+	// set every period; under sharding, DRAM metrics accumulate in
+	// per-channel domain shards that only merge after the run, so mid-run
+	// samples would be silently wrong. Validate rejects it with
+	// Domains > 0 for the same reason as Tracing.
+	FlightRecorder bool
 }
 
 // Default returns the Table I configuration with Morphable Counters and
@@ -309,6 +322,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: Domains must be non-negative, got %d", c.Domains)
 	case c.Domains > 0 && c.BurstLatency <= 0:
 		return fmt.Errorf("config: Domains > 0 needs a positive BurstLatency for lookahead, got %v", c.BurstLatency)
+	case c.Domains > 0 && c.Tracing:
+		return fmt.Errorf("config: tracing requires the serial engine — trace spans read cross-domain state mid-run; set Domains = 0 (got %d) or drop Tracing", c.Domains)
+	case c.Domains > 0 && c.FlightRecorder:
+		return fmt.Errorf("config: the flight recorder requires the serial engine — mid-run samples of domain-sharded DRAM metrics would be silently wrong; set Domains = 0 (got %d) or drop FlightRecorder", c.Domains)
 	}
 	return nil
 }

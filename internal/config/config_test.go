@@ -75,6 +75,9 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.Counter = CtrInSRAM; c.CountersInLLC = false; c.EMCC = true },
 		func(c *Config) { c.Counter = CtrInSRAM; c.CountersInLLC = false; c.InSRAMBanks = 0 },
 		func(c *Config) { c.Counter = CtrBipBip; c.CountersInLLC = false; c.BipBipLatency = -sim.NS(1) },
+		// Tracing and the flight recorder are serial-engine only.
+		func(c *Config) { c.Domains = 2; c.Tracing = true },
+		func(c *Config) { c.Domains = 2; c.FlightRecorder = true },
 	}
 	for i, mut := range cases {
 		c := Default()

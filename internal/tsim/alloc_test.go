@@ -120,7 +120,9 @@ func TestTracedWithHistogramsSteadyStateZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.SetTracer(obs.New(obs.Options{Stats: s.Stats()}))
+	if err := s.SetTracer(obs.New(obs.Options{Stats: s.Stats()})); err != nil {
+		t.Fatal(err)
+	}
 	s.warm(s.opt.Warmup)
 	s.bindHot()
 	for _, c := range s.cpus {

@@ -25,7 +25,9 @@ func flightRun(t *testing.T, capacity int) (*metrics.Recorder, []byte, []byte) {
 		t.Fatal(err)
 	}
 	rec := metrics.NewRecorder(s.Stats(), capacity)
-	s.SetFlightRecorder(rec, 5*sim.Microsecond)
+	if err := s.SetFlightRecorder(rec, 5*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
 	s.Run()
 	var csv, js bytes.Buffer
 	if err := rec.WriteCSV(&csv); err != nil {
@@ -102,7 +104,9 @@ func TestFlightRecorderBoundedRing(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := metrics.NewRecorder(s.Stats(), capacity)
-	s.SetFlightRecorder(rec, 5*sim.Microsecond)
+	if err := s.SetFlightRecorder(rec, 5*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
 	s.Run()
 	ivs := rec.Intervals()
 	if len(ivs) != capacity {

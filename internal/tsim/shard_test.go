@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -74,5 +77,77 @@ func TestShardWorkerCountParity(t *testing.T) {
 	many := shardSnap(t, mutate, 5)
 	if string(one) != string(many) {
 		t.Error("worker count changed the sharded run's results")
+	}
+}
+
+// TestShardedRejectsSerialOnlyInstrumentation: tracing and the flight
+// recorder read cross-domain state mid-run, so both the config layer and
+// the attach points reject them under sharding — with errors, not panics
+// — while nil detach calls stay fine.
+func TestShardedRejectsSerialOnlyInstrumentation(t *testing.T) {
+	sharded := func(mutate func(*config.Config)) (*Sim, error) {
+		cfg := config.Default()
+		cfg.Domains = 2
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return New(&cfg, Options{
+			Benchmark: "canneal", Seed: 7, Refs: 1_000,
+			Scale: workload.TestScale(),
+		})
+	}
+
+	// Declared at configuration time, the conflict is a config error.
+	if _, err := sharded(func(c *config.Config) { c.Tracing = true }); err == nil {
+		t.Error("New accepted Domains > 0 with Tracing")
+	}
+	if _, err := sharded(func(c *config.Config) { c.FlightRecorder = true }); err == nil {
+		t.Error("New accepted Domains > 0 with FlightRecorder")
+	}
+
+	// Attached directly to a sharded simulator, both setters refuse.
+	s, err := sharded(nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.SetTracer(obs.New(obs.Options{Stats: s.Stats()})); err == nil {
+		t.Error("SetTracer accepted a tracer on the sharded engine")
+	}
+	rec := metrics.NewRecorder(s.Stats(), 16)
+	if err := s.SetFlightRecorder(rec, 5*sim.Microsecond); err == nil {
+		t.Error("SetFlightRecorder accepted a recorder on the sharded engine")
+	}
+	// Nil detaches are no-ops on any engine.
+	if err := s.SetTracer(nil); err != nil {
+		t.Errorf("SetTracer(nil): %v", err)
+	}
+	if err := s.SetFlightRecorder(nil, 0); err != nil {
+		t.Errorf("SetFlightRecorder(nil): %v", err)
+	}
+	// The rejected instrumentation must not have perturbed the run:
+	// sharded results stay byte-identical to the serial engine.
+	s.Run()
+	got, err := s.Stats().Snapshot().StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := func() []byte {
+		cfg := config.Default()
+		s2, err := New(&cfg, Options{
+			Benchmark: "canneal", Seed: 7, Refs: 1_000,
+			Scale: workload.TestScale(),
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		s2.Run()
+		b, err := s2.Stats().Snapshot().StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}()
+	if string(got) != string(serial) {
+		t.Error("sharded run with rejected instrumentation diverged from the serial engine")
 	}
 }

@@ -33,7 +33,9 @@ func tracedRun(t *testing.T, mutate func(*config.Config), scale workload.Scale, 
 		o.Writer = buf
 	}
 	tr := obs.New(o)
-	s.SetTracer(tr)
+	if err := s.SetTracer(tr); err != nil {
+		t.Fatal(err)
+	}
 	s.Run()
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)

@@ -80,13 +80,13 @@ type Sim struct {
 	st    *stats.Set
 	mesh  *noc.Mesh
 	dram  *dram.DRAM
-	mc   *mcCtl
-	llc  *llcCtl
-	l2s  []*l2Ctl
-	cpus []*core
-	pol  emcc.Policy
-	ivr  *inv.Recorder // this run's invariant recorder (never nil)
-	trc  *obs.Tracer   // nil = tracing disabled (the common case)
+	mc    *mcCtl
+	llc   *llcCtl
+	l2s   []*l2Ctl
+	cpus  []*core
+	pol   emcc.Policy
+	ivr   *inv.Recorder // this run's invariant recorder (never nil)
+	trc   *obs.Tracer   // nil = tracing disabled (the common case)
 
 	rec       *metrics.Recorder // nil = flight recording disabled
 	recPeriod sim.Time
@@ -182,12 +182,15 @@ func (s *Sim) Stats() *stats.Set { return s.st }
 // SetTracer attaches a per-request tracer (internal/obs). Call before Run;
 // a nil tracer (the default) keeps every instrumentation site on its
 // single-branch fast path. Warmup references are never traced.
-func (s *Sim) SetTracer(t *obs.Tracer) {
+//
+// Tracing is a serial-engine tool: trace spans and the periodic sampler
+// read state that lives in other domains mid-run, and the sharded engine
+// has no safe point for that. Declaring config.Tracing surfaces the
+// conflict at Validate time; attaching a tracer to a sharded simulator
+// anyway is reported here as an error.
+func (s *Sim) SetTracer(t *obs.Tracer) error {
 	if s.shard != nil && t != nil {
-		// Trace spans and the periodic sampler read state that lives in
-		// other domains mid-run; the sharded engine has no safe point for
-		// that. Tracing is a serial-engine tool.
-		panic("tsim: tracing requires the serial engine (set Domains = 0)")
+		return fmt.Errorf("tsim: tracing requires the serial engine — set Domains = 0 (got %d) or drop the tracer", s.cfg.Domains)
 	}
 	s.trc = t
 	for _, l2 := range s.l2s {
@@ -202,6 +205,7 @@ func (s *Sim) SetTracer(t *obs.Tracer) {
 			}
 		}
 	}
+	return nil
 }
 
 // SetFlightRecorder attaches an interval flight recorder that samples the
@@ -211,16 +215,19 @@ func (s *Sim) SetTracer(t *obs.Tracer) {
 // warm-up and phase changes from the first measured event on. The series
 // is a pure function of the scenario: byte-identical across reruns and
 // across concurrent runs at any parallelism.
-func (s *Sim) SetFlightRecorder(rec *metrics.Recorder, period sim.Time) {
+//
+// The recorder samples the shared stats set every interval; when sharded,
+// DRAM metrics accumulate in per-channel domain shards that only merge
+// after the run, so mid-run samples would be silently wrong (and racy).
+// Declaring config.FlightRecorder surfaces the conflict at Validate time;
+// attaching a recorder to a sharded simulator anyway is an error.
+func (s *Sim) SetFlightRecorder(rec *metrics.Recorder, period sim.Time) error {
 	if s.shard != nil && rec != nil {
-		// The recorder samples the shared stats set every interval; when
-		// sharded, DRAM metrics accumulate in per-channel domain shards
-		// that only merge after the run, so mid-run samples would be
-		// silently wrong (and racy).
-		panic("tsim: the flight recorder requires the serial engine (set Domains = 0)")
+		return fmt.Errorf("tsim: the flight recorder requires the serial engine — set Domains = 0 (got %d) or drop the recorder", s.cfg.Domains)
 	}
 	s.rec = rec
 	s.recPeriod = period
+	return nil
 }
 
 // Engine exposes the event engine (timeline tooling uses it).
