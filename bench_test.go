@@ -328,3 +328,42 @@ func BenchmarkTimingSimTraced(b *testing.B) {
 	b.ResetTimer()
 	s.Run()
 }
+
+// benchCoRunTsim runs the multi-core co-run frontend: four cores each
+// replay their own workload stream ("mcf+canneal" alternates mcf and
+// canneal across cores at stacked, disjoint address regions) into the
+// shared sliced LLC on a 4-channel memory system, with the topology cut
+// into the given number of slice-group domains (0 = serial engine) and,
+// optionally, per-core L2 domains on top.
+func benchCoRunTsim(b *testing.B, domains int, shardCores bool) {
+	cfg := config.Default()
+	cfg.EMCC = true
+	cfg.Channels = 4
+	cfg.Domains = domains
+	cfg.ShardCores = shardCores
+	refs := int64(b.N)
+	if refs < 4 {
+		refs = 4
+	}
+	s, err := tsim.New(&cfg, tsim.Options{
+		Benchmark: "mcf+canneal", Seed: 1, Refs: refs, Scale: workload.TestScale(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkTimingSimCoRun is the topology-sharding suite recorded in
+// BENCH_10.json: the 4-core mcf+canneal co-run on the serial engine, on a
+// slice-sharded cut, and on the widest cut (8 slice-group domains plus a
+// domain per core+L2 tile). Byte-identical results across all variants —
+// the shard-parity pillar covers this grid — so the ratios price the
+// engine alone. Wall-clock speedup from the cut scales with the CPUs the
+// host grants the process; the artifact records runtime.NumCPU alongside.
+func BenchmarkTimingSimCoRun(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchCoRunTsim(b, 0, false) })
+	b.Run("domains=4", func(b *testing.B) { benchCoRunTsim(b, 4, false) })
+	b.Run("domains=8+cores", func(b *testing.B) { benchCoRunTsim(b, 8, true) })
+}

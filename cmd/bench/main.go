@@ -4,14 +4,22 @@
 // the flight-recorder interval snapshot), the DRAM channel loop, and the
 // tsim end-to-end throughput, serial and domain-sharded — and emits one
 // machine-readable JSON artifact. BENCH_5.json in the repo root records the
-// PR 5 engine-rewrite numbers, BENCH_7.json the PR 7 telemetry numbers and
-// BENCH_8.json the PR 8 domain-scaling numbers; CI regenerates the artifact
-// on every push and uploads it for trend inspection.
+// PR 5 engine-rewrite numbers, BENCH_7.json the PR 7 telemetry numbers,
+// BENCH_8.json the PR 8 domain-scaling numbers and BENCH_10.json the
+// topology-cut co-run numbers; CI regenerates the artifact on every push
+// and uploads it for trend inspection.
+//
+// Each run also diffs itself against the newest committed BENCH_*.json
+// (override with -baseline): the artifact's "deltas" list carries the
+// per-benchmark ns/op ratio and allocation comparison, and
+// -fail-alloc-regress turns allocation growth beyond a fraction into a
+// non-zero exit for CI.
 //
 // Usage:
 //
 //	go run ./cmd/bench                 # JSON to stdout
 //	go run ./cmd/bench -out BENCH.json -count 3
+//	go run ./cmd/bench -fail-alloc-regress 0.10   # CI gate
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -35,7 +44,7 @@ var suites = []struct {
 	{"./internal/sim", "^(BenchmarkEngineTickPrebound|BenchmarkEngineTickClosure|BenchmarkEngineMixedQueue|BenchmarkLegacyEngineTick|BenchmarkLegacyEngineMixedQueue|BenchmarkShardRoundTrip)$"},
 	{"./internal/metrics", "^(BenchmarkHistObserve|BenchmarkHistMerge|BenchmarkHistQuantile|BenchmarkFlightRecord)$"},
 	{"./internal/stats", "^BenchmarkFlightRecordSet$"},
-	{".", "^(BenchmarkEventEngine|BenchmarkDRAMRandomReads|BenchmarkTimingSimThroughput|BenchmarkTimingSimSharded)$"},
+	{".", "^(BenchmarkEventEngine|BenchmarkDRAMRandomReads|BenchmarkTimingSimThroughput|BenchmarkTimingSimSharded|BenchmarkTimingSimCoRun)$"},
 }
 
 type benchResult struct {
@@ -48,20 +57,55 @@ type benchResult struct {
 }
 
 type artifact struct {
-	Tool       string        `json:"tool"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is runtime.NumCPU at measurement time. The domain-sharding
+	// ratios are only comparable between artifacts recorded at the same
+	// CPU count: at NumCPU=1 the barrier rounds cannot overlap, so the
+	// sharded numbers price pure engine overhead.
+	CPUs       int           `json:"cpus"`
 	Count      int           `json:"count"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	// Derived holds ratios the acceptance criteria gate on: the engine
 	// tick and mixed-queue speedups over the container/heap baseline.
 	Derived map[string]float64 `json:"derived"`
+	// Baseline is the prior artifact the deltas below compare against
+	// (the newest BENCH_*.json found, or the -baseline flag), empty when
+	// none was found.
+	Baseline string `json:"baseline,omitempty"`
+	// Deltas holds one entry per benchmark present in both artifacts:
+	// the ns/op ratio against the baseline and whether the allocation
+	// count regressed. CI gates on these via -fail-alloc-regress.
+	Deltas []benchDelta `json:"deltas,omitempty"`
+}
+
+// benchDelta compares one benchmark (mean across -count repeats) against
+// the same benchmark in the baseline artifact.
+type benchDelta struct {
+	Name        string  `json:"name"`
+	BaseNsPerOp float64 `json:"base_ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	// NsRatio is current/baseline: 1.10 means 10% slower than the
+	// baseline artifact. Wall-clock is advisory (CI machines vary);
+	// allocation counts are deterministic and gate hard.
+	NsRatio         float64 `json:"ns_ratio"`
+	BaseAllocsPerOp int64   `json:"base_allocs_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	// AllocRegressed marks an allocation-count increase beyond the
+	// tolerance handed to computeDeltas (any increase from a 0-alloc
+	// baseline always regresses — those are pinned paths).
+	AllocRegressed bool `json:"alloc_regressed"`
 }
 
 func main() {
 	out := flag.String("out", "", "write the JSON artifact here (default stdout)")
 	count := flag.Int("count", 1, "benchmark repetitions (-count for go test; the artifact keeps every run)")
+	baseline := flag.String("baseline", "",
+		"prior artifact to diff against (default: newest BENCH_*.json in the repo root; 'none' disables)")
+	failAlloc := flag.Float64("fail-alloc-regress", 0,
+		"exit non-zero when any benchmark's allocs/op grew more than this fraction over the baseline (0 disables; CI uses 0.10)")
 	flag.Parse()
 
 	art := artifact{
@@ -69,6 +113,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
 		Count:     *count,
 		Derived:   map[string]float64{},
 	}
@@ -82,6 +127,13 @@ func main() {
 	}
 	derive(&art)
 
+	regressed, err := diffBaseline(&art, *baseline, *failAlloc)
+	if err != nil {
+		// A missing or malformed baseline must not sink a bench run —
+		// the fresh numbers are still worth recording.
+		fmt.Fprintf(os.Stderr, "bench: baseline diff skipped: %v\n", err)
+	}
+
 	buf, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -90,12 +142,127 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: allocation regression beyond %.0f%% vs %s in: %s\n",
+			*failAlloc*100, art.Baseline, strings.Join(regressed, ", "))
+		os.Exit(1)
+	}
+}
+
+// diffBaseline locates the prior artifact, computes per-benchmark deltas
+// into art, and returns the names whose allocation counts regressed beyond
+// tol (empty when tol is 0 — deltas are then informational only).
+func diffBaseline(art *artifact, path string, tol float64) ([]string, error) {
+	if path == "none" {
+		return nil, nil
+	}
+	if path == "" {
+		var err error
+		if path, err = newestArtifact("."); err != nil || path == "" {
+			return nil, err
+		}
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base artifact
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	art.Baseline = path
+	art.Deltas = computeDeltas(base.Benchmarks, art.Benchmarks, tol)
+	var regressed []string
+	if tol > 0 {
+		for _, d := range art.Deltas {
+			if d.AllocRegressed {
+				regressed = append(regressed, d.Name)
+			}
+		}
+	}
+	return regressed, nil
+}
+
+// newestArtifact returns the BENCH_*.json with the highest PR number in
+// dir, or "" when there is none.
+func newestArtifact(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		numeral := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		n, err := strconv.Atoi(numeral)
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	return best, nil
+}
+
+// computeDeltas joins two benchmark lists by name (means across repeats)
+// and flags allocation regressions beyond tol. A benchmark only present on
+// one side produces no delta: new benchmarks have no history, retired ones
+// no current number.
+func computeDeltas(base, cur []benchResult, tol float64) []benchDelta {
+	type agg struct {
+		ns     float64
+		allocs int64
+		n      int64
+	}
+	fold := func(list []benchResult) (map[string]*agg, []string) {
+		m := map[string]*agg{}
+		var order []string
+		for _, b := range list {
+			a := m[b.Name]
+			if a == nil {
+				a = &agg{}
+				m[b.Name] = a
+				order = append(order, b.Name)
+			}
+			a.ns += b.NsPerOp
+			a.allocs += b.AllocsPerOp
+			a.n++
+		}
+		return m, order
+	}
+	baseBy, _ := fold(base)
+	curBy, order := fold(cur)
+	var deltas []benchDelta
+	for _, name := range order {
+		b, c := baseBy[name], curBy[name]
+		if b == nil {
+			continue
+		}
+		d := benchDelta{
+			Name:            name,
+			BaseNsPerOp:     b.ns / float64(b.n),
+			NsPerOp:         c.ns / float64(c.n),
+			BaseAllocsPerOp: b.allocs / b.n,
+			AllocsPerOp:     c.allocs / c.n,
+		}
+		if d.BaseNsPerOp > 0 {
+			d.NsRatio = d.NsPerOp / d.BaseNsPerOp
+		}
+		// Deterministic pools make allocs/op exact: from a 0-alloc
+		// baseline any allocation regresses; otherwise apply the
+		// fractional tolerance.
+		if d.BaseAllocsPerOp == 0 {
+			d.AllocRegressed = d.AllocsPerOp > 0
+		} else {
+			d.AllocRegressed = float64(d.AllocsPerOp) > float64(d.BaseAllocsPerOp)*(1+tol)
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
 }
 
 // runSuite executes one `go test -bench` invocation and parses its
@@ -181,6 +348,17 @@ func derive(art *artifact) {
 	for _, d := range []string{"1", "2", "4"} {
 		if sharded := mean("TimingSimSharded/domains=" + d); serial > 0 && sharded > 0 {
 			art.Derived["tsim_"+d+"dom_speedup_vs_serial"] = serial / sharded
+		}
+	}
+	// Topology cut on the 4-core co-run: slice-group domains alone, and the
+	// widest cut with per-core L2 domains on top. Like the rows above, the
+	// ratio only shows parallel speedup when the host grants multiple CPUs.
+	if corun := mean("TimingSimCoRun/serial"); corun > 0 {
+		if sliced := mean("TimingSimCoRun/domains=4"); sliced > 0 {
+			art.Derived["tsim_corun_4dom_speedup_vs_serial"] = corun / sliced
+		}
+		if widest := mean("TimingSimCoRun/domains=8+cores"); widest > 0 {
+			art.Derived["tsim_corun_8dom_cores_speedup_vs_serial"] = corun / widest
 		}
 	}
 }

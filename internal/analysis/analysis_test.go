@@ -60,8 +60,8 @@ func TestFixtureFindings(t *testing.T) {
 		`shardbad/shardbad.go:33: [shardsafe] write to package-level var hits from domain-reachable code (shardbad.tickCB) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: shardbad.tickCB`,
 		`shardbad/shardbad.go:43: [shardsafe] write to package-level var deliveries from domain-reachable code (shardbad.bump) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: shardbad.chainCB -> shardbad.bump`,
 		`shardbad/shardbad.go:49: [shardsafe] Engine.AtCall called from domain-reachable code (shardbad.escapeCB) bypasses Link delivery across the shard seam — schedule on the owning Domain or send over a Link (DESIGN.md §14); path: shardbad.escapeCB`,
-		`shardbad/shardbad.go:55: [shardsafe] serial-only internal/obs symbol Enabled called from domain-reachable code (shardbad.traceCB) — tracing is rejected under Domains > 0, so annotate the dead nil-guarded site or move the call hub-side (DESIGN.md §14); path: shardbad.traceCB`,
-		`shardbad/shardbad.go:75: [shardsafe] write to package-level var boots from domain-reachable code (shardbad.bootCB) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: shardbad.bootCB`,
+		`shardbad/shardbad.go:57: [shardsafe] serial-only internal/obs symbol Active called from domain-reachable code (shardbad.traceCB) — tracing is rejected under Domains > 0, so annotate the dead nil-guarded site or move the call hub-side (DESIGN.md §14); path: shardbad.traceCB`,
+		`shardbad/shardbad.go:77: [shardsafe] write to package-level var boots from domain-reachable code (shardbad.bootCB) — per-run state must be run-owned for shard parity (DESIGN.md §14); path: shardbad.bootCB`,
 		`suppress/suppress.go:17: [lint] unused suppression: no invgate finding here — remove the //lint:ignore or restore the violation it documented`,
 	}
 	res := fixtureRun(t)
@@ -112,7 +112,7 @@ func TestFixtureOneDiagnosticPerCase(t *testing.T) {
 			return f.Pass == "allocpin" && f.File == "allocbad/allocbad.go" && f.Line == 67
 		}},
 		{"interface-seam registration roots the callback", func(f Finding) bool {
-			return f.Pass == "shardsafe" && f.File == "shardbad/shardbad.go" && f.Line == 75
+			return f.Pass == "shardsafe" && f.File == "shardbad/shardbad.go" && f.Line == 77
 		}},
 		{"ordinary Send across the seam", func(f Finding) bool {
 			return f.Pass == "shardsafe" && f.File == "shardbad/shardbad.go" && f.Line == 25

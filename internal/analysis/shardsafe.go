@@ -25,8 +25,13 @@ import (
 //	    annotated exception;
 //	(d) internal/obs (tracing) is serial-only — Config.Validate rejects
 //	    tracing under Domains > 0 — so a call into it from
-//	    domain-reachable code is either dead under sharding (annotate the
-//	    nil-guarded site and say why) or a real race.
+//	    domain-reachable code is either dead under sharding or a real
+//	    race. Calls that are provably dead are exempt: every *obs.Req
+//	    method is nil-safe by contract (obsnil's sibling discipline) and
+//	    *obs.Tracer methods in the tracerNilSafe set no-op on the nil
+//	    tracer a sharded run is guaranteed to have. Anything else — obs
+//	    package functions, non-nil-safe Tracer methods — is flagged:
+//	    annotate the site and say why, or move it hub-side.
 //
 // "Domain-reachable" starts from every callback registered through a
 // *sim.Domain scheduling method or delivered over a *sim.Link, including
@@ -47,6 +52,23 @@ var shardHubOnly = map[string]string{
 	// completion, r.done into tsim) executes on the serial side of the
 	// barrier by construction (DESIGN.md §14).
 	"internal/dram.dramFinishCB": "delivered over ch.out to the hub domain; executes serial-side",
+	// The memory controller runs on the hub in every cut (topo.go): its
+	// seam callbacks arrive over a slice's toHub link, whose destination
+	// is the hub engine, so their bodies (counter machinery, overflow
+	// engine, DRAM enqueue) execute serial-side by construction.
+	"internal/tsim.mcDataReadConfCB":            "delivered over toHub to the hub; the MC lives on the hub in every cut",
+	"internal/tsim.counterMissCB":               "delivered over toHub to the hub; the MC lives on the hub in every cut",
+	"(internal/tsim.mcCtl).handleWBData":        "delivered over toHub to the hub; the MC lives on the hub in every cut",
+	"(internal/tsim.mcCtl).handleWBMeta":        "delivered over toHub to the hub; the MC lives on the hub in every cut",
+	"(internal/tsim.mcCtl).handleMetaProbeDone": "delivered over toHub to the hub; the MC lives on the hub in every cut",
+	// XPT's forwarded miss: Validate rejects XPT under Domains > 0, so
+	// this callback only ever runs on the serial engine.
+	"internal/tsim.mcDataReadSpecCB": "XPT path; Validate rejects XPT with Domains > 0, so serial engine only",
+	// Functional warmup writes back synchronously before the event
+	// engines start; after warmup these run behind the pinned seam
+	// callbacks above.
+	"(internal/tsim.mcCtl).writebackData": "called during serial functional warmup or from hub-delivered writeback messages",
+	"(internal/tsim.mcCtl).writebackMeta": "called during serial functional warmup or from hub-delivered writeback messages",
 }
 
 // engineSched is the *sim.Engine scheduling surface rule (b) forbids from
@@ -112,13 +134,28 @@ func (sh shardsafe) scanNode(ctx *context, n *CGNode, path string) {
 					"Engine.%s called from domain-reachable code (%s) bypasses Link delivery across the shard seam — schedule on the owning Domain or send over a Link (DESIGN.md §14); path: %s",
 					fn.Name(), n.Name, path)
 			}
-			if pathIs(fn.Pkg().Path(), "internal/obs") {
+			if pathIs(fn.Pkg().Path(), "internal/obs") && !obsDeadUnderSharding(ctx, fn) {
 				ctx.reportf("shardsafe", node.Pos(),
 					"serial-only internal/obs symbol %s called from domain-reachable code (%s) — tracing is rejected under Domains > 0, so annotate the dead nil-guarded site or move the call hub-side (DESIGN.md §14); path: %s",
 					fn.Name(), n.Name, path)
 			}
 		}
 	})
+}
+
+// obsDeadUnderSharding reports whether an internal/obs call is provably a
+// no-op in a sharded run: Validate rejects tracing under Domains > 0, so
+// the tracer is nil and every request context is nil — and both *obs.Req
+// (all methods, by contract) and the tracerNilSafe subset of *obs.Tracer
+// no-op on a nil receiver.
+func obsDeadUnderSharding(ctx *context, fn *types.Func) bool {
+	switch receiverName(fn) {
+	case "Req":
+		return true
+	case "Tracer":
+		return ctx.nilSafe[fn.Name()]
+	}
+	return false
 }
 
 // checkWrite flags an assignment target whose base resolves to a

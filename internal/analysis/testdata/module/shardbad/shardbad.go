@@ -50,9 +50,11 @@ func escapeCB(x any) {
 }
 
 // traceCB calls serial-only internal/obs from domain context: rule (d).
+// The nil-safe receiver forms are exempt (see shardgood's reqCB); the
+// package-level call is not.
 func traceCB(x any) {
 	var t *obs.Tracer
-	if t.Enabled() {
+	if t.Enabled() && obs.Active() {
 		return
 	}
 }

@@ -2,7 +2,10 @@
 // of domain-side work, which must produce no findings.
 package shardgood
 
-import "fixture/internal/sim"
+import (
+	"fixture/internal/obs"
+	"fixture/internal/sim"
+)
 
 // total is package-level but only written from plain (non-domain) code.
 var total int64
@@ -22,6 +25,7 @@ func Setup(d *sim.Domain, l *sim.Link, e *sim.Engine) {
 	d.AtCall(0, relayCB, c)
 	l.SendLate(0, 0, lateCB, nil)
 	d.AtCall(0, hatchCB, e)
+	d.AtCall(0, reqCB, nil)
 }
 
 // tickCB writes run-owned state, not a package-level var: clean.
@@ -61,6 +65,17 @@ func hatchCB(x any) {
 	e := x.(*sim.Engine)
 	//lint:ignore shardsafe fixture: documented hub-side scheduling exception
 	e.AtCall(1, localCB, nil)
+}
+
+// reqCB touches the nil-safe tracing forms from domain context: every
+// *obs.Req method and the tracerNilSafe *obs.Tracer methods no-op on the
+// nil receivers a sharded run is guaranteed to have (Validate rejects
+// tracing under Domains > 0), so rule (d) exempts them.
+func reqCB(x any) {
+	var r *obs.Req
+	var t *obs.Tracer
+	r.Mark()
+	_ = t.Enabled()
 }
 
 // Tally writes the package-level var from plain serial code — never

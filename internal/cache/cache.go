@@ -79,6 +79,41 @@ func New(name string, capacityBytes int64, ways int) *Cache {
 	}
 }
 
+// NewSets builds a cache with an explicit set count (the sliced-LLC shards
+// carry uneven set shares, so their geometry is given in sets, not bytes).
+func NewSets(name string, sets uint64, ways int) *Cache {
+	if sets == 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry %d sets/%d-way", name, sets, ways))
+	}
+	return &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		lines:   make([]line, sets*uint64(ways)),
+		kindCnt: make(map[addr.Kind]int),
+		rec:     inv.Default(),
+	}
+}
+
+// SplitSets partitions total sets across n shards: total/n each, with the
+// remainder spread over the first shards and a floor of one set — the one
+// canonical split the timing and functional LLC slicings must share so
+// their contents stay comparable.
+func SplitSets(total uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	base, rem := total/uint64(n), int(total%uint64(n))
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+		if out[i] == 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
 // SetRecorder binds the owning run's invariant recorder (nil rebinds the
 // default). Call at construction time, before any traffic.
 func (c *Cache) SetRecorder(r *inv.Recorder) { c.rec = inv.Or(r) }

@@ -124,7 +124,7 @@ func TestShardParityDetectsDivergence(t *testing.T) {
 	broken := serial
 	broken.Domains = 4
 	broken.TCL *= 2
-	rs := CompareShardRun("broken-tcl", &serial, &broken, tr, opt, 0)
+	rs := CompareShardRun("broken-tcl", &serial, &broken, tr, opt)
 	if failedNamed(rs, "broken-tcl") == 0 {
 		t.Fatalf("sharded run with doubled tCL not detected:\n%s", render(rs))
 	}

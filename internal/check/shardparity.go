@@ -10,14 +10,20 @@ import (
 )
 
 // shardGrid is the engine-partitioning grid every differential system is
-// checked under: single-channel (one domain), channels sharing a domain,
-// and one domain per channel.
+// checked under. The first three rows shard the LLC slice groups (plus
+// the DRAM channels behind them): single-channel one-domain, channels
+// sharing a domain, one domain per channel. The cores rows additionally
+// re-home every core+L2 tile into its own domain (ShardCores) — the
+// widest topology cut, where every seam of topo.go carries traffic.
 var shardGrid = []struct {
 	channels, domains int
+	cores             bool
 }{
-	{1, 1},
-	{4, 2},
-	{4, 4},
+	{1, 1, false},
+	{4, 2, false},
+	{4, 4, false},
+	{4, 4, true},
+	{4, 8, true},
 }
 
 // shardParityUnits builds the shard-parity pillar: for every system of the
@@ -39,15 +45,24 @@ func shardParityUnits(tr *trace.Trace, opt Options) []func() []Result {
 				cfg.Channels = g.channels
 				sharded := cfg
 				sharded.Domains = g.domains
+				sharded.ShardCores = g.cores
 				name := fmt.Sprintf("%s/%dch-%ddom", system, g.channels, g.domains)
-				// The morphable 4ch-4dom cell doubles as the worker-count
-				// probe: workers=1 serializes every barrier round, so it
-				// exercises a schedule no other cell does.
-				workers := 0
-				if system == "morphable" && g.channels == 4 && g.domains == 4 {
-					workers = 1
+				if g.cores {
+					name += "-cores"
 				}
-				return CompareShardRun(name, &cfg, &sharded, tr, opt, workers)
+				// Two cells double as worker-count probes, re-running the
+				// sharded engine at 1/2/4 workers: 1 serializes every
+				// barrier round, 2 and 4 split the domains differently, and
+				// none of them may change a byte. The widest cut probes on
+				// every system; morphable keeps its historical slice-cut
+				// probe so both cut shapes are covered.
+				var workers []int
+				if g.cores && g.domains == 8 {
+					workers = []int{1, 2, 4}
+				} else if system == "morphable" && !g.cores && g.channels == 4 && g.domains == 4 {
+					workers = []int{1}
+				}
+				return CompareShardRun(name, &cfg, &sharded, tr, opt, workers...)
 			})
 		}
 	}
@@ -71,11 +86,11 @@ func ShardParity(opt Options) []Result {
 
 // CompareShardRun replays tr through tsim under cfgSerial (which must keep
 // Domains = 0) and under cfgSharded and requires the two stats snapshots to
-// agree byte for byte. When altWorkers > 0 the sharded run is repeated at
-// that worker count and held to the same standard. The configs normally
-// differ only in Domains; tests pass genuinely different ones to prove the
-// comparison detects divergence.
-func CompareShardRun(name string, cfgSerial, cfgSharded *config.Config, tr *trace.Trace, opt Options, altWorkers int) []Result {
+// agree byte for byte. The sharded run is additionally repeated at each
+// positive altWorkers count and held to the same standard. The configs
+// normally differ only in the partition; tests pass genuinely different
+// ones to prove the comparison detects divergence.
+func CompareShardRun(name string, cfgSerial, cfgSharded *config.Config, tr *trace.Trace, opt Options, altWorkers ...int) []Result {
 	opt = opt.withDefaults()
 	serial, err := shardSnapshot(cfgSerial, tr, opt, 0)
 	if err != nil {
@@ -91,17 +106,20 @@ func CompareShardRun(name string, cfgSerial, cfgSharded *config.Config, tr *trac
 	}
 	out := []Result{passf(PillarShardParity, name,
 		"serial and sharded snapshots byte-identical (%d bytes)", len(serial))}
-	if altWorkers > 0 {
-		alt, err := shardSnapshot(cfgSharded, tr, opt, altWorkers)
+	for _, w := range altWorkers {
+		if w <= 0 {
+			continue
+		}
+		alt, err := shardSnapshot(cfgSharded, tr, opt, w)
 		if err != nil {
-			return append(out, failf(PillarShardParity, name+"/workers", "run: %v", err))
+			return append(out, failf(PillarShardParity, fmt.Sprintf("%s/workers-%d", name, w), "run: %v", err))
 		}
 		if !bytes.Equal(serial, alt) {
-			return append(out, failf(PillarShardParity, name+"/workers",
-				"worker count %d changed the sharded snapshot", altWorkers))
+			return append(out, failf(PillarShardParity, fmt.Sprintf("%s/workers-%d", name, w),
+				"worker count %d changed the sharded snapshot", w))
 		}
-		out = append(out, passf(PillarShardParity, name+"/workers",
-			"byte-identical again at %d worker(s)", altWorkers))
+		out = append(out, passf(PillarShardParity, fmt.Sprintf("%s/workers-%d", name, w),
+			"byte-identical again at %d worker(s)", w))
 	}
 	return out
 }

@@ -224,23 +224,30 @@ func (d *DRAM) Enqueue(r *Request) bool {
 	}
 	ch.occ[dir]++
 	r.dst = ch
+	// The queue append is deferred to a late-class arrival event keyed
+	// above the channel's finish and kick keys. Enqueue's callers span
+	// both event classes (ordinary retries, late-keyed seam deliveries),
+	// so appending synchronously would make a same-instant schedule
+	// pass's view of the queue depend on the caller's class — which the
+	// cross-domain arrival link cannot reproduce. A fixed (time, key)
+	// position for every arrival keeps the serial and sharded schedules
+	// byte-identical regardless of who enqueues.
 	if ch.dom != nil {
-		//lint:ignore shardsafe the arrival link has a single sender (the hub's serial Enqueue), so ordinary-class zero-latency delivery is already deterministic without a late key
-		ch.in.Send(d.eng.Now(), dramArriveCB, r)
+		ch.in.SendLate(d.eng.Now(), ch.arrivalKey(), dramArriveCB, r)
 		return true
 	}
-	r.enqueued = d.eng.Now()
-	if r.Write {
-		ch.writeQ = append(ch.writeQ, r)
-	} else {
-		ch.readQ = append(ch.readQ, r)
-	}
-	ch.kick()
+	ch.es.AtCallLate(d.eng.Now(), ch.arrivalKey(), dramArriveCB, r)
 	return true
 }
 
-// dramArriveCB runs in the channel's domain when an accepted request is
-// delivered over the arrival link: the sharded half of Enqueue.
+// arrivalKey is the late-class tie key of the channel's deferred queue
+// appends: after its finish events (key id) and scheduler passes (key
+// channels+id) at the same instant. The whole DRAM key range stays below
+// the tsim seam key space (see tsim's seamKeyBase).
+func (ch *channel) arrivalKey() int32 { return int32(2*len(ch.d.chans) + ch.id) }
+
+// dramArriveCB runs in the channel's scheduling context when an accepted
+// request's arrival event fires: the deferred half of Enqueue.
 func dramArriveCB(x any) {
 	r := x.(*Request)
 	ch := r.dst
@@ -646,9 +653,7 @@ func (ch *channel) issue(r *Request) {
 	// can mask tail regressions, the CDF cannot.
 	ch.hs.qdhist[r.Kind][dir].Observe(int64(start-r.enqueued) / 1000)
 	*ch.hs.access[r.Kind][dir]++
-	//lint:ignore shardsafe dead under sharding: Config.Validate rejects tracing when Domains > 0, so r.Obs is always nil here and AddSpan is a nil-receiver no-op
 	r.Obs.AddSpan(obs.SegDRAMQueue, r.enqueued, start)
-	//lint:ignore shardsafe dead under sharding: Config.Validate rejects tracing when Domains > 0, so r.Obs is always nil here and AddSpan is a nil-receiver no-op
 	r.Obs.AddSpan(obs.SegDRAMService, start, finish)
 
 	// One finish event per access, hub-side, late class keyed by channel:

@@ -15,6 +15,7 @@ import (
 	"repro/internal/emcc"
 	"repro/internal/inv"
 	"repro/internal/mc"
+	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -49,7 +50,8 @@ type Sim struct {
 	st   *stats.Set
 	l1   []*cache.Cache
 	l2   []*cache.Cache
-	llc  *cache.Cache
+	mesh *noc.Mesh
+	llc  []*cache.Cache // per-slice shards, mesh.SliceIndexOf geometry
 	home *mc.Home
 	pol  emcc.Policy
 	gens []workload.Generator
@@ -96,10 +98,19 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 		cfg:  cfg,
 		opt:  opt,
 		st:   stats.NewSet(),
-		llc:  cache.New("llc", cfg.L3Bytes, cfg.L3Ways),
+		mesh: noc.New(cfg.MeshCols, cfg.MeshRows, cfg.NoCHopLatency, cfg.NoCBaseOneWay),
 		gens: gens,
 	}
-	s.llc.SetRecorder(rec)
+	// The LLC splits into per-tile slices exactly like tsim's (same
+	// SliceIndexOf hash, same SplitSets share), so the functional and
+	// timing models warm identical cache contents.
+	totalSets := uint64(cfg.L3Bytes/addr.BlockBytes) / uint64(cfg.L3Ways)
+	split := cache.SplitSets(totalSets, s.mesh.CoreTiles())
+	for j, sets := range split {
+		g := cache.NewSets(fmt.Sprintf("llc.%d", j), sets, cfg.L3Ways)
+		g.SetRecorder(rec)
+		s.llc = append(s.llc, g)
+	}
 	for c := 0; c < opt.Cores; c++ {
 		l1 := cache.New(fmt.Sprintf("l1.%d", c), cfg.L1Bytes, cfg.L1Ways)
 		l1.SetRecorder(rec)
@@ -188,7 +199,7 @@ func (s *Sim) access(core int, a workload.Access) {
 
 	// LLC.
 	s.st.Inc(stats.FsimLLCDataAccess)
-	if s.llc.Lookup(block) {
+	if s.llcOf(block).Lookup(block) {
 		if s.trc != nil && !s.warming {
 			s.trc.Flow(core, block, a.Write, false, s.refsSeen)
 		}
@@ -242,9 +253,12 @@ func (s *Sim) fillL2(core int, block uint64, dirty bool) {
 	s.insertLLC(v.Block, v.Dirty, v.Kind)
 }
 
+// llcOf maps a block to its home LLC slice.
+func (s *Sim) llcOf(block uint64) *cache.Cache { return s.llc[s.mesh.SliceIndexOf(block)] }
+
 // insertLLC inserts into the LLC, handling writebacks of dirty victims.
 func (s *Sim) insertLLC(block uint64, dirty bool, kind addr.Kind) {
-	v, ok := s.llc.Insert(block, dirty, kind)
+	v, ok := s.llcOf(block).Insert(block, dirty, kind)
 	if !ok || !v.Dirty {
 		return
 	}

@@ -30,7 +30,7 @@ func (s *Sim) emccCounterProbe(core int, dataBlock uint64) {
 	s.st.Inc(stats.EmccL2CtrMiss)
 	s.st.Inc(stats.EmccSpecFetch)
 	s.st.Inc(stats.FsimCtrLLCLookup)
-	if s.llc.Lookup(cb) {
+	if s.llcOf(cb).Lookup(cb) {
 		s.st.Inc(stats.FsimCtrLLCHit)
 		s.insertCtrIntoL2(core, cb)
 		return
@@ -78,7 +78,7 @@ func (s *Sim) counterForDataRead(core int, dataBlock uint64) {
 	}
 	if s.cfg.CountersInLLC {
 		s.st.Inc(stats.FsimCtrLLCLookup)
-		if s.llc.Lookup(cb) {
+		if s.llcOf(cb).Lookup(cb) {
 			s.st.Inc(stats.FsimCtrLLCHit)
 			s.moveMetaToMC(cb)
 			return
@@ -104,7 +104,7 @@ func (s *Sim) fetchMeta(mb uint64, skipLLC bool) {
 	}
 	if s.cfg.CountersInLLC && !skipLLC {
 		s.st.Inc(stats.FsimCtrLLCLookup)
-		if s.llc.Lookup(mb) {
+		if s.llcOf(mb).Lookup(mb) {
 			s.moveMetaToMC(mb)
 			return
 		}

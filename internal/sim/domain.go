@@ -20,6 +20,8 @@
 // progress, so rounds never deadlock.
 package sim
 
+import "repro/internal/inv"
+
 // infTime is the "no constraint" sentinel for bounds and distances. It is
 // far below the int64 overflow line so adding a handful of link latencies
 // to it stays positive.
@@ -58,6 +60,9 @@ type Domain struct {
 
 // Now reports the domain's local clock.
 func (d *Domain) Now() Time { return d.e.now }
+
+// Recorder reports the run's invariant recorder (shared with the hub).
+func (d *Domain) Recorder() *inv.Recorder { return d.e.Recorder() }
 
 // Pending reports the domain's scheduled-but-unexecuted event count.
 func (d *Domain) Pending() int { return d.e.q.len() }

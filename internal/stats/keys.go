@@ -100,9 +100,13 @@ const (
 	TsimMCRejectedWhileBlocked = "tsim/mc-rejected-while-blocked"
 	TsimDRAMQueueFullRetry     = "tsim/dram-queue-full-retry"
 
-	TsimCryptoExposureL2NS  = "tsim/crypto-exposure-l2-ns"
-	TsimCryptoExposureMCNS  = "tsim/crypto-exposure-mc-ns"
-	TsimL2ReadMissLatencyNS = "tsim/l2-read-miss-latency-ns"
+	// Latency accumulators observe integer picoseconds (sim.Time values
+	// verbatim): integer sums are exact and order-insensitive, which is
+	// what lets the sharded engine merge per-domain stat shards in any
+	// canonical order and still match the serial engine byte for byte.
+	TsimCryptoExposureL2PS  = "tsim/crypto-exposure-l2-ps"
+	TsimCryptoExposureMCPS  = "tsim/crypto-exposure-mc-ps"
+	TsimL2ReadMissLatencyPS = "tsim/l2-read-miss-latency-ps"
 )
 
 // DRAM model keys. The qdelay/access families are indexed by request kind
@@ -201,7 +205,7 @@ var registry = []string{
 	TsimCtrSpecLLCLookup, TsimCtrSpecLLCHit, TsimCtrSpecLLCMiss,
 	TsimCtrMissOnchip, TsimMCDataFill, TsimMCRejectedWhileBlocked,
 	TsimDRAMQueueFullRetry,
-	TsimCryptoExposureL2NS, TsimCryptoExposureMCNS, TsimL2ReadMissLatencyNS,
+	TsimCryptoExposureL2PS, TsimCryptoExposureMCPS, TsimL2ReadMissLatencyPS,
 
 	DramRowHit, DramRowClosed, DramRowConflict,
 	DramQDelayDataRead, DramQDelayDataWrite,

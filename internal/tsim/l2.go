@@ -2,6 +2,7 @@ package tsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
@@ -33,6 +34,16 @@ type waiter interface {
 // release drops a hold, and the request returns to the freelist only once
 // it has completed and the last hold is gone — so stale events (which
 // no-op on the completed flag) can never observe a recycled request.
+//
+// Under the sharded engine the request travels between domains (L2, home
+// slice, MC hub) as a shared token. The fields split by owner: holds and
+// completed are atomic (every side reads them; slice and hub callbacks
+// always schedule their successor hold before releasing their own, so the
+// hold count only ever reaches zero at an L2-side event and the freelist
+// stays single-domain); llcMissed and the crypto state belong to the L2;
+// mcStarted belongs to the hub; offload is written at the L2 strictly
+// before the request is first sent away. Everything else is immutable
+// in flight.
 type readReq struct {
 	block   uint64
 	isStore bool
@@ -41,13 +52,19 @@ type readReq struct {
 	tr      *obs.Req // trace context; nil when untraced (prefetches, tracing off)
 
 	waiters []waiter // requesters woken at finish; empty for prefetches
-	holds   int32    // outstanding event/registry references
+	holds   int32    // outstanding event/registry references (atomic)
 	free    *readReq // freelist link
 
-	offload   bool // decision bit: AES queue pressure at miss time
-	completed bool
-	mcStarted bool // dedupe XPT + LLC-forwarded arrivals at the MC
-	llcMissed bool // the data access missed in LLC (Fig 11 accounting)
+	// ctrMissDone resumes a counter miss that went MC-side for a verified
+	// copy (ctrMissFetchDone). Bound once when the pooled request is first
+	// allocated — it captures only the request, whose identity survives
+	// reuse — and preserved across resets, keeping the path allocation-free.
+	ctrMissDone func(at sim.Time)
+
+	offload   bool   // decision bit: AES queue pressure at miss time
+	completed uint32 // atomic; see done()
+	mcStarted bool   // dedupe XPT + LLC-forwarded arrivals at the MC (hub-only)
+	llcMissed bool   // the data access missed in LLC (Fig 11; L2-only, set by the miss note)
 
 	// L2-side cryptography state (EMCC).
 	ctrKnown   bool
@@ -62,26 +79,35 @@ type readReq struct {
 
 // holdReq takes one reference for an event or registry entry about to be
 // created; every hold is balanced by exactly one release.
-func (r *readReq) holdReq() { r.holds++ }
+func (r *readReq) holdReq() { atomic.AddInt32(&r.holds, 1) }
+
+// done reports whether the request has completed (atomically: the MC's
+// stale-arrival guards read it from the hub).
+func (r *readReq) done() bool { return atomic.LoadUint32(&r.completed) != 0 }
 
 // release drops one hold; the last release after completion recycles the
-// request.
+// request (always at an L2-side event — see the readReq doc comment).
 func (r *readReq) release() {
-	r.holds--
-	if rec := r.l2.s.ivr; rec.On() && r.holds < 0 {
+	n := atomic.AddInt32(&r.holds, -1)
+	if rec := r.l2.s.ivr; rec.On() && n < 0 {
 		rec.Failf("tsim", "readReq for block %#x over-released", r.block)
 	}
-	if r.holds == 0 && r.completed {
+	if n == 0 && r.done() {
 		r.l2.putReq(r)
 	}
 }
 
 // l2Ctl is the per-core L2 cache controller. Under EMCC it also hosts a
-// share of the AES units and the counter-side logic.
+// share of the AES units and the counter-side logic. It shares a
+// scheduling context with its core: the serial engine, or the core's own
+// domain under ShardCores.
 type l2Ctl struct {
 	s    *Sim
 	id   int
 	tile noc.NodeID
+	dom  *sim.Domain // nil on the serial engine / hub
+	es   sched
+	st   *stats.Set
 	c    *cache.Cache
 	lat  sim.Time
 	aes  *mc.AESPool // nil unless EMCC moves AES bandwidth here
@@ -94,6 +120,10 @@ type l2Ctl struct {
 	// pf, when non-nil, is the Table I constant-stride prefetcher.
 	pf *prefetch.Prefetcher
 
+	toSlice []port // per-slice request/spill seams
+	// invCtrCB handles an MC counter-invalidation message (boxed block).
+	invCtrCB func(any)
+
 	// Cached stats cells (bound after warmup reset; see Sim.bindHot).
 	cDataMiss *int64
 	cPrefetch *int64
@@ -101,10 +131,14 @@ type l2Ctl struct {
 }
 
 func newL2Ctl(s *Sim, id int) *l2Ctl {
+	d := s.coreDom(id)
 	l := &l2Ctl{
 		s:    s,
 		id:   id,
 		tile: s.mesh.CoreTile(id),
+		dom:  d,
+		es:   s.domES(d),
+		st:   s.coreStats(id),
 		c:    cache.New(fmt.Sprintf("l2.%d", id), s.cfg.L2Bytes, s.cfg.L2Ways),
 		lat:  s.cfg.L2Latency,
 		pend: make(map[uint64]*readReq),
@@ -112,7 +146,7 @@ func newL2Ctl(s *Sim, id int) *l2Ctl {
 	l.c.SetRecorder(s.ivr)
 	if s.cfg.EMCC && s.cfg.EMCCAESFraction > 0 {
 		perL2 := s.cfg.AESPeakOpsPerSec * s.cfg.EMCCAESFraction / float64(s.opt.Cores)
-		l.aes = mc.NewAESPool(s.eng, perL2, s.cfg.AESLatency)
+		l.aes = mc.NewAESPool(l.es, perL2, s.cfg.AESLatency)
 		l.c.SetCounterCap(s.cfg.EMCCL2CounterBytes)
 	}
 	if s.cfg.EMCC && s.cfg.EMCCDynamicOff {
@@ -121,23 +155,43 @@ func newL2Ctl(s *Sim, id int) *l2Ctl {
 	if s.cfg.PrefetchL2Degree > 0 {
 		l.pf = prefetch.New(s.cfg.PrefetchTable, s.cfg.PrefetchL2Degree)
 	}
+	l.invCtrCB = func(a any) { l.invalidateCounter(s.unbox(a)) }
 	return l
 }
 
 func (l *l2Ctl) bindHot() {
-	l.cDataMiss = l.s.st.CounterRef(stats.TsimL2DataMiss)
-	l.cPrefetch = l.s.st.CounterRef(stats.TsimL2Prefetch)
-	l.aMissLat = l.s.st.AccumRef(stats.TsimL2ReadMissLatencyNS)
+	l.cDataMiss = l.st.CounterRef(stats.TsimL2DataMiss)
+	l.cPrefetch = l.st.CounterRef(stats.TsimL2Prefetch)
+	l.aMissLat = l.st.AccumRef(stats.TsimL2ReadMissLatencyPS)
+}
+
+// atCall schedules a local event at the later of t and the local now.
+func (l *l2Ctl) atCall(t sim.Time, fn func(any), arg any) {
+	if now := l.es.Now(); t < now {
+		t = now
+	}
+	l.es.AtCall(t, fn, arg)
+}
+
+// schedReq schedules a local request-carrying event, taking the hold that
+// the callback's trailing release balances (see readReq).
+func (l *l2Ctl) schedReq(t sim.Time, fn func(any), req *readReq) {
+	req.holdReq()
+	l.atCall(t, fn, req)
 }
 
 func (l *l2Ctl) getReq() *readReq {
 	r := l.freeReq
 	if r == nil {
-		return &readReq{l2: l}
+		r = &readReq{l2: l}
+		// Bound once per pooled request: the continuation captures only
+		// the request, whose identity survives reuse.
+		r.ctrMissDone = func(at sim.Time) { ctrMissFetchDone(r, at) }
+		return r
 	}
 	l.freeReq = r.free
 	w := r.waiters[:0]
-	*r = readReq{l2: l, waiters: w}
+	*r = readReq{l2: l, waiters: w, ctrMissDone: r.ctrMissDone}
 	return r
 }
 
@@ -156,7 +210,7 @@ func (l *l2Ctl) putReq(r *readReq) {
 // Each callback re-derives any routing values (counter block, home slice,
 // MC tile) from the request: those are pure functions of the address, so
 // recomputing them at fire time is exact. Every callback ends by releasing
-// the hold its schedReq took.
+// the hold its schedReq (or the sender's explicit holdReq) took.
 
 func missPathCB(x any) {
 	req := x.(*readReq)
@@ -172,8 +226,7 @@ func counterProbeCB(x any) {
 
 func llcDataAccessCB(x any) {
 	req := x.(*readReq)
-	s := req.l2.s
-	s.llc.dataAccess(req, s.mesh.SliceOf(req.block))
+	req.l2.s.sliceFor(req.block).dataAccess(req)
 	req.release()
 }
 
@@ -193,7 +246,7 @@ func llcCounterAccessCB(x any) {
 	req := x.(*readReq)
 	s := req.l2.s
 	cb := s.mc.home.CounterBlockOf(req.block)
-	s.llc.counterAccessFromL2(req, cb, s.mesh.SliceOf(cb))
+	s.sliceFor(cb).counterAccessFromL2(req, cb)
 	req.release()
 }
 
@@ -206,6 +259,12 @@ func counterArrivedCB(x any) {
 func counterMissCB(x any) {
 	req := x.(*readReq)
 	req.l2.s.mc.counterMissFromL2(req, req.l2.s.mc.home.CounterBlockOf(req.block))
+	req.release()
+}
+
+func llcMissNoteCB(x any) {
+	req := x.(*readReq)
+	req.l2.missNote(req)
 	req.release()
 }
 
@@ -249,7 +308,7 @@ func bipbipArrivedCB(x any) {
 // block is decrypted, verified and resident in L2. tr is the request's
 // trace context (nil when untraced).
 func (l *l2Ctl) read(block uint64, isStore bool, tr *obs.Req, w waiter) {
-	t := l.s.eng.Now()
+	t := l.es.Now()
 	if l.monitor != nil {
 		l.monitor.OnRequest()
 	}
@@ -274,7 +333,7 @@ func (l *l2Ctl) read(block uint64, isStore bool, tr *obs.Req, w waiter) {
 	req.holdReq() // MSHR registration; released in finish
 	l.pend[block] = req
 	*l.cDataMiss++
-	l.s.schedReq(tM, missPathCB, req)
+	l.schedReq(tM, missPathCB, req)
 	// Demand misses train the stride prefetcher; candidates fetch in the
 	// background through the same secure-read machinery.
 	if l.pf != nil {
@@ -290,20 +349,20 @@ func (l *l2Ctl) prefetchInto(block uint64) {
 	if l.c.Peek(block) || l.pend[block] != nil {
 		return
 	}
-	t := l.s.eng.Now()
+	t := l.es.Now()
 	tM := t + l.lat
 	req := l.getReq()
 	req.block, req.missAt = block, tM
 	req.holdReq() // MSHR registration; released in finish
 	l.pend[block] = req
 	*l.cPrefetch++
-	l.s.schedReq(tM, missPathCB, req)
+	l.schedReq(tM, missPathCB, req)
 }
 
 // missPath launches the parallel data and (under EMCC) counter requests.
 func (l *l2Ctl) missPath(req *readReq) {
 	s := l.s
-	tM := s.eng.Now()
+	tM := l.es.Now()
 
 	emccOn := s.cfg.EMCC && s.secure() && (l.monitor == nil || l.monitor.Enabled())
 	if emccOn {
@@ -312,26 +371,29 @@ func (l *l2Ctl) missPath(req *readReq) {
 		if l.aes == nil || s.pol.ShouldOffload(l.aes.QueueDelay()) {
 			req.offload = true
 			req.tr.MarkOffload()
-			s.st.Inc(stats.EmccOffloadQueue)
+			l.st.Inc(stats.EmccOffloadQueue)
 		}
 		// Serial counter lookup in L2 during spare cycles ('J').
-		s.schedReq(tM+s.pol.LookupDelay, counterProbeCB, req)
+		l.schedReq(tM+s.pol.LookupDelay, counterProbeCB, req)
 	} else if s.cfg.EMCC && s.secure() {
 		// Dynamic EMCC-off (Sec. IV-F): all cryptography at the MC.
 		req.offload = true
-		s.st.Inc(stats.EmccDynamicOffMiss)
+		l.st.Inc(stats.EmccDynamicOffMiss)
 	}
 
-	// Data request to the block's LLC slice.
-	slice := s.mesh.SliceOf(req.block)
+	// Data request to the block's home LLC slice.
+	j := s.mesh.SliceIndexOf(req.block)
+	slice := s.slices[j].tile
 	req.tr.AddSpan(obs.SegNoCReq, tM, tM+s.oneway(l.tile, slice))
-	s.schedReq(tM+s.oneway(l.tile, slice), llcDataAccessCB, req)
+	req.holdReq()
+	l.toSlice[j].send(tM+s.oneway(l.tile, slice), llcDataAccessCB, req)
 
 	// XPT LLC-miss prediction: forward the miss straight to the MC in
 	// parallel (idealised: only when the block really misses in LLC).
-	if s.cfg.XPT && !s.llc.c.Peek(req.block) {
+	// Serial engine only — Validate rejects XPT with Domains > 0.
+	if s.cfg.XPT && !s.llcPeek(req.block) {
 		mcTile := s.mesh.MCTile(s.mesh.MCOf(req.block))
-		s.schedReq(tM+s.oneway(l.tile, mcTile), mcDataReadSpecCB, req)
+		l.schedReq(tM+s.oneway(l.tile, mcTile), mcDataReadSpecCB, req)
 	}
 }
 
@@ -339,15 +401,15 @@ func (l *l2Ctl) missPath(req *readReq) {
 // speculative parallel fetch from LLC on miss.
 func (l *l2Ctl) counterProbe(req *readReq) {
 	s := l.s
-	if req.completed {
+	if req.done() {
 		return
 	}
-	t := s.eng.Now()
+	t := l.es.Now()
 	// The probe span covers the serial-lookup wait ('J') plus the lookup.
 	req.tr.AddSpan(obs.SegCtrProbeL2, req.missAt, t)
 	cb := s.mc.home.CounterBlockOf(req.block)
 	if l.c.Lookup(cb) {
-		s.st.Inc(stats.EmccL2CtrHit)
+		l.st.Inc(stats.EmccL2CtrHit)
 		req.ctrKnown = true
 		req.ctrReady = t + s.mc.decodeLat
 		req.tr.MarkCtr(obs.CtrAtL2)
@@ -355,25 +417,26 @@ func (l *l2Ctl) counterProbe(req *readReq) {
 		l.maybeStartAES(req)
 		return
 	}
-	s.st.Inc(stats.EmccL2CtrMiss)
-	s.st.Inc(stats.EmccSpecFetch)
+	l.st.Inc(stats.EmccL2CtrMiss)
+	l.st.Inc(stats.EmccSpecFetch)
 	req.tr.Begin(obs.SegCtrFetch, t)
-	slice := s.mesh.SliceOf(cb)
-	s.schedReq(t+s.oneway(l.tile, slice), llcCounterAccessCB, req)
+	j := s.mesh.SliceIndexOf(cb)
+	req.holdReq()
+	l.toSlice[j].send(t+s.oneway(l.tile, s.slices[j].tile), llcCounterAccessCB, req)
 }
 
 // counterArrived delivers a verified counter block to L2 (from LLC or,
 // after an on-chip miss, from the MC).
 func (l *l2Ctl) counterArrived(req *readReq, cb uint64) {
 	s := l.s
-	t := s.eng.Now()
+	t := l.es.Now()
 	l.insertCounter(cb)
 	if req.llcMissed {
 		// The fetch that triggered this counter already proved it
 		// useful: its own data access missed in LLC (Fig 11).
 		l.c.MarkUsed(cb)
 	}
-	if req.completed || req.ctrKnown {
+	if req.done() || req.ctrKnown {
 		return
 	}
 	req.ctrKnown = true
@@ -382,17 +445,25 @@ func (l *l2Ctl) counterArrived(req *readReq, cb uint64) {
 	l.maybeStartAES(req)
 }
 
+// missNote records that the request's data access missed in LLC: the home
+// slice sends it alongside the MC forward, so the llcMissed bit and the
+// Fig 11 used-counter mark are written where they are read — at the L2.
+func (l *l2Ctl) missNote(req *readReq) {
+	req.llcMissed = true
+	l.c.MarkUsed(l.s.mc.home.CounterBlockOf(req.block))
+}
+
 // insertCounter caches a counter block in L2 under the 32 KB cap with the
 // Fig 11 useless-fetch accounting.
 func (l *l2Ctl) insertCounter(cb uint64) {
-	l.s.st.Inc(stats.EmccCtrInserted)
+	l.st.Inc(stats.EmccCtrInserted)
 	v, ok := l.c.Insert(cb, false, addr.KindCounter)
 	if !ok {
 		return
 	}
 	if v.Kind == addr.KindCounter {
 		if !v.WasUsed {
-			l.s.st.Inc(stats.EmccUseless)
+			l.st.Inc(stats.EmccUseless)
 		}
 		return
 	}
@@ -404,7 +475,7 @@ func (l *l2Ctl) insertCounter(cb uint64) {
 // miss (so LLC hits never waste AES bandwidth at L2).
 func (l *l2Ctl) maybeStartAES(req *readReq) {
 	s := l.s
-	if req.aesStarted || req.completed || req.offload || l.aes == nil {
+	if req.aesStarted || req.done() || req.offload || l.aes == nil {
 		return
 	}
 	req.aesStarted = true
@@ -412,20 +483,19 @@ func (l *l2Ctl) maybeStartAES(req *readReq) {
 	if gate := req.missAt + s.pol.LLCHitWait; gate > start {
 		start = gate
 	}
-	s.schedReq(start, aesStartCB, req)
+	l.schedReq(start, aesStartCB, req)
 }
 
 // aesStart reserves local AES bandwidth at the gated start time.
 func (l *l2Ctl) aesStart(req *readReq) {
-	s := l.s
-	if req.completed {
+	if req.done() {
 		req.aesStarted = false // never reserved; nothing wasted
 		return
 	}
 	req.aesKnown = true
-	req.aesDone = l.aes.Reserve(emcc.AESOpsPerRead, s.eng.Now())
+	req.aesDone = l.aes.Reserve(emcc.AESOpsPerRead, l.es.Now())
 	issue := req.aesDone - l.aes.Latency()
-	req.tr.AddSpan(obs.SegAESQueue, s.eng.Now(), issue)
+	req.tr.AddSpan(obs.SegAESQueue, l.es.Now(), issue)
 	req.tr.AddSpan(obs.SegAESCompute, issue, req.aesDone)
 	l.maybeFinishCipher(req)
 }
@@ -433,23 +503,23 @@ func (l *l2Ctl) aesStart(req *readReq) {
 // completePlain finishes a request whose data came decrypted: an LLC hit
 // (on-chip data is plaintext) or a tagged-verified MC response.
 func (l *l2Ctl) completePlain(req *readReq, fromMC bool) {
-	if req.completed {
+	if req.done() {
 		return
 	}
 	if fromMC {
-		l.s.st.Inc(stats.EmccDecryptAtMC)
+		l.st.Inc(stats.EmccDecryptAtMC)
 		if l.monitor != nil {
 			l.monitor.OnDRAMFill()
 		}
 	}
-	l.finish(req, l.s.eng.Now())
+	l.finish(req, l.es.Now())
 }
 
 // cipherArrived handles an untagged MC response: ciphertext plus
 // MAC⊕dot-product, to be finished with the locally computed AES results.
 func (l *l2Ctl) cipherArrived(req *readReq) {
 	req.cipherHere = true
-	req.cipherAt = l.s.eng.Now()
+	req.cipherAt = l.es.Now()
 	if l.monitor != nil {
 		l.monitor.OnDRAMFill()
 	}
@@ -460,19 +530,19 @@ func (l *l2Ctl) cipherArrived(req *readReq) {
 // local AES results are available (the 1 ns XOR + compare is the only
 // data-dependent work, Sec. II).
 func (l *l2Ctl) maybeFinishCipher(req *readReq) {
-	if req.completed || !req.cipherHere || !req.aesKnown {
+	if req.done() || !req.cipherHere || !req.aesKnown {
 		return
 	}
 	at := req.cipherAt
 	if req.aesDone > at {
 		at = req.aesDone
 	}
-	l.s.st.Observe(stats.TsimCryptoExposureL2NS, (at - req.cipherAt).Nanoseconds())
+	l.st.Observe(stats.TsimCryptoExposureL2PS, float64(at-req.cipherAt))
 	req.tr.MarkDecrypt(obs.DecAtL2, req.cipherAt, at)
 	at += sim.NS(1)
-	l.s.st.Inc(stats.EmccDecryptAtL2)
+	l.st.Inc(stats.EmccDecryptAtL2)
 	req.finishAt = at
-	l.s.schedReq(at, finishCipherCB, req)
+	l.schedReq(at, finishCipherCB, req)
 }
 
 // bipbipArrived handles a ciphertext response under CtrBipBip: the cache
@@ -481,32 +551,31 @@ func (l *l2Ctl) maybeFinishCipher(req *readReq) {
 // pass sits on the critical path — the design's bet is that the pass is
 // short enough not to matter.
 func (l *l2Ctl) bipbipArrived(req *readReq) {
-	if req.completed {
+	if req.done() {
 		return
 	}
-	s := l.s
-	at := s.eng.Now()
-	done := at + s.mc.bipbipLat
-	s.st.Inc(stats.BipBipDecryptOps)
-	s.st.Observe(stats.TsimCryptoExposureL2NS, (done - at).Nanoseconds())
+	at := l.es.Now()
+	done := at + l.s.mc.bipbipLat
+	l.st.Inc(stats.BipBipDecryptOps)
+	l.st.Observe(stats.TsimCryptoExposureL2PS, float64(done-at))
 	req.tr.MarkDecrypt(obs.DecAtL2, at, done)
 	req.tr.AddSpan(obs.SegBipBipCipher, at, done)
 	req.finishAt = done
-	s.schedReq(done, finishCipherCB, req)
+	l.schedReq(done, finishCipherCB, req)
 }
 
 // finish inserts the block, wakes waiters and retires the MSHR.
 func (l *l2Ctl) finish(req *readReq, at sim.Time) {
-	if req.completed {
+	if req.done() {
 		return
 	}
-	req.completed = true
+	atomic.StoreUint32(&req.completed, 1)
 	l.fill(req.block, false, at)
 	if l.pend[req.block] == req {
 		delete(l.pend, req.block)
 	}
 	if !req.isStore && len(req.waiters) > 0 {
-		l.aMissLat.Observe((at - req.missAt).Nanoseconds())
+		l.aMissLat.Observe(float64(at - req.missAt))
 	}
 	for _, w := range req.waiters {
 		w.complete(at)
@@ -524,23 +593,36 @@ func (l *l2Ctl) fill(block uint64, dirty bool, at sim.Time) {
 }
 
 // spillVictim routes an evicted L2 line: counters just account uselessness
-// (the LLC keeps its own copy path), data goes to the LLC victim cache.
+// (the LLC keeps its own copy path), data travels to its home slice as a
+// packed victim message (block<<1|dirty) — synchronously during warmup.
 func (l *l2Ctl) spillVictim(v cache.Victim) {
 	if v.Kind == addr.KindCounter {
 		if !v.WasUsed {
-			l.s.st.Inc(stats.EmccUseless)
+			l.st.Inc(stats.EmccUseless)
 		}
 		return
 	}
-	l.s.llc.insert(v.Block, v.Dirty, v.Kind)
+	s := l.s
+	j := s.mesh.SliceIndexOf(v.Block)
+	if s.warming {
+		s.slices[j].insert(v.Block, v.Dirty, v.Kind)
+		return
+	}
+	p := v.Block << 1
+	if v.Dirty {
+		p |= 1
+	}
+	g := s.slices[j]
+	//lint:ignore allocpin sharded-engine path: box falls back to a per-message allocation only when Domains > 0, outside the serial-only 0-alloc pins
+	l.toSlice[j].send(l.es.Now()+s.oneway(l.tile, g.tile), g.insertDataCB, s.box(p))
 }
 
 // invalidateCounter handles an MC counter-update invalidation (Fig 23).
 func (l *l2Ctl) invalidateCounter(cb uint64) {
 	if v, ok := l.c.Invalidate(cb); ok {
-		l.s.st.Inc(stats.EmccInvalidations)
+		l.st.Inc(stats.EmccInvalidations)
 		if !v.WasUsed {
-			l.s.st.Inc(stats.EmccUseless)
+			l.st.Inc(stats.EmccUseless)
 		}
 	}
 }

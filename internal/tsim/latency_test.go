@@ -60,7 +60,7 @@ func TestSingleColdMissLatencyNonSecure(t *testing.T) {
 		s.mesh.OneWay(mcTile, slice) + // response via the slice
 		s.mesh.OneWay(slice, coreTile) // back to L2
 
-	got := s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	got := s.st.Accum("tsim/l2-read-miss-latency-ps").Mean() / 1000
 	// The recorded latency runs from L2-miss detection (L1+L2 already
 	// paid) to data at L2.
 	wantRecorded := (want - cfg.L1Latency - cfg.L2Latency).Nanoseconds()
@@ -108,7 +108,7 @@ func TestSingleColdMissLatencyBipBip(t *testing.T) {
 		sim.NS(1) + // MC response tick (ciphertext forwarded as-is)
 		cfg.BipBipLatency). // tweakable cipher at the cache controller
 		Nanoseconds()
-	got := s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	got := s.st.Accum("tsim/l2-read-miss-latency-ps").Mean() / 1000
 	if got != want {
 		t.Fatalf("bipbip cold miss = %.3f ns, hand-computed %.3f ns", got, want)
 	}
@@ -142,7 +142,7 @@ func TestSingleColdMissLatencyInSRAM(t *testing.T) {
 		config.InSRAMAESLatency(&cfg) + // one full AES pass
 		sim.NS(1)). // MC response tick
 		Nanoseconds()
-	got := s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	got := s.st.Accum("tsim/l2-read-miss-latency-ps").Mean() / 1000
 	if got != want {
 		t.Fatalf("insram cold miss = %.3f ns, hand-computed %.3f ns", got, want)
 	}
@@ -182,7 +182,7 @@ func TestSingleColdMissLatencyMorphable(t *testing.T) {
 	ctr := atMC + cfg.CtrCacheLatency
 	lowerBound := (ctr + cfg.TRCD + cfg.TCL + cfg.BurstLatency + cfg.CtrDecodeLatency + cfg.AESLatency - cfg.L2Latency).Nanoseconds()
 
-	got := s.st.Accum("tsim/l2-read-miss-latency-ns").Mean()
+	got := s.st.Accum("tsim/l2-read-miss-latency-ps").Mean() / 1000
 	if got < lowerBound {
 		t.Fatalf("secure cold miss %.1f ns below structural lower bound %.1f ns", got, lowerBound)
 	}
@@ -201,7 +201,7 @@ func TestSingleColdMissLatencyMorphable(t *testing.T) {
 		t.Fatal(err)
 	}
 	ns.Run()
-	if got <= ns.st.Accum("tsim/l2-read-miss-latency-ns").Mean() {
+	if got <= ns.st.Accum("tsim/l2-read-miss-latency-ps").Mean()/1000 {
 		t.Fatal("secure cold miss not slower than non-secure")
 	}
 }

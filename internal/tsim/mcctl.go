@@ -32,6 +32,19 @@ type mcCtl struct {
 
 	pendData map[uint64]*mcDataPending
 	pendMeta map[uint64]*metaFetch
+
+	toSlice []port // metadata probes and inserts to the home slices
+	toCore  []port // data responses, counter deliveries, invalidations
+
+	// Prebound handlers for packed-payload messages arriving at the hub
+	// (bound once in newMCCtl).
+	freePend  *mcDataPending // mcDataPending pool (hub-owned)
+	freeCont  *metaCont      // metadata-continuation pool (hub-owned)
+	freeFetch *metaFetch     // metaFetch pool (hub-owned)
+
+	wbDataCB        func(any) // boxed victim block from a slice (data)
+	wbMetaCB        func(any) // boxed victim block from a slice (metadata)
+	metaProbeDoneCB func(any) // packed mb<<1|hit probe reply from a slice
 }
 
 // mcDataPending is the MC-side MSHR for one data block read.
@@ -46,6 +59,14 @@ type mcDataPending struct {
 	dataHere   bool
 	dataAt     sim.Time
 	responded  bool
+
+	// fillDone and ctrDone are the entry's DRAM-fill and counter-path
+	// completion callbacks, bound once when the entry is first allocated:
+	// each captures the entry itself, so pooled reuse (the entry's
+	// identity never changes) keeps the data read path allocation-free.
+	fillDone func(at sim.Time)
+	ctrDone  func(at sim.Time)
+	next     *mcDataPending // freelist link
 }
 
 // obs reports the MSHR entry's trace context: the first traced requester.
@@ -60,8 +81,161 @@ func (p *mcDataPending) obs() *obs.Req {
 	return nil
 }
 
+// getPending takes an MSHR entry from the pool, reset for req's block.
+func (m *mcCtl) getPending(req *readReq) *mcDataPending {
+	p := m.freePend
+	if p == nil {
+		p = &mcDataPending{}
+		p.fillDone = func(at sim.Time) {
+			p.dataHere, p.dataAt = true, at
+			m.maybeRespond(p)
+		}
+		p.ctrDone = func(at sim.Time) {
+			ready := at + m.decodeLat
+			ob := p.obs()
+			ob.Commit(obs.SegCtrFetch, ready)
+			p.aesDone = m.aes.Reserve(emcc.AESOpsPerRead, ready)
+			issue := p.aesDone - m.aes.Latency()
+			ob.AddSpan(obs.SegAESQueue, ready, issue)
+			ob.AddSpan(obs.SegAESCompute, issue, p.aesDone)
+			p.aesKnown = true
+			m.maybeRespond(p)
+		}
+	} else {
+		m.freePend = p.next
+	}
+	*p = mcDataPending{block: req.block, reqs: append(p.reqs[:0], req), fillDone: p.fillDone, ctrDone: p.ctrDone}
+	return p
+}
+
+// putPending retires a responded MSHR entry. Called only after the
+// response loop: nothing schedules the entry's fillDone or holds the
+// entry past its response, so reuse is safe.
+func (m *mcCtl) putPending(p *mcDataPending) {
+	for i := range p.reqs {
+		p.reqs[i] = nil
+	}
+	p.next = m.freePend
+	m.freePend = p
+}
+
+// metaCont is one pooled continuation in the metadata machinery. The
+// whole counter path runs hub-side in both engines, so a plain freelist
+// keeps it allocation-free. The func(at) bodies are bound once per entry
+// (each captures only the entry) and read the argument fields set at
+// checkout, replacing the per-call closures the hot write path used to
+// allocate.
+type metaCont struct {
+	m      *mcCtl
+	block  uint64            // bump: block whose counter advances; fetch/defer: the metadata block
+	isData bool              // bump: data access (EMCC invalidation broadcast)
+	at     sim.Time          // verify: DRAM arrival; deferred waiter: wake time
+	done   func(at sim.Time) // deferred hit-path waiter
+	next   *metaCont
+
+	bumpDone   func(at sim.Time) // bumpCounter's counter-advance body
+	fetchDone  func(at sim.Time) // fetchMetaFromDRAM's DRAM completion
+	verifyDone func(at sim.Time) // parent-verification completion
+}
+
+func (m *mcCtl) getCont() *metaCont {
+	c := m.freeCont
+	if c == nil {
+		c = &metaCont{m: m}
+		c.bumpDone = func(at sim.Time) { c.runBump(at) }
+		c.fetchDone = func(at sim.Time) { c.runFetch(at) }
+		c.verifyDone = func(at sim.Time) { c.runVerify(at) }
+		return c
+	}
+	m.freeCont = c.next
+	return c
+}
+
+func (m *mcCtl) putCont(c *metaCont) {
+	c.done = nil
+	c.next = m.freeCont
+	m.freeCont = c
+}
+
+// metaContCallCB fires a deferred counter-cache-hit waiter (fetchMeta).
+func metaContCallCB(a any) {
+	c := a.(*metaCont)
+	done, at := c.done, c.at
+	c.m.putCont(c)
+	done(at)
+}
+
+// metaContDRAMCB starts the DRAM fetch after a counter-cache (and, when
+// skipped, LLC) miss resolved at the cache lookup latency (fetchMeta).
+func metaContDRAMCB(a any) {
+	c := a.(*metaCont)
+	m, mb := c.m, c.block
+	m.putCont(c)
+	m.fetchMetaFromDRAM(mb)
+}
+
+// runFetch resumes fetchMetaFromDRAM once the metadata burst arrives:
+// tree roots verify against on-chip state, inner nodes against their
+// (recursively fetched) parent.
+func (c *metaCont) runFetch(at sim.Time) {
+	m, mb := c.m, c.block
+	parent, ok := m.home.Space.ParentOf(mb)
+	if !ok {
+		m.putCont(c)
+		m.insertMeta(mb)
+		m.completeMeta(mb, at)
+		return
+	}
+	c.at = at // keep the entry: it becomes the verification continuation
+	m.fetchMeta(parent, false, c.verifyDone)
+}
+
+// runVerify completes an inner metadata block once its parent is usable.
+func (c *metaCont) runVerify(pAt sim.Time) {
+	m, mb, at := c.m, c.block, c.at
+	m.putCont(c)
+	start := at
+	if pAt > start {
+		start = pAt
+	}
+	verified := m.aes.Reserve(1, start) + sim.NS(1)
+	m.insertMeta(mb)
+	m.completeMeta(mb, verified)
+}
+
+// runBump advances block's counter once its parent metadata is verified
+// (bumpCounter's continuation).
+func (c *metaCont) runBump(sim.Time) {
+	m, block, isData := c.m, c.block, c.isData
+	m.putCont(c)
+	parent, _ := m.home.Space.ParentOf(block)
+	ov := m.home.IncrementCounterOf(block)
+	m.home.MarkMetaDirty(parent)
+	if m.s.cfg.EMCC && isData {
+		m.invalidateL2Counters(parent)
+	}
+	if !ov.Happened {
+		return
+	}
+	first, n := m.home.Space.CoveredRange(parent)
+	m.ovf.Start(first, n, ov.Level)
+	if m.s.cfg.EMCC && ov.Level == 0 {
+		m.invalidateL2Counters(parent)
+	}
+}
+
+func (m *mcCtl) getFetch() *metaFetch {
+	f := m.freeFetch
+	if f == nil {
+		return &metaFetch{}
+	}
+	m.freeFetch = f.next
+	return f
+}
+
 type metaFetch struct {
 	waiters []func(at sim.Time)
+	next    *metaFetch // freelist link
 }
 
 func newMCCtl(s *Sim, dataBytes int64) *mcCtl {
@@ -71,6 +245,9 @@ func newMCCtl(s *Sim, dataBytes int64) *mcCtl {
 		pendData:    make(map[uint64]*mcDataPending),
 		pendMeta:    make(map[uint64]*metaFetch),
 	}
+	m.wbDataCB = m.handleWBData
+	m.wbMetaCB = m.handleWBMeta
+	m.metaProbeDoneCB = m.handleMetaProbeDone
 	if !s.secure() {
 		return m
 	}
@@ -108,6 +285,18 @@ func newMCCtl(s *Sim, dataBytes int64) *mcCtl {
 	return m
 }
 
+// handleWBData unboxes a dirty data-victim writeback arriving over a
+// slice's toHub link.
+func (m *mcCtl) handleWBData(a any) { m.writebackData(m.s.unbox(a)) }
+
+// handleWBMeta unboxes a dirty metadata-victim writeback arriving over a
+// slice's toHub link.
+func (m *mcCtl) handleWBMeta(a any) { m.writebackMeta(m.s.unbox(a)) }
+
+// handleMetaProbeDone unboxes a home slice's counter-probe verdict
+// (mb<<1|hit) arriving over its toHub link.
+func (m *mcCtl) handleMetaProbeDone(a any) { m.metaProbeDone(m.s.unbox(a)) }
+
 // ---- Data read path ----
 
 // dataRead receives a data miss request. confirmed=false marks an XPT
@@ -116,7 +305,7 @@ func newMCCtl(s *Sim, dataBytes int64) *mcCtl {
 // starts once the confirmed LLC miss arrives (Fig 14b: under XPT the
 // baseline's counter access in LLC still follows the data's LLC lookup).
 func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
-	if req.completed {
+	if req.done() {
 		return
 	}
 	if req.mcStarted {
@@ -155,16 +344,13 @@ func (m *mcCtl) dataRead(req *readReq, confirmed bool) {
 		return
 	}
 	req.holdReq() // MSHR membership; the hold rides into the response event
-	p := &mcDataPending{block: req.block, reqs: []*readReq{req}}
+	p := m.getPending(req)
 	p.needCrypto = m.reqNeedsMCCrypto(req)
 	m.pendData[req.block] = p
 	// One fill per MSHR entry: internal/check's conservation rule compares
 	// this against the DRAM model's issued data reads after drain.
 	m.s.st.Inc(stats.TsimMCDataFill)
-	m.enqueueDRAM(req.block, false, dram.TrafficData, req.tr, func(at sim.Time) {
-		p.dataHere, p.dataAt = true, at
-		m.maybeRespond(p)
-	})
+	m.enqueueDRAM(req.block, false, dram.TrafficData, req.tr, p.fillDone)
 	if confirmed {
 		m.confirm(p)
 	}
@@ -207,16 +393,7 @@ func (m *mcCtl) startCounterPath(p *mcDataPending) {
 	ob := p.obs()
 	ob.MarkCtr(obs.CtrAtMC)
 	ob.Begin(obs.SegCtrFetch, m.s.eng.Now())
-	m.fetchMeta(cb, false, func(at sim.Time) {
-		ready := at + m.decodeLat
-		ob.Commit(obs.SegCtrFetch, ready)
-		p.aesDone = m.aes.Reserve(emcc.AESOpsPerRead, ready)
-		issue := p.aesDone - m.aes.Latency()
-		ob.AddSpan(obs.SegAESQueue, ready, issue)
-		ob.AddSpan(obs.SegAESCompute, issue, p.aesDone)
-		p.aesKnown = true
-		m.maybeRespond(p)
-	})
+	m.fetchMeta(cb, false, p.ctrDone)
 }
 
 // maybeRespond sends the data response once its conditions are met.
@@ -258,7 +435,7 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		if p.aesDone > leave {
 			leave = p.aesDone
 		}
-		m.s.st.Observe(stats.TsimCryptoExposureMCNS, (leave - p.dataAt).Nanoseconds())
+		m.s.st.Observe(stats.TsimCryptoExposureMCPS, (leave - p.dataAt).Nanoseconds())
 		for _, r := range p.reqs {
 			r.tr.MarkDecrypt(obs.DecAtMC, p.dataAt, leave)
 		}
@@ -270,7 +447,7 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 		// (queue + geometry-derived compute) is exposed by construction.
 		leave = m.aes.Reserve(m.insramOps, p.dataAt)
 		m.s.st.Inc(stats.InSRAMDecryptOps)
-		m.s.st.Observe(stats.TsimCryptoExposureMCNS, (leave - p.dataAt).Nanoseconds())
+		m.s.st.Observe(stats.TsimCryptoExposureMCPS, (leave - p.dataAt).Nanoseconds())
 		for _, r := range p.reqs {
 			r.tr.MarkDecrypt(obs.DecAtMC, p.dataAt, leave)
 			r.tr.AddSpan(obs.SegInSRAMCipher, p.dataAt, leave)
@@ -298,13 +475,14 @@ func (m *mcCtl) maybeRespond(p *mcDataPending) {
 	case bipbip:
 		arrival = bipbipArrivedCB
 	}
+	mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(p.block))
+	slice := m.s.sliceFor(p.block).tile
 	for _, r := range p.reqs {
-		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(p.block))
-		slice := m.s.mesh.SliceOf(p.block)
 		arr := leave + m.s.oneway(mcTile, slice) + m.s.oneway(slice, r.l2.tile)
 		r.tr.AddSpan(obs.SegNoCResp, leave, arr)
-		m.s.atCall(arr, arrival, r)
+		m.toCore[r.l2.id].send(arr, arrival, r)
 	}
+	m.putPending(p)
 }
 
 // counterMissFromL2 handles an EMCC counter request that missed on-chip
@@ -321,17 +499,26 @@ func (m *mcCtl) counterMissFromL2(req *readReq, cb uint64) {
 		m.startCounterPath(p)
 	}
 	// The request already missed in LLC on its way here; go straight to
-	// the counter cache and DRAM. The metadata fetch's closure keeps a
-	// reference to req across an unbounded wait, so it takes a hold.
+	// the counter cache and DRAM. The metadata fetch's continuation keeps
+	// a reference to req across an unbounded wait, so it takes a hold.
 	req.holdReq()
-	m.fetchMeta(cb, true, func(at sim.Time) {
-		m.s.llc.insert(cb, false, addr.KindCounter)
-		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(cb))
-		slice := m.s.mesh.SliceOf(cb)
-		arr := at + m.s.oneway(mcTile, slice) + m.s.oneway(slice, req.l2.tile)
-		m.s.schedReq(arr, counterArrivedCB, req)
-		req.release()
-	})
+	m.fetchMeta(cb, true, req.ctrMissDone)
+}
+
+// ctrMissFetchDone resumes a counterMissFromL2 request once the MC holds
+// a verified counter: the copy travels MC -> home slice (cached there)
+// and on to the requesting L2. Bound once per pooled readReq.
+func ctrMissFetchDone(req *readReq, at sim.Time) {
+	m := req.l2.s.mc
+	cb := m.home.CounterBlockOf(req.block)
+	mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(cb))
+	j := m.s.mesh.SliceIndexOf(cb)
+	g := m.s.slices[j]
+	insAt := at + m.s.oneway(mcTile, g.tile)
+	m.toSlice[j].send(insAt, g.insertMetaCB, m.s.box(cb<<8|uint64(addr.KindCounter)<<1))
+	req.holdReq()
+	m.toCore[req.l2.id].send(insAt+m.s.oneway(g.tile, req.l2.tile), counterArrivedCB, req)
+	req.release()
 }
 
 // ---- Metadata fetch (counter cache -> LLC -> DRAM + verification) ----
@@ -343,54 +530,50 @@ func (m *mcCtl) fetchMeta(mb uint64, skipLLC bool, done func(at sim.Time)) {
 	t := m.s.eng.Now()
 	if m.home.LookupMeta(mb) {
 		at := t + m.ctrCacheLat
-		m.s.at(at, func() { done(at) })
+		c := m.getCont()
+		c.done, c.at = done, at
+		m.s.atCall(at, metaContCallCB, c)
 		return
 	}
 	if f := m.pendMeta[mb]; f != nil {
 		f.waiters = append(f.waiters, done)
 		return
 	}
-	m.pendMeta[mb] = &metaFetch{waiters: []func(at sim.Time){done}}
+	f := m.getFetch()
+	f.waiters = append(f.waiters, done)
+	m.pendMeta[mb] = f
 	missAt := t + m.ctrCacheLat
 	if m.s.cfg.CountersInLLC && !skipLLC {
 		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(mb))
-		slice := m.s.mesh.SliceOf(mb)
-		m.s.at(missAt+m.s.oneway(mcTile, slice), func() {
-			m.s.llc.metaAccessFromMC(mb, mcTile, func(hit bool, at sim.Time) {
-				if hit {
-					m.insertMeta(mb)
-					m.completeMeta(mb, at)
-					return
-				}
-				m.fetchMetaFromDRAM(mb)
-			})
-		})
+		j := m.s.mesh.SliceIndexOf(mb)
+		g := m.s.slices[j]
+		m.toSlice[j].send(missAt+m.s.oneway(mcTile, g.tile), g.metaProbeCB, m.s.box(mb))
 		return
 	}
-	m.s.at(missAt, func() { m.fetchMetaFromDRAM(mb) })
+	c := m.getCont()
+	c.block = mb
+	m.s.atCall(missAt, metaContDRAMCB, c)
+}
+
+// metaProbeDone resumes a metadata fetch with the home slice's probe
+// verdict (packed mb<<1|hit; see llcSlice.handleMetaProbe): a hit fills
+// the MC's cache and wakes the waiters, a miss falls through to DRAM.
+func (m *mcCtl) metaProbeDone(p uint64) {
+	mb, hit := p>>1, p&1 != 0
+	if hit {
+		m.insertMeta(mb)
+		m.completeMeta(mb, m.s.eng.Now())
+		return
+	}
+	m.fetchMetaFromDRAM(mb)
 }
 
 // fetchMetaFromDRAM reads a metadata block from memory and verifies it
 // against its parent (fetched recursively) before use.
 func (m *mcCtl) fetchMetaFromDRAM(mb uint64) {
-	m.enqueueDRAM(mb, false, dram.TrafficCounter, nil, func(at sim.Time) {
-		parent, ok := m.home.Space.ParentOf(mb)
-		if !ok {
-			// Tree root: verified against on-chip state.
-			m.insertMeta(mb)
-			m.completeMeta(mb, at)
-			return
-		}
-		m.fetchMeta(parent, false, func(pAt sim.Time) {
-			start := at
-			if pAt > start {
-				start = pAt
-			}
-			verified := m.aes.Reserve(1, start) + sim.NS(1)
-			m.insertMeta(mb)
-			m.completeMeta(mb, verified)
-		})
-	})
+	c := m.getCont()
+	c.block = mb
+	m.enqueueDRAM(mb, false, dram.TrafficCounter, nil, c.fetchDone)
 }
 
 // insertMeta fills the MC's metadata cache. Every displaced metadata block
@@ -412,13 +595,31 @@ func (m *mcCtl) completeMeta(mb uint64, at sim.Time) {
 	for _, w := range f.waiters {
 		w(at)
 	}
+	for i := range f.waiters {
+		f.waiters[i] = nil
+	}
+	f.waiters = f.waiters[:0]
+	f.next = m.freeFetch
+	m.freeFetch = f
 }
 
 // spillMeta routes metadata leaving the MC's cache: into the LLC when
 // counters live there, else straight to DRAM when dirty.
 func (m *mcCtl) spillMeta(mb uint64, dirty bool) {
 	if m.s.cfg.CountersInLLC {
-		m.s.llc.insert(mb, dirty, m.home.Space.Kind(mb))
+		kind := m.home.Space.Kind(mb)
+		if m.s.warming {
+			m.s.sliceFor(mb).insert(mb, dirty, kind)
+			return
+		}
+		mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(mb))
+		j := m.s.mesh.SliceIndexOf(mb)
+		g := m.s.slices[j]
+		p := mb<<8 | uint64(kind)<<1
+		if dirty {
+			p |= 1
+		}
+		m.toSlice[j].send(m.s.eng.Now()+m.s.oneway(mcTile, g.tile), g.insertMetaCB, m.s.box(p))
 		return
 	}
 	if dirty {
@@ -477,30 +678,18 @@ func (m *mcCtl) bumpCounter(block uint64, isData bool) {
 	if !ok {
 		return // root counter lives on-chip
 	}
-	m.fetchMeta(parent, false, func(at sim.Time) {
-		ov := m.home.IncrementCounterOf(block)
-		m.home.MarkMetaDirty(parent)
-		if m.s.cfg.EMCC && isData {
-			m.invalidateL2Counters(parent)
-		}
-		if !ov.Happened {
-			return
-		}
-		first, n := m.home.Space.CoveredRange(parent)
-		m.ovf.Start(first, n, ov.Level)
-		if m.s.cfg.EMCC && ov.Level == 0 {
-			m.invalidateL2Counters(parent)
-		}
-	})
+	c := m.getCont()
+	c.block, c.isData = block, isData
+	m.fetchMeta(parent, false, c.bumpDone)
 }
 
 // invalidateL2Counters broadcasts a counter-block invalidation to every L2
 // (the Home-Agent-style circuit of Sec. IV-C).
 func (m *mcCtl) invalidateL2Counters(cb uint64) {
+	now := m.s.eng.Now()
 	mcTile := m.s.mesh.MCTile(m.s.mesh.MCOf(cb))
-	for _, l2 := range m.s.l2s {
-		l := l2
-		m.s.at(m.s.eng.Now()+m.s.oneway(mcTile, l.tile), func() { l.invalidateCounter(cb) })
+	for c, l2 := range m.s.l2s {
+		m.toCore[c].send(now+m.s.oneway(mcTile, l2.tile), l2.invCtrCB, m.s.box(cb))
 	}
 }
 

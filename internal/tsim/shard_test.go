@@ -12,13 +12,19 @@ import (
 
 // shardSnap runs one canneal scenario and returns its stats snapshot.
 func shardSnap(t *testing.T, mutate func(*config.Config), workers int) []byte {
+	return shardSnapBench(t, "canneal", mutate, workers)
+}
+
+// shardSnapBench is shardSnap for an arbitrary benchmark name (including
+// "+"-separated co-run mixes).
+func shardSnapBench(t *testing.T, bench string, mutate func(*config.Config), workers int) []byte {
 	t.Helper()
 	cfg := config.Default()
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	s, err := New(&cfg, Options{
-		Benchmark: "canneal", Seed: 7, Refs: 30_000, Warmup: 10_000,
+		Benchmark: bench, Seed: 7, Refs: 30_000, Warmup: 10_000,
 		Scale: workload.TestScale(),
 	})
 	if err != nil {
@@ -44,10 +50,14 @@ func TestShardMatchesSerial(t *testing.T) {
 		name     string
 		channels int
 		domains  int
+		cores    bool
 	}{
-		{"1ch-1dom", 1, 1},
-		{"4ch-2dom", 4, 2},
-		{"4ch-4dom", 4, 4},
+		{"1ch-1dom", 1, 1, false},
+		{"4ch-2dom", 4, 2, false},
+		{"4ch-4dom", 4, 4, false},
+		{"1ch-1dom-cores", 1, 1, true},
+		{"4ch-4dom-cores", 4, 4, true},
+		{"4ch-8dom-cores", 4, 8, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -57,11 +67,32 @@ func TestShardMatchesSerial(t *testing.T) {
 			sharded := shardSnap(t, func(cfg *config.Config) {
 				cfg.Channels = c.channels
 				cfg.Domains = c.domains
+				cfg.ShardCores = c.cores
 			}, 0)
 			if string(serial) != string(sharded) {
 				t.Errorf("sharded run (%d domains) diverged from the serial engine", c.domains)
 			}
 		})
+	}
+}
+
+// TestShardCoRunMatchesSerial runs the BENCH_10 scenario shape — a 4-core
+// mcf+canneal co-run, each core replaying its own stream into the shared
+// sliced LLC — on the widest topology cut and requires byte-identical
+// stats to the serial engine. Cross-core slice contention exercises seams
+// a single-stream replay cannot: distinct L2 domains racing for one home
+// slice at the same timestamp.
+func TestShardCoRunMatchesSerial(t *testing.T) {
+	serial := shardSnapBench(t, "mcf+canneal", func(cfg *config.Config) {
+		cfg.Channels = 4
+	}, 0)
+	sharded := shardSnapBench(t, "mcf+canneal", func(cfg *config.Config) {
+		cfg.Channels = 4
+		cfg.Domains = 8
+		cfg.ShardCores = true
+	}, 3)
+	if string(serial) != string(sharded) {
+		t.Error("sharded co-run diverged from the serial engine")
 	}
 }
 

@@ -1,0 +1,308 @@
+package tsim
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/inv"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file builds the run's execution topology: which entity runs on
+// which scheduling context, and the seams between them.
+//
+// The partition follows the machine's geometry (Sec. III / Fig 4). With
+// Domains = D > 0 the run is cut into:
+//
+//   - the hub (the serial engine): memory controller, overflow engine,
+//     DRAM enqueue side — and the cores + L2s unless ShardCores;
+//   - D slice-group domains: LLC slice j lives in group j mod D;
+//   - one domain per core + its private L2 when ShardCores;
+//   - one domain per DRAM channel (dram.Shard, since PR 8).
+//
+// Every link's lookahead is derived from the NoC: the minimum one-way mesh
+// latency between any tile of the source group and any tile of the
+// destination group. Each modeled message between two entities takes at
+// least oneway(srcTile, dstTile) >= that minimum, so the conservative
+// synchronizer never sees a violating send.
+//
+// Parity: the serial engine (Domains = 0) and the sharded engine at any D
+// and worker count produce byte-identical runs. The recipe (DESIGN.md
+// §14): every seam message is a late-class keyed event in BOTH engines,
+// with a key unique to its directed entity pair — so same-timestamp
+// ordering is fixed by (key, per-key source order) everywhere, and keys
+// never depend on D.
+
+// sched is the scheduling context an entity runs on: the serial engine
+// (which is also the hub of a sharded run) or the entity's own domain.
+// *sim.Engine and *sim.Domain both satisfy it with identical semantics.
+type sched interface {
+	Now() sim.Time
+	At(t sim.Time, fn func())
+	AtCall(t sim.Time, fn func(any), arg any)
+	AfterCall(d sim.Time, fn func(any), arg any)
+	AtCallLate(t sim.Time, key int32, fn func(any), arg any)
+	Recorder() *inv.Recorder
+}
+
+// seamKeyBase starts the tsim seam key space above the DRAM engine's
+// late-class keys (channel finish/kick keys are < 2*channels).
+const seamKeyBase = 1024
+
+// port is one directed seam between two entities. send delivers a
+// late-class event with the port's key: a local AtCallLate when source and
+// destination share a scheduling context, a Link send when they do not.
+// The key is the same either way — that is what makes the serial and
+// sharded schedules byte-identical.
+type port struct {
+	key  int32
+	dst  sched     // destination context when local (nil iff link is set)
+	link *sim.Link // cross-domain channel (nil when local)
+}
+
+// send schedules fn(arg) at the destination at absolute time at. Local
+// sends clamp to the destination clock (which equals the sender's clock)
+// exactly like Sim.atCall; cross-domain sends must already satisfy the
+// link's lookahead, which every modeled NoC delay does by construction.
+func (p *port) send(at sim.Time, fn func(any), arg any) {
+	if p.link != nil {
+		p.link.SendLate(at, p.key, fn, arg)
+		return
+	}
+	if now := p.dst.Now(); at < now {
+		at = now
+	}
+	p.dst.AtCallLate(at, p.key, fn, arg)
+}
+
+// domPair indexes the link table by (source, destination) domain; nil is
+// the hub.
+type domPair [2]*sim.Domain
+
+// sliceDom reports the domain LLC slice j runs in (nil = hub/serial).
+func (s *Sim) sliceDom(j int) *sim.Domain {
+	if len(s.sliceDoms) == 0 {
+		return nil
+	}
+	return s.sliceDoms[j%len(s.sliceDoms)]
+}
+
+// coreDom reports the domain core c and its L2 run in (nil = hub/serial).
+func (s *Sim) coreDom(c int) *sim.Domain {
+	if len(s.coreDoms) == 0 {
+		return nil
+	}
+	return s.coreDoms[c]
+}
+
+// domES maps a domain to its scheduling context (nil -> the hub engine).
+func (s *Sim) domES(d *sim.Domain) sched {
+	if d == nil {
+		return s.eng
+	}
+	return d
+}
+
+// buildTopology cuts the run into domains and wires the links. Called
+// before any entity is built so constructors can bind their context; a
+// serial run (Domains = 0) builds nothing.
+func (s *Sim) buildTopology() {
+	D := s.cfg.Domains
+	if D <= 0 {
+		return
+	}
+	C := s.opt.Cores
+	// One worker per domain (slices, optional cores, DRAM channels) plus
+	// the hub, capped by the host. The schedule is byte-identical at any
+	// worker count.
+	workers := 1 + D + minInt(D, s.cfg.Channels)
+	if s.cfg.ShardCores {
+		workers += C
+	}
+	if n := runtime.GOMAXPROCS(0); workers > n {
+		workers = n
+	}
+	s.shard = sim.NewShard(s.eng, workers)
+	s.linkTab = make(map[domPair]*sim.Link)
+
+	for g := 0; g < D; g++ {
+		s.sliceDoms = append(s.sliceDoms, s.shard.AddDomain(fmt.Sprintf("slice%d", g)))
+		set := stats.NewSet()
+		s.sliceSets = append(s.sliceSets, set)
+		s.domSets = append(s.domSets, set)
+	}
+	if s.cfg.ShardCores {
+		for c := 0; c < C; c++ {
+			s.coreDoms = append(s.coreDoms, s.shard.AddDomain(fmt.Sprintf("core%d", c)))
+			set := stats.NewSet()
+			s.coreSets = append(s.coreSets, set)
+			s.domSets = append(s.domSets, set)
+		}
+	}
+
+	// Tile sets per domain, for NoC-derived lookahead. The hub holds the
+	// MC tiles, plus every core tile while the cores stay on the hub.
+	hubTiles := make([]noc.NodeID, 0, s.mesh.MCs()+C)
+	for i := 0; i < s.mesh.MCs(); i++ {
+		hubTiles = append(hubTiles, s.mesh.MCTile(i))
+	}
+	if !s.cfg.ShardCores {
+		for c := 0; c < C; c++ {
+			hubTiles = append(hubTiles, s.mesh.CoreTile(c))
+		}
+	}
+	groupTiles := make([][]noc.NodeID, D)
+	for j := 0; j < s.mesh.CoreTiles(); j++ {
+		groupTiles[j%D] = append(groupTiles[j%D], s.mesh.CoreTile(j))
+	}
+
+	hub := s.shard.Hub()
+	connect := func(a, b *sim.Domain, at, bt []noc.NodeID) {
+		ad, bd := a, b
+		if a == hub {
+			ad = nil
+		}
+		if b == hub {
+			bd = nil
+		}
+		s.linkTab[domPair{ad, bd}] = s.shard.Connect(a, b, s.mesh.MinOneWay(at, bt))
+	}
+	for g := 0; g < D; g++ {
+		connect(hub, s.sliceDoms[g], hubTiles, groupTiles[g])
+		connect(s.sliceDoms[g], hub, groupTiles[g], hubTiles)
+	}
+	if s.cfg.ShardCores {
+		for c := 0; c < C; c++ {
+			ct := []noc.NodeID{s.mesh.CoreTile(c)}
+			for g := 0; g < D; g++ {
+				connect(s.coreDoms[c], s.sliceDoms[g], ct, groupTiles[g])
+				connect(s.sliceDoms[g], s.coreDoms[c], groupTiles[g], ct)
+			}
+			// Responses and counter invalidations flow MC -> core; no
+			// modeled message flows core -> MC directly (everything
+			// routes through a slice), so no return link exists.
+			connect(hub, s.coreDoms[c], hubTiles, ct)
+		}
+	}
+	// DRAM channels become their own domains behind the MC (PR 8).
+	s.dram.Shard(s.shard, D)
+	s.shard.Finalize()
+}
+
+// seamPort builds the directed seam src -> dst. Entities in the same
+// context (always, on the serial engine) get a local port; otherwise the
+// link wired by buildTopology carries the traffic.
+func (s *Sim) seamPort(src, dst *sim.Domain, dstES sched, key int32) port {
+	if s.shard == nil || src == dst {
+		return port{key: key, dst: dstES}
+	}
+	l := s.linkTab[domPair{src, dst}]
+	if l == nil {
+		panic(fmt.Sprintf("tsim: no seam link for key %d", key))
+	}
+	return port{key: key, link: l}
+}
+
+// wirePorts builds every entity's seam ports. Key layout (C = cores,
+// S = slices, B = seamKeyBase) — unique per directed entity pair, and
+// independent of Domains so the serial and sharded schedules agree:
+//
+//	l2 c    -> slice j : B + c*S + j
+//	slice j -> core c  : B + C*S + j*C + c
+//	slice j -> hub     : B + 2*C*S + j
+//	hub     -> slice j : B + 2*C*S + S + j
+//	hub     -> core c  : B + 2*C*S + 2*S + c
+func (s *Sim) wirePorts() {
+	C, S := s.opt.Cores, len(s.slices)
+	for _, l := range s.l2s {
+		l.toSlice = make([]port, S)
+		for j, g := range s.slices {
+			l.toSlice[j] = s.seamPort(l.dom, g.dom, g.es, int32(seamKeyBase+l.id*S+j))
+		}
+	}
+	for j, g := range s.slices {
+		g.toCore = make([]port, C)
+		for c := 0; c < C; c++ {
+			g.toCore[c] = s.seamPort(g.dom, s.l2s[c].dom, s.l2s[c].es, int32(seamKeyBase+C*S+j*C+c))
+		}
+		g.toHub = s.seamPort(g.dom, nil, s.eng, int32(seamKeyBase+2*C*S+j))
+	}
+	s.mc.toSlice = make([]port, S)
+	for j, g := range s.slices {
+		s.mc.toSlice[j] = s.seamPort(nil, g.dom, g.es, int32(seamKeyBase+2*C*S+S+j))
+	}
+	s.mc.toCore = make([]port, C)
+	for c := 0; c < C; c++ {
+		s.mc.toCore[c] = s.seamPort(nil, s.l2s[c].dom, s.l2s[c].es, int32(seamKeyBase+2*C*S+2*S+c))
+	}
+}
+
+// coreStats reports the stats shard core c (and its L2) writes to: the
+// run's set on the serial engine and on the hub, the core domain's shard
+// under ShardCores. Shards merge into the run's set after the run, in
+// canonical order — every accumulated value is an integer (counts or
+// picoseconds), so the merged totals are exact and order-insensitive.
+func (s *Sim) coreStats(c int) *stats.Set {
+	if len(s.coreSets) == 0 {
+		return s.st
+	}
+	return s.coreSets[c]
+}
+
+// sliceStats reports the stats shard LLC slice j writes to.
+func (s *Sim) sliceStats(j int) *stats.Set {
+	if len(s.sliceSets) == 0 {
+		return s.st
+	}
+	return s.sliceSets[j%len(s.sliceSets)]
+}
+
+// sliceFor maps a block to its home LLC slice.
+func (s *Sim) sliceFor(block uint64) *llcSlice { return s.slices[s.mesh.SliceIndexOf(block)] }
+
+// llcPeek probes the sliced LLC without touching LRU state (XPT's oracle;
+// serial engine only — Validate rejects XPT with Domains > 0).
+func (s *Sim) llcPeek(block uint64) bool { return s.sliceFor(block).c.Peek(block) }
+
+// u64box carries a packed seam payload. Interface-boxing a uint64
+// allocates, so the serial engine (whose steady state is pinned
+// allocation-free) recycles boxes through a freelist — safe because one
+// goroutine runs everything. Sharded runs allocate one box per message:
+// the freelist would be shared across domains, and the pins cover the
+// serial engine only.
+type u64box struct {
+	v    uint64
+	next *u64box
+}
+
+// box wraps a packed payload for a seam send.
+func (s *Sim) box(v uint64) *u64box {
+	if s.shard == nil && s.boxFree != nil {
+		b := s.boxFree
+		s.boxFree, b.next = b.next, nil
+		b.v = v
+		return b
+	}
+	//lint:ignore allocpin sharded-engine fallback: the freelist serves every serial-engine box; Domains > 0 allocates per message, outside the serial-only 0-alloc pins
+	return &u64box{v: v}
+}
+
+// unbox reads a seam payload and retires its box.
+func (s *Sim) unbox(a any) uint64 {
+	b := a.(*u64box)
+	v := b.v
+	if s.shard == nil {
+		b.next = s.boxFree
+		s.boxFree = b
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

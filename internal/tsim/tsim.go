@@ -14,7 +14,6 @@ package tsim
 
 import (
 	"fmt"
-	"runtime"
 
 	"repro/internal/config"
 	"repro/internal/dram"
@@ -73,20 +72,31 @@ type Result struct {
 
 // Sim is one timing-simulation instance.
 type Sim struct {
-	cfg   *config.Config
-	opt   Options
-	eng   *sim.Engine
-	shard *sim.Shard // non-nil when cfg.Domains > 0: eng is the hub
-	st    *stats.Set
-	mesh  *noc.Mesh
-	dram  *dram.DRAM
-	mc    *mcCtl
-	llc   *llcCtl
-	l2s   []*l2Ctl
-	cpus  []*core
-	pol   emcc.Policy
-	ivr   *inv.Recorder // this run's invariant recorder (never nil)
-	trc   *obs.Tracer   // nil = tracing disabled (the common case)
+	cfg     *config.Config
+	opt     Options
+	eng     *sim.Engine
+	shard   *sim.Shard // non-nil when cfg.Domains > 0: eng is the hub
+	boxFree *u64box    // serial-engine freelist for packed seam payloads
+	st      *stats.Set
+	mesh    *noc.Mesh
+	dram    *dram.DRAM
+	mc      *mcCtl
+	slices  []*llcSlice
+	l2s     []*l2Ctl
+	cpus    []*core
+	pol     emcc.Policy
+	ivr     *inv.Recorder // this run's invariant recorder (never nil)
+	trc     *obs.Tracer   // nil = tracing disabled (the common case)
+
+	// Sharded-engine topology (empty on the serial engine; see topo.go).
+	sliceDoms []*sim.Domain
+	coreDoms  []*sim.Domain
+	linkTab   map[domPair]*sim.Link
+	// Per-domain stats shards in canonical merge order (slice groups,
+	// then cores); merged into st at the end of Run.
+	domSets   []*stats.Set
+	sliceSets []*stats.Set
+	coreSets  []*stats.Set
 
 	rec       *metrics.Recorder // nil = flight recording disabled
 	recPeriod sim.Time
@@ -139,20 +149,10 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 	s.eng.SetRecorder(s.ivr)
 	s.pol = emcc.NewPolicyRec(cfg, s.mesh, s.ivr)
 	s.dram = dram.New(s.eng, s.st, cfg)
-	if cfg.Domains > 0 {
-		// Shard the DRAM channels into lookahead-synchronized domains;
-		// everything else (cores, caches, MC) stays on the hub engine.
-		// One worker per domain plus the hub, capped by the host — the
-		// schedule is byte-identical at any worker count.
-		workers := cfg.Domains + 1
-		if n := runtime.GOMAXPROCS(0); workers > n {
-			workers = n
-		}
-		s.shard = sim.NewShard(s.eng, workers)
-		s.dram.Shard(s.shard, cfg.Domains)
-		s.shard.Finalize()
-	}
-	s.llc = newLLCCtl(s)
+	// Cut the run into domains (slice groups, optional per-core domains,
+	// DRAM channels) before any entity binds its scheduling context.
+	s.buildTopology()
+	s.buildSlices()
 	s.mc = newMCCtl(s, dataBytes)
 	perCore := opt.Refs / int64(opt.Cores)
 	for c := 0; c < opt.Cores; c++ {
@@ -160,6 +160,7 @@ func New(cfg *config.Config, opt Options) (*Sim, error) {
 		s.l2s = append(s.l2s, l2)
 		s.cpus = append(s.cpus, newCore(s, c, gens[c], perCore))
 	}
+	s.wirePorts()
 	s.bindHot()
 	return s, nil
 }
@@ -276,8 +277,14 @@ func (s *Sim) Run() Result {
 	if s.shard != nil {
 		s.shard.MaxSteps = maxSteps
 		s.shard.Run()
-		// Fold the per-channel DRAM stats shards into the run's set (in
-		// channel order) before anything below reads it.
+		// Fold every per-domain stats shard into the run's set in
+		// canonical order (slice groups, cores, then DRAM channels)
+		// before anything below reads it. Every accumulated value is an
+		// integer count or an integer number of picoseconds, so the
+		// merged totals are exact regardless of merge order.
+		for _, ds := range s.domSets {
+			s.st.Merge(ds)
+		}
 		s.dram.MergeShardStats()
 	} else {
 		for s.eng.Pending() > 0 {
@@ -305,7 +312,7 @@ func (s *Sim) Run() Result {
 		cycles := float64(res.SimulatedTime) / float64(s.cfg.CoreCycle())
 		res.IPC = float64(res.Instructions) / cycles
 	}
-	res.L2MissLatencyNS = s.st.Accum(stats.TsimL2ReadMissLatencyNS).Mean()
+	res.L2MissLatencyNS = s.st.Accum(stats.TsimL2ReadMissLatencyPS).Mean() / 1000
 	res.BusyFraction = s.dram.BusyFraction(0, res.SimulatedTime)
 	atL2 := s.st.Counter(stats.EmccDecryptAtL2)
 	atMC := s.st.Counter(stats.EmccDecryptAtMC)

@@ -97,10 +97,10 @@ func TestBipBipRunIsCounterFree(t *testing.T) {
 	}
 	// The cipher is charged at the cache controller (L2 side), never at
 	// the MC: the MC exposure accumulator must stay empty.
-	if n := s.st.Accum(stats.TsimCryptoExposureMCNS).Count; n != 0 {
+	if n := s.st.Accum(stats.TsimCryptoExposureMCPS).Count; n != 0 {
 		t.Fatalf("bipbip recorded %d MC crypto exposures", n)
 	}
-	if s.st.Accum(stats.TsimCryptoExposureL2NS).Count == 0 {
+	if s.st.Accum(stats.TsimCryptoExposureL2PS).Count == 0 {
 		t.Fatal("bipbip never recorded L2 cipher exposure")
 	}
 }
@@ -135,10 +135,10 @@ func TestInSRAMRunUsesGeometryPool(t *testing.T) {
 	}
 	// Exposure is at the MC (the cipher cannot start before the
 	// ciphertext arrives), never at L2.
-	if s.st.Accum(stats.TsimCryptoExposureMCNS).Count == 0 {
+	if s.st.Accum(stats.TsimCryptoExposureMCPS).Count == 0 {
 		t.Fatal("insram never recorded MC cipher exposure")
 	}
-	if n := s.st.Accum(stats.TsimCryptoExposureL2NS).Count; n != 0 {
+	if n := s.st.Accum(stats.TsimCryptoExposureL2PS).Count; n != 0 {
 		t.Fatalf("insram recorded %d L2 crypto exposures", n)
 	}
 }

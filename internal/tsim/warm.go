@@ -24,7 +24,12 @@ func (s *Sim) warm(refs int64) {
 		}
 	}
 	s.warming = false
+	// The measurement boundary: reset the run's set and every per-domain
+	// shard (warm traffic bumps entity-local counters like EmccUseless).
 	s.st.Reset()
+	for _, ds := range s.domSets {
+		ds.Reset()
+	}
 }
 
 // warmAccess mirrors the timed read/write path against the same functional
@@ -47,7 +52,7 @@ func (s *Sim) warmAccess(c int, a workload.Access) {
 	if s.cfg.EMCC && s.secure() {
 		s.warmCounterProbe(l2, block)
 	}
-	if s.llc.c.Lookup(block) {
+	if s.sliceFor(block).c.Lookup(block) {
 		l2.fill(block, false, 0)
 		cpu.fillL1(block, a.Write)
 		return
@@ -72,9 +77,9 @@ func (s *Sim) warmCounterProbe(l2 *l2Ctl, dataBlock uint64) {
 	if l2.c.Lookup(cb) {
 		return
 	}
-	if !s.llc.c.Lookup(cb) {
+	if !s.sliceFor(cb).c.Lookup(cb) {
 		s.warmMeta(cb)
-		s.llc.insert(cb, false, addr.KindCounter)
+		s.sliceFor(cb).insert(cb, false, addr.KindCounter)
 	}
 	l2.insertCounter(cb)
 }
@@ -84,7 +89,7 @@ func (s *Sim) warmMeta(mb uint64) {
 	if s.mc.home.Meta.Lookup(mb) {
 		return
 	}
-	if s.cfg.CountersInLLC && s.llc.c.Lookup(mb) {
+	if s.cfg.CountersInLLC && s.sliceFor(mb).c.Lookup(mb) {
 		s.mc.insertMeta(mb)
 		return
 	}

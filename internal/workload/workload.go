@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Access is one memory reference preceded by NonMem non-memory
@@ -113,9 +114,33 @@ func IsPrimary(name string) bool {
 // each core traversing its own vertex partition; all other benchmarks are
 // multiprogrammed — per-core instances at disjoint address offsets
 // (Sec. V: "four instances of the same benchmark").
+//
+// A "+"-separated mix ("mcf+canneal") is the co-run frontend: core c runs
+// part c mod len(parts), each instance at a stacked offset so co-runners
+// never share data and interfere only through the shared LLC slices and
+// DRAM. Mixes are scalar-only — a graph kernel's footprint is one shared
+// graph, which has no per-core region to stack.
 func NewSet(name string, cores int, seed uint64, sc Scale) ([]Generator, error) {
 	if cores <= 0 {
 		return nil, fmt.Errorf("workload: cores must be positive, got %d", cores)
+	}
+	if parts := strings.Split(name, "+"); len(parts) > 1 {
+		gens := make([]Generator, cores)
+		var offset uint64
+		for c := 0; c < cores; c++ {
+			part := parts[c%len(parts)]
+			region, err := mixRegion(part, sc)
+			if err != nil {
+				return nil, err
+			}
+			g, err := newScalarGen(part, offset, seed+uint64(c)*0x79b9, sc)
+			if err != nil {
+				return nil, err
+			}
+			gens[c] = g
+			offset += uint64(region)
+		}
+		return gens, nil
 	}
 	gens := make([]Generator, cores)
 	if kern, ok := graphKernels[name]; ok {
@@ -134,6 +159,19 @@ func NewSet(name string, cores int, seed uint64, sc Scale) ([]Generator, error) 
 		gens[c] = g
 	}
 	return gens, nil
+}
+
+// mixRegion reports one co-run instance's address region, rejecting the
+// benchmarks a mix cannot stack.
+func mixRegion(part string, sc Scale) (int64, error) {
+	if _, ok := graphKernels[part]; ok {
+		return 0, fmt.Errorf("workload: graph kernel %q cannot join a co-run mix (its footprint is one shared graph, not a per-core region)", part)
+	}
+	region := perCoreRegion(part, sc)
+	if region == 0 {
+		return 0, fmt.Errorf("workload: unknown benchmark %q", part)
+	}
+	return region, nil
 }
 
 // TotalFootprint reports the combined footprint of a generator set.
@@ -156,6 +194,17 @@ func TotalFootprint(gens []Generator) int64 {
 // needs for `cores` instances: the upper bound of every address any
 // generator can emit, 64 B-block aligned.
 func SpaceBytes(name string, cores int, sc Scale) (int64, error) {
+	if parts := strings.Split(name, "+"); len(parts) > 1 {
+		var total int64
+		for c := 0; c < cores; c++ {
+			region, err := mixRegion(parts[c%len(parts)], sc)
+			if err != nil {
+				return 0, err
+			}
+			total += region
+		}
+		return total, nil
+	}
 	if _, ok := graphKernels[name]; ok {
 		// Mirror graph.layout() analytically: row pointers, adjacency,
 		// four 8 B property arrays, each 64 B aligned.

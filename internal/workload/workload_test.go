@@ -264,3 +264,46 @@ func TestComposeSummaries(t *testing.T) {
 		t.Fatal("zero-length composition accepted")
 	}
 }
+
+// TestCoRunMix pins the "+"-separated co-run frontend: round-robin part
+// assignment, stacked disjoint regions, SpaceBytes agreement, and the
+// graph-kernel/unknown-part rejections.
+func TestCoRunMix(t *testing.T) {
+	sc := TestScale()
+	gens, err := NewSet("mcf+canneal", 4, 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantName := []string{"mcf", "canneal", "mcf", "canneal"}
+	var lo uint64
+	for c, g := range gens {
+		if g.Name() != wantName[c] {
+			t.Fatalf("core %d runs %q, want %q", c, g.Name(), wantName[c])
+		}
+		hi := lo + uint64(perCoreRegion(g.Name(), sc))
+		for i := 0; i < 2000; i++ {
+			a := g.Next().Addr
+			if a < lo || a >= hi {
+				t.Fatalf("core %d address %#x outside its region [%#x,%#x)", c, a, lo, hi)
+			}
+		}
+		lo = hi
+	}
+	space, err := SpaceBytes("mcf+canneal", 4, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*perCoreRegion("mcf", sc) + 2*perCoreRegion("canneal", sc); space != want {
+		t.Fatalf("SpaceBytes = %d, want %d", space, want)
+	}
+
+	if _, err := NewSet("mcf+BFS", 2, 1, sc); err == nil {
+		t.Error("NewSet accepted a graph kernel in a co-run mix")
+	}
+	if _, err := NewSet("mcf+nosuch", 2, 1, sc); err == nil {
+		t.Error("NewSet accepted an unknown mix part")
+	}
+	if _, err := SpaceBytes("mcf+nosuch", 2, sc); err == nil {
+		t.Error("SpaceBytes accepted an unknown mix part")
+	}
+}
